@@ -1,0 +1,54 @@
+// Experiment E3 (Example 4.3): the k-clique TriQ 1.0 query. The chase
+// materializes the n^k mapping tree, so runtime grows exponentially in
+// k — the paper's demonstration that TriQ 1.0 encodes costly queries.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/triq.h"
+#include "core/workloads.h"
+
+namespace {
+
+using triq::Dictionary;
+
+void RunClique(benchmark::State& state, int n, double p, int k) {
+  auto dict = std::make_shared<Dictionary>();
+  auto edges = triq::core::RandomGraphEdges(n, p, /*seed=*/7);
+  auto query =
+      triq::core::TriqQuery::Create(triq::core::CliqueProgram(dict), "yes");
+  triq::chase::Instance db =
+      triq::core::CliqueDatabase(n, edges, k, dict);
+  triq::chase::ChaseOptions options;
+  options.max_facts = 200'000'000;
+  bool found = false;
+  size_t facts = 0;
+  for (auto _ : state) {
+    triq::chase::ChaseStats stats;
+    auto result = query->Evaluate(db, options, &stats);
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    found = !result->empty();
+    facts = stats.facts_derived;
+  }
+  state.counters["k"] = k;
+  state.counters["nodes"] = n;
+  state.counters["edges"] = static_cast<double>(edges.size());
+  state.counters["has_clique"] = found ? 1 : 0;
+  state.counters["derived_facts"] = static_cast<double>(facts);
+}
+
+// Exponential-in-k sweep at fixed n (the data-complexity message of
+// Theorem 4.4 is benched separately in bench_thm44).
+void BM_CliqueK(benchmark::State& state) {
+  RunClique(state, /*n=*/6, /*p=*/0.7, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_CliqueK)->DenseRange(2, 5)->Unit(benchmark::kMillisecond);
+
+// Dense vs sparse graphs at fixed k.
+void BM_CliqueDensity(benchmark::State& state) {
+  RunClique(state, /*n=*/7, state.range(0) / 10.0, /*k=*/3);
+}
+BENCHMARK(BM_CliqueDensity)->Arg(2)->Arg(5)->Arg(9)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

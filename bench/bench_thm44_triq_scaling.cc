@@ -1,0 +1,44 @@
+// Experiment E4 (Theorem 4.4/4.5): data complexity of a fixed TriQ 1.0
+// query. The clique query at fixed k is evaluated over graphs of
+// growing size n: the mapping tree has n^k leaves, so the curve is a
+// degree-k polynomial with a large constant — contrast with the
+// low-degree TriQ-Lite curves of bench_thm67.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/triq.h"
+#include "core/workloads.h"
+
+namespace {
+
+using triq::Dictionary;
+
+void BM_FixedCliqueQueryGrowingDatabase(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  constexpr int kCliqueSize = 3;
+  auto dict = std::make_shared<Dictionary>();
+  auto edges = triq::core::RandomGraphEdges(n, 0.5, /*seed=*/11);
+  auto query =
+      triq::core::TriqQuery::Create(triq::core::CliqueProgram(dict), "yes");
+  triq::chase::Instance db =
+      triq::core::CliqueDatabase(n, edges, kCliqueSize, dict);
+  triq::chase::ChaseOptions options;
+  options.max_facts = 200'000'000;
+  size_t facts = 0;
+  for (auto _ : state) {
+    triq::chase::ChaseStats stats;
+    auto result = query->Evaluate(db, options, &stats);
+    if (!result.ok()) state.SkipWithError("evaluation failed");
+    facts = stats.facts_derived;
+  }
+  state.counters["db_facts"] = static_cast<double>(db.TotalFacts());
+  state.counters["derived_facts"] = static_cast<double>(facts);
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_FixedCliqueQueryGrowingDatabase)
+    ->DenseRange(4, 12, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace

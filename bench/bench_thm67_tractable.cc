@@ -1,0 +1,71 @@
+// Experiment E8 (Theorem 6.7): PTime data complexity of TriQ-Lite 1.0.
+// Two warded workloads — plain transitive closure and OWL 2 QL core
+// entailment — evaluated over growing databases; google-benchmark's
+// complexity fit should report a low-degree polynomial, in contrast
+// with E4's fixed-exponent blowup for the TriQ 1.0 clique query.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/triq.h"
+#include "core/workloads.h"
+#include "owl/generator.h"
+#include "owl/rdf_mapping.h"
+#include "translate/owl2ql_program.h"
+
+namespace {
+
+using triq::Dictionary;
+
+void BM_TransitiveClosureChain(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto dict = std::make_shared<Dictionary>();
+  auto program = triq::core::TransitiveClosureProgram(dict);
+  triq::chase::Instance db = triq::core::ChainDatabase(n, dict);
+  for (auto _ : state) {
+    triq::chase::Instance working = triq::core::CloneInstance(db);
+    auto status = RunChase(program, &working);
+    if (!status.ok()) state.SkipWithError("chase failed");
+    benchmark::DoNotOptimize(working);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TransitiveClosureChain)
+    ->RangeMultiplier(2)
+    ->Range(32, 512)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Owl2QlSaturation(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto dict = std::make_shared<Dictionary>();
+  triq::owl::RandomOntologyOptions options;
+  options.num_classes = 10;
+  options.num_properties = 4;
+  options.num_individuals = 50 * scale;
+  options.num_subclass_axioms = 20;
+  options.num_subproperty_axioms = 6;
+  options.num_class_assertions = 50 * scale;
+  options.num_property_assertions = 100 * scale;
+  triq::owl::Ontology o = RandomOntology(options, dict.get());
+  triq::rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+  auto program = triq::translate::BuildOwl2QlCoreProgram(dict);
+  size_t facts = 0;
+  for (auto _ : state) {
+    triq::chase::Instance db = triq::chase::Instance::FromGraph(g);
+    triq::chase::ChaseStats stats;
+    auto status = RunChase(program, &db, {}, &stats);
+    if (!status.ok()) state.SkipWithError(status.ToString().c_str());
+    facts = db.TotalFacts();
+  }
+  state.counters["db_triples"] = static_cast<double>(g.size());
+  state.counters["saturated_facts"] = static_cast<double>(facts);
+  state.SetComplexityN(g.size());
+}
+BENCHMARK(BM_Owl2QlSaturation)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace

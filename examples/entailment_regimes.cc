@@ -1,0 +1,87 @@
+// Section 5 end to end: build an OWL 2 QL core ontology, store it as
+// RDF per Table 1, and evaluate the same SPARQL pattern under (a) no
+// reasoning, (b) the active-domain entailment regime J·K^U, and (c) the
+// relaxed regime J·K^All of Section 5.3 — showing where each answers.
+//
+//   $ ./examples/entailment_regimes
+#include <iostream>
+#include <memory>
+
+#include "owl/ontology.h"
+#include "owl/rdf_mapping.h"
+#include "sparql/parser.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace {
+
+void Show(const char* label, triq::Result<triq::sparql::MappingSet> result,
+          const triq::Dictionary& dict) {
+  std::cout << label << ": ";
+  if (!result.ok()) {
+    std::cout << result.status().ToString() << "\n";
+    return;
+  }
+  if (result->empty()) {
+    std::cout << "(empty)\n";
+    return;
+  }
+  std::cout << "\n";
+  for (const auto& m : result->mappings()) {
+    std::cout << "  " << m.ToString(dict) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto dict = std::make_shared<triq::Dictionary>();
+
+  // The herbivores ontology of Section 5.3: dogs are animals, animals
+  // eat something, and everything eaten is plant material.
+  triq::owl::Ontology ontology;
+  triq::SymbolId animal = dict->Intern("animal");
+  triq::SymbolId plant = dict->Intern("plant_material");
+  triq::SymbolId eats = dict->Intern("eats");
+  ontology.DeclareClass(animal);
+  ontology.DeclareClass(plant);
+  ontology.DeclareProperty(eats);
+  ontology.AddClassAssertion(triq::owl::BasicClass::Named(animal),
+                             dict->Intern("dog"));
+  ontology.AddSubClassOf(
+      triq::owl::BasicClass::Named(animal),
+      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, false}));
+  ontology.AddSubClassOf(
+      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, true}),
+      triq::owl::BasicClass::Named(plant));
+
+  triq::rdf::Graph graph(dict);
+  OntologyToGraph(ontology, &graph);
+  std::cout << "ontology:\n" << ontology.ToString(*dict)
+            << "stored as " << graph.size() << " RDF triples (Table 1)\n\n";
+
+  auto pattern = triq::sparql::ParsePattern(
+      "{ ?X eats _:B . _:B rdf:type plant_material }", dict.get());
+  if (!pattern.ok()) {
+    std::cerr << pattern.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "pattern: " << (*pattern)->ToString(*dict) << "\n\n";
+
+  using triq::translate::Regime;
+  for (auto [label, regime] :
+       {std::pair{"no reasoning          ", Regime::kPlain},
+        std::pair{"active-domain (J.K^U) ", Regime::kActiveDomain},
+        std::pair{"relaxed       (J.K^All)", Regime::kAll}}) {
+    triq::translate::TranslationOptions options;
+    options.regime = regime;
+    auto translated = TranslatePattern(**pattern, dict, options);
+    if (!translated.ok()) {
+      std::cerr << translated.status().ToString() << "\n";
+      return 1;
+    }
+    Show(label, EvaluateTranslated(*translated, graph), *dict);
+  }
+  std::cout << "\nOnly the relaxed regime finds dog: the plant-material\n"
+               "witness exists only as an invented null (Section 5.3).\n";
+  return 0;
+}

@@ -1,0 +1,339 @@
+#include "chase/backward.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace triq::chase {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+
+/// Goal terms are constants, database nulls, or *placeholders* — free
+/// nulls invented by resolution that stand for "some value". We reuse
+/// the Null term kind with ids above the database's null counter.
+class Prover {
+ public:
+  Prover(const Program& program, const Instance& database,
+         const BackwardOptions& options, BackwardStats* stats)
+      : program_(program),
+        db_(database),
+        options_(options),
+        stats_(stats),
+        next_placeholder_(database.null_count() + 1) {
+    // EDB predicates (no rule derives them) are resolved first so that
+    // placeholders are bound before recursive goals are attempted.
+    for (const Rule& rule : program.rules()) {
+      for (const Atom& h : rule.head) idb_.insert(h.predicate);
+    }
+  }
+
+  Result<bool> Prove(const Atom& goal) {
+    for (Term t : goal.args) {
+      if (!t.IsConstant()) {
+        return Status::InvalidArgument("goal must be a ground atom");
+      }
+    }
+    for (const Rule& rule : program_.rules()) {
+      if (rule.IsConstraint()) {
+        return Status::InvalidArgument(
+            "backward proving takes a Datalog∃ program; drop constraints");
+      }
+      for (const Atom& a : rule.body) {
+        if (a.negated) {
+          return Status::InvalidArgument(
+              "backward proving takes a Datalog∃ program; no negation");
+        }
+      }
+    }
+    bool limited = false;
+    bool proved = ProveAll({goal}, 0, &limited);
+    if (stats_ != nullptr) stats_->depth_limited = limited;
+    return proved;
+  }
+
+ private:
+  bool IsPlaceholder(Term t) const {
+    return t.IsNull() && t.null_id() >= db_.null_count();
+  }
+
+  Term FreshPlaceholder() { return Term::Null(next_placeholder_++); }
+
+  /// Canonical rendering with placeholders numbered by first occurrence
+  /// (memoization / cycle-detection key).
+  std::string Canonical(const Atom& goal) const {
+    std::string out = std::to_string(goal.predicate);
+    std::unordered_map<uint32_t, int> renaming;
+    for (Term t : goal.args) {
+      out += ',';
+      if (IsPlaceholder(t)) {
+        auto [it, inserted] =
+            renaming.emplace(t.null_id(), static_cast<int>(renaming.size()));
+        out += "P" + std::to_string(it->second);
+      } else {
+        out += std::to_string(t.raw());
+      }
+    }
+    return out;
+  }
+
+  bool AllConstants(const Atom& goal) const {
+    return std::all_of(goal.args.begin(), goal.args.end(),
+                       [](Term t) { return t.IsConstant(); });
+  }
+
+  static Atom Substitute(const Atom& atom,
+                         const std::unordered_map<uint32_t, Term>& binding) {
+    Atom out = atom;
+    for (Term& t : out.args) {
+      while (t.IsNull()) {
+        auto it = binding.find(t.null_id());
+        if (it == binding.end() || it->second == t) break;
+        t = it->second;
+      }
+    }
+    return out;
+  }
+
+  /// Proves the conjunction `goals` (shared placeholders and all).
+  bool ProveAll(std::vector<Atom> goals, size_t depth, bool* limited) {
+    if (goals.empty()) return true;
+    if (depth > options_.max_depth ||
+        (stats_ != nullptr &&
+         stats_->resolution_steps > options_.max_steps)) {
+      *limited = true;
+      return false;
+    }
+    if (stats_ != nullptr) ++stats_->resolution_steps;
+
+    // Pick the next goal: EDB atoms first, then the most-constant atom.
+    size_t best = 0;
+    auto score = [&](const Atom& a) {
+      size_t constants = 0;
+      for (Term t : a.args) {
+        if (!IsPlaceholder(t)) ++constants;
+      }
+      return (idb_.count(a.predicate) == 0 ? 1000 : 0) + constants;
+    };
+    for (size_t i = 1; i < goals.size(); ++i) {
+      if (score(goals[i]) > score(goals[best])) best = i;
+    }
+    std::swap(goals[0], goals[best]);
+    Atom goal = goals[0];
+    std::vector<Atom> rest(goals.begin() + 1, goals.end());
+
+    std::string key = Canonical(goal);
+    bool memoizable = AllConstants(goal);
+    if (memoizable) {
+      if (proved_.count(key) > 0) {
+        if (stats_ != nullptr) ++stats_->memo_hits;
+        return ProveAll(rest, depth, limited);
+      }
+      if (failed_.count(key) > 0) {
+        if (stats_ != nullptr) ++stats_->memo_hits;
+        return false;
+      }
+    }
+    // Cycle check: a canonical variant of this goal is already being
+    // resolved above us with no intervening placeholder progress.
+    if (std::find(stack_.begin(), stack_.end(), key) != stack_.end()) {
+      return false;
+    }
+    stack_.push_back(key);
+    bool sub_limited = false;
+    bool ok = ResolveGoal(goal, rest, depth, &sub_limited);
+    stack_.pop_back();
+    if (sub_limited) *limited = true;
+    if (memoizable && ok) proved_.insert(key);
+    if (memoizable && !ok && !sub_limited && rest.empty()) {
+      failed_.insert(key);
+    }
+    return ok;
+  }
+
+  bool ResolveGoal(const Atom& goal, const std::vector<Atom>& rest,
+                   size_t depth, bool* limited) {
+    // (1) Database facts.
+    const Relation* rel = db_.Find(goal.predicate);
+    if (rel != nullptr && rel->arity() == goal.args.size()) {
+      // Seed the scan from the most selective bound position.
+      const std::vector<uint32_t>* postings = nullptr;
+      bool has_bound = false;
+      for (uint32_t pos = 0; pos < goal.args.size(); ++pos) {
+        if (IsPlaceholder(goal.args[pos])) continue;
+        has_bound = true;
+        const std::vector<uint32_t>* p = rel->Postings(pos, goal.args[pos]);
+        if (p == nullptr) {
+          postings = nullptr;
+          has_bound = true;
+          goto no_db_match;  // some bound position has no fact
+        }
+        if (postings == nullptr || p->size() < postings->size()) postings = p;
+      }
+      {
+        auto try_tuple = [&](const Tuple& tuple) -> bool {
+          std::unordered_map<uint32_t, Term> binding;
+          for (size_t i = 0; i < tuple.size(); ++i) {
+            Term g = goal.args[i];
+            if (IsPlaceholder(g)) {
+              auto it = binding.find(g.null_id());
+              if (it != binding.end()) {
+                if (it->second != tuple[i]) return false;
+              } else {
+                binding.emplace(g.null_id(), tuple[i]);
+              }
+            } else if (g != tuple[i]) {
+              return false;
+            }
+          }
+          std::vector<Atom> next;
+          next.reserve(rest.size());
+          for (const Atom& a : rest) next.push_back(Substitute(a, binding));
+          return ProveAll(std::move(next), depth + 1, limited);
+        };
+        if (postings != nullptr) {
+          for (uint32_t idx : *postings) {
+            if (try_tuple(rel->tuple(idx))) return true;
+          }
+        } else if (!has_bound || postings == nullptr) {
+          for (const Tuple& tuple : rel->tuples()) {
+            if (try_tuple(tuple)) return true;
+          }
+        }
+      }
+    }
+  no_db_match:
+    // (2) Rule heads.
+    for (const Rule& rule : program_.rules()) {
+      std::vector<Term> existentials = rule.ExistentialVariables();
+      for (const Atom& head : rule.head) {
+        if (head.predicate != goal.predicate ||
+            head.args.size() != goal.args.size()) {
+          continue;
+        }
+        if (ResolveAgainstRuleHead(rule, head, existentials, goal, rest,
+                                   depth, limited)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool ResolveAgainstRuleHead(const Rule& rule, const Atom& head,
+                              const std::vector<Term>& existentials,
+                              const Atom& goal,
+                              const std::vector<Atom>& rest, size_t depth,
+                              bool* limited) {
+    // Unify head args with goal args. Rule variables map into the goal
+    // term space; goal placeholders may be forced to constants.
+    std::unordered_map<uint32_t, Term> var_binding;  // var symbol -> term
+    std::unordered_map<uint32_t, Term> ph_binding;   // placeholder -> term
+    auto resolve_ph = [&](Term t) {
+      while (t.IsNull()) {
+        auto it = ph_binding.find(t.null_id());
+        if (it == ph_binding.end() || it->second == t) break;
+        t = it->second;
+      }
+      return t;
+    };
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      Term h = head.args[i];
+      Term g = resolve_ph(goal.args[i]);
+      bool is_existential =
+          h.IsVariable() &&
+          std::find(existentials.begin(), existentials.end(), h) !=
+              existentials.end();
+      if (is_existential) {
+        // Condition (ii) of compatibility: an invented-null position
+        // can only stand for an unconstrained placeholder.
+        if (!IsPlaceholder(g)) return false;
+      }
+      if (h.IsConstant()) {
+        if (IsPlaceholder(g)) {
+          ph_binding[g.null_id()] = h;
+        } else if (g != h) {
+          return false;
+        }
+        continue;
+      }
+      // Head variable (frontier or existential).
+      auto it = var_binding.find(h.symbol());
+      if (it == var_binding.end()) {
+        var_binding.emplace(h.symbol(), g);
+        continue;
+      }
+      Term prev = resolve_ph(it->second);
+      if (prev == g) continue;
+      if (IsPlaceholder(prev) && !IsPlaceholder(g)) {
+        ph_binding[prev.null_id()] = g;
+      } else if (IsPlaceholder(g)) {
+        ph_binding[g.null_id()] = prev;
+      } else {
+        return false;  // two distinct constants
+      }
+    }
+    // Re-check the existential condition after all equations.
+    for (size_t i = 0; i < head.args.size(); ++i) {
+      Term h = head.args[i];
+      if (!h.IsVariable()) continue;
+      bool is_existential =
+          std::find(existentials.begin(), existentials.end(), h) !=
+          existentials.end();
+      if (!is_existential) continue;
+      auto it = var_binding.find(h.symbol());
+      if (it != var_binding.end() && !IsPlaceholder(resolve_ph(it->second))) {
+        return false;
+      }
+    }
+    // Build subgoals: body atoms under the substitution; body-only
+    // variables become fresh placeholders.
+    std::vector<Atom> next;
+    next.reserve(rule.body.size() + rest.size());
+    std::unordered_map<uint32_t, Term> body_vars;
+    for (const Atom& b : rule.body) {
+      Atom sub = b;
+      for (Term& t : sub.args) {
+        if (!t.IsVariable()) continue;
+        auto it = var_binding.find(t.symbol());
+        if (it != var_binding.end()) {
+          t = resolve_ph(it->second);
+          continue;
+        }
+        auto [bit, inserted] =
+            body_vars.emplace(t.symbol(), FreshPlaceholder());
+        t = bit->second;
+      }
+      next.push_back(std::move(sub));
+    }
+    for (const Atom& a : rest) next.push_back(Substitute(a, ph_binding));
+    return ProveAll(std::move(next), depth + 1, limited);
+  }
+
+  const Program& program_;
+  const Instance& db_;
+  const BackwardOptions& options_;
+  BackwardStats* stats_;
+  uint32_t next_placeholder_;
+  std::unordered_set<datalog::PredicateId> idb_;
+  std::unordered_set<std::string> proved_;
+  std::unordered_set<std::string> failed_;
+  std::vector<std::string> stack_;
+};
+
+}  // namespace
+
+Result<bool> BackwardProve(const datalog::Program& program,
+                           const Instance& database,
+                           const datalog::Atom& goal,
+                           const BackwardOptions& options,
+                           BackwardStats* stats) {
+  return Prover(program, database, options, stats).Prove(goal);
+}
+
+}  // namespace triq::chase

@@ -1,0 +1,47 @@
+#ifndef TRIQ_CHASE_BACKWARD_H_
+#define TRIQ_CHASE_BACKWARD_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+#include "chase/instance.h"
+#include "datalog/program.h"
+
+namespace triq::chase {
+
+/// Options for the goal-directed prover.
+struct BackwardOptions {
+  /// Maximum resolution depth before a branch is abandoned.
+  size_t max_depth = 256;
+  /// Safety cap on total resolution steps.
+  size_t max_steps = 5'000'000;
+};
+
+struct BackwardStats {
+  size_t resolution_steps = 0;
+  size_t memo_hits = 0;
+  bool depth_limited = false;
+};
+
+/// Decides whether the ground atom p(t) (constants only) is in Π(D) by
+/// *backward* resolution, in the spirit of the ProofTree machinery of
+/// Section 6.3: goals are resolved against database facts and rule
+/// heads; positions holding existentially quantified variables may only
+/// unify with unconstrained placeholders (condition (ii) of rule/atom
+/// compatibility, Definition 6.11), and in-progress goals are memoized
+/// so cyclic resolutions fail finitely.
+///
+/// Requirements: Π must be a Datalog∃ program (no negation, no
+/// constraints — pass ex(Π)+ otherwise). Sound in general; complete on
+/// programs whose restricted chase terminates (all programs used in the
+/// paper); `BackwardStats::depth_limited` reports when a negative
+/// answer hit the depth cap and is therefore not authoritative.
+Result<bool> BackwardProve(const datalog::Program& program,
+                           const Instance& database,
+                           const datalog::Atom& goal,
+                           const BackwardOptions& options = {},
+                           BackwardStats* stats = nullptr);
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_BACKWARD_H_

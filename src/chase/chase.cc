@@ -1,0 +1,235 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+namespace triq::chase {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Stratification;
+
+/// Key identifying one rule firing (rule index + full body image), used
+/// to avoid refiring existential rules in oblivious mode.
+struct TriggerKey {
+  size_t rule_index;
+  Tuple image;
+
+  friend bool operator==(const TriggerKey& a, const TriggerKey& b) {
+    return a.rule_index == b.rule_index && a.image == b.image;
+  }
+};
+
+struct TriggerKeyHash {
+  size_t operator()(const TriggerKey& k) const {
+    size_t h = TupleHash()(k.image);
+    return h ^ (k.rule_index * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+class ChaseRun {
+ public:
+  ChaseRun(const Program& program, Instance* instance,
+           const ChaseOptions& options, ChaseStats* stats)
+      : program_(program),
+        instance_(instance),
+        options_(options),
+        stats_(stats) {}
+
+  Status Run() {
+    TRIQ_ASSIGN_OR_RETURN(Stratification strat,
+                          datalog::Stratify(program_.WithoutConstraints()));
+    for (int s = 0; s < strat.num_strata; ++s) {
+      std::vector<size_t> rule_indices = strat.RulesInStratum(program_, s);
+      if (rule_indices.empty()) continue;
+      TRIQ_RETURN_IF_ERROR(SaturateStratum(rule_indices));
+    }
+    return CheckConstraints();
+  }
+
+ private:
+  Status SaturateStratum(const std::vector<size_t>& rule_indices) {
+    // Round 0: full evaluation of every rule.
+    std::unordered_map<PredicateId, size_t> prev_start = Snapshot();
+    size_t before = instance_->TotalFacts();
+    for (size_t r : rule_indices) {
+      TRIQ_RETURN_IF_ERROR(ApplyRule(r, MatchOptions{}));
+    }
+    if (stats_ != nullptr) ++stats_->rounds;
+    bool changed = instance_->TotalFacts() != before;
+
+    while (changed) {
+      std::unordered_map<PredicateId, size_t> cur_start = Snapshot();
+      size_t round_before = instance_->TotalFacts();
+      for (size_t r : rule_indices) {
+        const Rule& rule = program_.rules()[r];
+        if (options_.seminaive) {
+          // One pass per positive body atom whose predicate gained facts
+          // in the previous round, restricted to those delta facts.
+          for (size_t b = 0; b < rule.body.size(); ++b) {
+            const Atom& atom = rule.body[b];
+            if (atom.negated) continue;
+            size_t begin = ValueOr(prev_start, atom.predicate, 0);
+            size_t end = ValueOr(cur_start, atom.predicate, 0);
+            if (begin >= end) continue;  // no new facts for this atom
+            MatchOptions mo;
+            mo.delta_body_index = static_cast<int>(b);
+            mo.delta_begin = begin;
+            TRIQ_RETURN_IF_ERROR(ApplyRule(r, mo));
+          }
+        } else {
+          TRIQ_RETURN_IF_ERROR(ApplyRule(r, MatchOptions{}));
+        }
+      }
+      if (stats_ != nullptr) ++stats_->rounds;
+      changed = instance_->TotalFacts() != round_before;
+      prev_start = std::move(cur_start);
+    }
+    return Status::OK();
+  }
+
+  std::unordered_map<PredicateId, size_t> Snapshot() const {
+    std::unordered_map<PredicateId, size_t> out;
+    for (const auto& [pred, rel] : instance_->relations()) {
+      out[pred] = rel.size();
+    }
+    return out;
+  }
+
+  static size_t ValueOr(const std::unordered_map<PredicateId, size_t>& map,
+                        PredicateId key, size_t fallback) {
+    auto it = map.find(key);
+    return it == map.end() ? fallback : it->second;
+  }
+
+  Status ApplyRule(size_t rule_index, const MatchOptions& match_options) {
+    const Rule& rule = program_.rules()[rule_index];
+    if (rule.IsConstraint()) return Status::OK();
+    std::vector<Term> existentials = rule.ExistentialVariables();
+
+    // Materialize the matches before firing: a rule may write into a
+    // relation its own body reads (e.g. the triple -> triple rules of
+    // Section 2), and inserting during the index scan would invalidate
+    // the matcher's posting-list iteration.
+    struct PendingMatch {
+      Binding binding;
+      std::vector<FactRef> facts;
+    };
+    std::vector<PendingMatch> pending;
+    MatchOptions effective = match_options;
+    effective.greedy_atom_order = options_.greedy_atom_order;
+    MatchBody(rule, *instance_, effective, [&](const Match& match) {
+      pending.push_back({*match.binding, *match.positive_facts});
+      return true;
+    });
+
+    for (const PendingMatch& match : pending) {
+      TRIQ_RETURN_IF_ERROR(
+          Fire(rule_index, rule, existentials, match.binding, match.facts));
+    }
+    return Status::OK();
+  }
+
+  Status Fire(size_t rule_index, const Rule& rule,
+              const std::vector<Term>& existentials, const Binding& binding,
+              const std::vector<FactRef>& positive_facts) {
+    if (stats_ != nullptr) ++stats_->rule_firings;
+
+    Binding head_binding = binding;
+    if (!existentials.empty()) {
+      if (options_.mode == ChaseOptions::Mode::kOblivious) {
+        if (!RecordTrigger(rule_index, rule, binding)) {
+          return Status::OK();  // already fired for this homomorphism
+        }
+      } else {
+        // Restricted chase: skip if some extension of the frontier
+        // already satisfies the whole head.
+        Binding frontier;
+        for (Term v : rule.FrontierVariables()) {
+          frontier.Bind(v, binding.Lookup(v));
+        }
+        if (HasMatch(rule.head, *instance_, frontier)) return Status::OK();
+      }
+      // Null-depth cap: a fresh null is one level deeper than the
+      // deepest null among the matched body terms.
+      uint32_t depth = 0;
+      for (const auto& [var, val] : binding.entries()) {
+        if (val.IsNull()) {
+          depth = std::max(depth, instance_->NullDepth(val));
+        }
+      }
+      if (depth + 1 > options_.max_null_depth) {
+        if (stats_ != nullptr) stats_->truncated = true;
+        return Status::OK();
+      }
+      for (Term v : existentials) {
+        head_binding.Bind(v, instance_->AllocateNull(depth + 1));
+        if (stats_ != nullptr) ++stats_->nulls_created;
+      }
+    }
+
+    for (const Atom& head : rule.head) {
+      Tuple tuple;
+      tuple.reserve(head.args.size());
+      for (Term t : head.args) tuple.push_back(head_binding.Apply(t));
+      FactRef ref;
+      if (instance_->AddFact(head.predicate, tuple, &ref)) {
+        if (stats_ != nullptr) ++stats_->facts_derived;
+        if (options_.track_provenance) {
+          instance_->RecordDerivation(
+              ref, Derivation{rule_index, positive_facts});
+        }
+      }
+    }
+    if (instance_->TotalFacts() > options_.max_facts) {
+      return Status::ResourceExhausted(
+          "chase exceeded max_facts = " + std::to_string(options_.max_facts));
+    }
+    return Status::OK();
+  }
+
+  bool RecordTrigger(size_t rule_index, const Rule& rule,
+                     const Binding& binding) {
+    TriggerKey key;
+    key.rule_index = rule_index;
+    std::vector<Term> body_vars = rule.BodyVariables();
+    key.image.reserve(body_vars.size());
+    for (Term v : body_vars) key.image.push_back(binding.Lookup(v));
+    return fired_.insert(std::move(key)).second;
+  }
+
+  Status CheckConstraints() {
+    for (const Rule& rule : program_.rules()) {
+      if (!rule.IsConstraint()) continue;
+      bool violated = false;
+      MatchBody(rule, *instance_, MatchOptions{}, [&](const Match&) {
+        violated = true;
+        return false;
+      });
+      if (violated) {
+        return Status::Inconsistent(
+            "constraint violated: " + RuleToString(rule, program_.dict()));
+      }
+    }
+    return Status::OK();
+  }
+
+  const Program& program_;
+  Instance* instance_;
+  const ChaseOptions& options_;
+  ChaseStats* stats_;
+  std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
+};
+
+}  // namespace
+
+Status RunChase(const datalog::Program& program, Instance* instance,
+                const ChaseOptions& options, ChaseStats* stats) {
+  return ChaseRun(program, instance, options, stats).Run();
+}
+
+}  // namespace triq::chase

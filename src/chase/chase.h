@@ -1,0 +1,68 @@
+#ifndef TRIQ_CHASE_CHASE_H_
+#define TRIQ_CHASE_CHASE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "chase/instance.h"
+#include "chase/match.h"
+#include "datalog/program.h"
+#include "datalog/stratify.h"
+
+namespace triq::chase {
+
+/// Chase configuration.
+struct ChaseOptions {
+  /// How existential rules fire (Section 3.2 semantics):
+  ///  * kRestricted — the standard chase: an ∃-rule fires only if no
+  ///    extension of the frontier already satisfies the head in the
+  ///    current instance. Terminates on all programs used in the paper
+  ///    and computes the same certain answers on Π(D)↓.
+  ///  * kOblivious — fires once per homomorphism regardless; matches the
+  ///    paper's definition literally but diverges on cyclic ∃-rules
+  ///    (bounded below by the depth cap).
+  enum class Mode { kRestricted, kOblivious };
+  Mode mode = Mode::kRestricted;
+
+  /// Semi-naive (delta-driven) evaluation; disable for the naive
+  /// fixpoint used as an ablation baseline (bench E13).
+  bool seminaive = true;
+
+  /// Record rule/body-fact provenance for proof-tree extraction (Fig 1).
+  bool track_provenance = false;
+
+  /// Greedy most-bound-first join ordering inside rule bodies; disable
+  /// for the ablation baseline (bench E13).
+  bool greedy_atom_order = true;
+
+  /// Safety caps. Exceeding max_facts aborts with ResourceExhausted;
+  /// exceeding max_null_depth stops deriving deeper nulls and marks
+  /// `ChaseStats::truncated` (the ground semantics of terminating
+  /// programs is never truncated).
+  size_t max_facts = 50'000'000;
+  uint32_t max_null_depth = 128;
+};
+
+struct ChaseStats {
+  size_t rounds = 0;
+  size_t rule_firings = 0;
+  size_t facts_derived = 0;
+  size_t nulls_created = 0;
+  bool truncated = false;
+};
+
+/// Runs the stratified chase of Section 3.2: computes S_0,...,S_ℓ by
+/// saturating each stratum of ex(Π) in order, then checks the
+/// constraints of Π against S_ℓ. On constraint violation returns
+/// StatusCode::kInconsistent (the paper's ⊤ answer).
+///
+/// `instance` is chased in place (it plays the role of the database D
+/// and ends as Π(D), up to the caps above).
+Status RunChase(const datalog::Program& program, Instance* instance,
+                const ChaseOptions& options = {},
+                ChaseStats* stats = nullptr);
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_CHASE_H_

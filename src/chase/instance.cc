@@ -1,0 +1,131 @@
+#include "chase/instance.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace triq::chase {
+
+bool Instance::AddFact(PredicateId predicate, const Tuple& tuple,
+                       FactRef* ref_out) {
+  Relation& rel = GetOrCreate(predicate, static_cast<uint32_t>(tuple.size()));
+  uint32_t idx = 0;
+  bool inserted = rel.Insert(tuple, &idx);
+  if (ref_out != nullptr) *ref_out = FactRef{predicate, idx};
+  return inserted;
+}
+
+bool Instance::AddFact(std::string_view predicate,
+                       const std::vector<std::string>& constants) {
+  Tuple tuple;
+  tuple.reserve(constants.size());
+  for (const std::string& c : constants) {
+    tuple.push_back(Term::Constant(dict_->Intern(c)));
+  }
+  return AddFact(dict_->Intern(predicate), tuple);
+}
+
+const Relation* Instance::Find(PredicateId predicate) const {
+  auto it = relations_.find(predicate);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation& Instance::GetOrCreate(PredicateId predicate, uint32_t arity) {
+  auto it = relations_.find(predicate);
+  if (it != relations_.end()) return it->second;
+  return relations_.emplace(predicate, Relation(arity)).first->second;
+}
+
+bool Instance::Contains(PredicateId predicate, const Tuple& tuple) const {
+  const Relation* rel = Find(predicate);
+  return rel != nullptr && rel->Contains(tuple);
+}
+
+size_t Instance::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& [pred, rel] : relations_) total += rel.size();
+  return total;
+}
+
+std::vector<datalog::Atom> Instance::AllFacts() const {
+  std::vector<datalog::Atom> out;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) {
+      out.push_back(datalog::Atom{pred, t, false});
+    }
+  }
+  return out;
+}
+
+std::vector<datalog::Atom> Instance::GroundFacts() const {
+  std::vector<datalog::Atom> out;
+  for (const auto& [pred, rel] : relations_) {
+    for (const Tuple& t : rel.tuples()) {
+      bool ground = std::all_of(t.begin(), t.end(),
+                                [](Term x) { return x.IsConstant(); });
+      if (ground) out.push_back(datalog::Atom{pred, t, false});
+    }
+  }
+  return out;
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> lines;
+  for (const datalog::Atom& fact : AllFacts()) {
+    lines.push_back(datalog::AtomToString(fact, *dict_));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line << '\n';
+  return out.str();
+}
+
+void Instance::RecordDerivation(FactRef fact, Derivation derivation) {
+  derivations_.emplace(fact, std::move(derivation));
+}
+
+const Derivation* Instance::FindDerivation(FactRef fact) const {
+  auto it = derivations_.find(fact);
+  return it == derivations_.end() ? nullptr : &it->second;
+}
+
+Term Instance::AllocateNull(uint32_t depth) {
+  uint32_t id = next_null_id_++;
+  null_depths_.push_back(depth);
+  return Term::Null(id);
+}
+
+uint32_t Instance::NullDepth(Term null) const {
+  return null_depths_[null.null_id()];
+}
+
+Result<rdf::Graph> Instance::ToGraph(std::string_view predicate) const {
+  rdf::Graph out(dict_);
+  const Relation* rel = Find(dict_->Lookup(predicate));
+  if (rel == nullptr) return out;  // empty predicate: empty graph
+  if (rel->arity() != 3) {
+    return Status::InvalidArgument(
+        "only ternary predicates can be exported as RDF graphs");
+  }
+  auto to_symbol = [&](Term t) -> SymbolId {
+    if (t.IsConstant()) return t.symbol();
+    return dict_->Intern("_:n" + std::to_string(t.null_id()));
+  };
+  for (const Tuple& t : rel->tuples()) {
+    out.Add(to_symbol(t[0]), to_symbol(t[1]), to_symbol(t[2]));
+  }
+  return out;
+}
+
+Instance Instance::FromGraph(const rdf::Graph& graph,
+                             std::string_view predicate) {
+  Instance instance(graph.dict_ptr());
+  PredicateId pred = instance.dict().Intern(predicate);
+  for (const rdf::Triple& t : graph.triples()) {
+    instance.AddFact(pred, Tuple{Term::Constant(t.subject),
+                                 Term::Constant(t.predicate),
+                                 Term::Constant(t.object)});
+  }
+  return instance;
+}
+
+}  // namespace triq::chase

@@ -1,0 +1,117 @@
+#ifndef TRIQ_CHASE_INSTANCE_H_
+#define TRIQ_CHASE_INSTANCE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/result.h"
+#include "datalog/atom.h"
+#include "chase/relation.h"
+#include "rdf/graph.h"
+
+namespace triq::chase {
+
+using datalog::PredicateId;
+
+/// Reference to a stored fact: (predicate, index into its relation).
+struct FactRef {
+  PredicateId predicate = kInvalidSymbol;
+  uint32_t tuple_index = 0;
+
+  friend bool operator==(FactRef a, FactRef b) {
+    return a.predicate == b.predicate && a.tuple_index == b.tuple_index;
+  }
+};
+
+struct FactRefHash {
+  size_t operator()(FactRef f) const {
+    uint64_t h = (static_cast<uint64_t>(f.predicate) << 32) | f.tuple_index;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+/// How a fact entered the instance, for proof-tree extraction (Fig. 1):
+/// the rule that fired and the body facts matched by the homomorphism.
+/// Database facts have no derivation.
+struct Derivation {
+  size_t rule_index = 0;
+  std::vector<FactRef> body_facts;
+};
+
+/// A (finite prefix of a possibly infinite) instance: one Relation per
+/// predicate, over a shared Dictionary. This is the paper's notion of an
+/// instance over U ∪ B — tuples mix constants and labeled nulls.
+class Instance {
+ public:
+  explicit Instance(std::shared_ptr<Dictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+
+  /// Adds a fact; creates the relation on first use. Returns true if new.
+  bool AddFact(PredicateId predicate, const Tuple& tuple,
+               FactRef* ref_out = nullptr);
+
+  /// Convenience for tests: `AddFact("edge", {"a", "b"})` with strings
+  /// interned as constants.
+  bool AddFact(std::string_view predicate,
+               const std::vector<std::string>& constants);
+
+  const Relation* Find(PredicateId predicate) const;
+  Relation& GetOrCreate(PredicateId predicate, uint32_t arity);
+
+  bool Contains(PredicateId predicate, const Tuple& tuple) const;
+
+  size_t TotalFacts() const;
+  const std::unordered_map<PredicateId, Relation>& relations() const {
+    return relations_;
+  }
+
+  /// All facts, as ground atoms (diagnostics / small tests only).
+  std::vector<datalog::Atom> AllFacts() const;
+
+  /// Π(D)↓: the facts whose terms are all constants (Section 6.3).
+  std::vector<datalog::Atom> GroundFacts() const;
+
+  /// Renders facts sorted lexicographically (goldens in tests).
+  std::string ToString() const;
+
+  /// Provenance (populated by the chase when enabled).
+  void RecordDerivation(FactRef fact, Derivation derivation);
+  const Derivation* FindDerivation(FactRef fact) const;
+
+  /// Allocates a fresh labeled null at the given chase depth (depth of
+  /// the deepest null it was derived from, plus one; database constants
+  /// have depth 0). The chase uses depths as a termination safety cap.
+  Term AllocateNull(uint32_t depth);
+  uint32_t NullDepth(Term null) const;
+  uint32_t null_count() const { return next_null_id_; }
+
+  /// Loads an RDF graph as the paper's τ_db(G): one ternary
+  /// triple(s, p, o) fact per RDF triple (Section 5.1).
+  static Instance FromGraph(const rdf::Graph& graph,
+                            std::string_view predicate = "triple");
+
+  /// The converse: exports a ternary predicate as an RDF graph — the
+  /// Section 2 idiom of producing graphs as answers (rule (3)). Labeled
+  /// nulls become blank-node URIs `_:n<k>`. Fails if the predicate has
+  /// facts of arity != 3.
+  Result<rdf::Graph> ToGraph(std::string_view predicate = "triple") const;
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::unordered_map<PredicateId, Relation> relations_;
+  std::unordered_map<FactRef, Derivation, FactRefHash> derivations_;
+  uint32_t next_null_id_ = 0;
+  std::vector<uint32_t> null_depths_;
+};
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_INSTANCE_H_

@@ -1,0 +1,199 @@
+#include "chase/match.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace triq::chase {
+
+namespace {
+
+using datalog::Atom;
+using datalog::Rule;
+
+/// Backtracking index-nested-loop join over the positive body, with
+/// negated atoms checked once their variables are bound (rule safety
+/// guarantees this happens after all positive atoms).
+class Matcher {
+ public:
+  Matcher(const Rule& rule, const Instance& instance,
+          const MatchOptions& options,
+          const std::function<bool(const Match&)>& fn)
+      : rule_(rule), instance_(instance), options_(options), fn_(fn) {
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      if (rule.body[i].negated) {
+        negative_.push_back(&rule.body[i]);
+      } else {
+        positive_.push_back(static_cast<int>(i));
+      }
+    }
+    facts_.resize(positive_.size());
+    used_.assign(positive_.size(), false);
+    if (options.seed != nullptr) binding_ = *options.seed;
+  }
+
+  void Run() { Recurse(0); }
+
+ private:
+  // Returns false to propagate early termination.
+  bool Recurse(size_t depth) {
+    if (depth == positive_.size()) return EmitIfNegativesHold();
+    int slot = PickNextAtom();
+    used_[slot] = true;
+    bool keep_going = EnumerateCandidates(slot, depth);
+    used_[slot] = false;
+    return keep_going;
+  }
+
+  // Greedy heuristic: prefer the delta atom first (it usually has the
+  // smallest extension), then the unprocessed atom with the most bound
+  // arguments, tie-broken by smaller relation.
+  int PickNextAtom() {
+    if (!options_.greedy_atom_order) {
+      for (size_t i = 0; i < positive_.size(); ++i) {
+        if (!used_[i] && positive_[i] == options_.delta_body_index) {
+          return static_cast<int>(i);
+        }
+      }
+      for (size_t i = 0; i < positive_.size(); ++i) {
+        if (!used_[i]) return static_cast<int>(i);
+      }
+    }
+    int best = -1;
+    size_t best_bound = 0;
+    size_t best_size = std::numeric_limits<size_t>::max();
+    for (size_t i = 0; i < positive_.size(); ++i) {
+      if (used_[i]) continue;
+      const Atom& atom = rule_.body[positive_[i]];
+      if (positive_[i] == options_.delta_body_index) return static_cast<int>(i);
+      size_t bound = 0;
+      for (Term t : atom.args) {
+        if (!t.IsVariable() || binding_.IsBound(t)) ++bound;
+      }
+      const Relation* rel = instance_.Find(atom.predicate);
+      size_t size = rel == nullptr ? 0 : rel->size();
+      if (best == -1 || bound > best_bound ||
+          (bound == best_bound && size < best_size)) {
+        best = static_cast<int>(i);
+        best_bound = bound;
+        best_size = size;
+      }
+    }
+    return best;
+  }
+
+  bool EnumerateCandidates(int slot, size_t depth) {
+    const Atom& atom = rule_.body[positive_[slot]];
+    const Relation* rel = instance_.Find(atom.predicate);
+    if (rel == nullptr || rel->arity() != atom.args.size()) return true;
+
+    bool is_delta = positive_[slot] == options_.delta_body_index;
+    size_t min_index = is_delta ? options_.delta_begin : 0;
+
+    // Pick the bound position with the shortest posting list.
+    const std::vector<uint32_t>* postings = nullptr;
+    bool empty = false;
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      Term val = binding_.Apply(atom.args[pos]);
+      if (val.IsVariable()) continue;
+      const std::vector<uint32_t>* p = rel->Postings(pos, val);
+      if (p == nullptr) {
+        empty = true;
+        break;
+      }
+      if (postings == nullptr || p->size() < postings->size()) postings = p;
+    }
+    if (empty) return true;
+
+    auto try_tuple = [&](uint32_t idx) -> bool {
+      if (idx < min_index) return true;
+      const Tuple& tuple = rel->tuple(idx);
+      size_t mark = binding_.size();
+      bool unified = true;
+      for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+        Term pattern = binding_.Apply(atom.args[pos]);
+        if (pattern.IsVariable()) {
+          binding_.Bind(pattern, tuple[pos]);
+        } else if (pattern != tuple[pos]) {
+          unified = false;
+          break;
+        }
+      }
+      bool keep_going = true;
+      if (unified) {
+        facts_[depth] = {positive_[slot], FactRef{atom.predicate, idx}};
+        keep_going = Recurse(depth + 1);
+      }
+      binding_.PopTo(mark);
+      return keep_going;
+    };
+
+    if (postings != nullptr) {
+      for (uint32_t idx : *postings) {
+        if (!try_tuple(idx)) return false;
+      }
+    } else {
+      for (uint32_t idx = static_cast<uint32_t>(min_index); idx < rel->size();
+           ++idx) {
+        if (!try_tuple(idx)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool EmitIfNegativesHold() {
+    for (const Atom* atom : negative_) {
+      Tuple tuple;
+      tuple.reserve(atom->args.size());
+      for (Term t : atom->args) {
+        Term v = binding_.Apply(t);
+        if (v.IsVariable()) return true;  // unbound: treat as no match
+        tuple.push_back(v);
+      }
+      if (instance_.Contains(atom->predicate, tuple)) return true;
+    }
+    // Assemble positive fact refs in body order.
+    std::vector<FactRef> refs(positive_.size());
+    std::vector<std::pair<int, FactRef>> sorted(facts_);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (size_t i = 0; i < sorted.size(); ++i) refs[i] = sorted[i].second;
+    Match match{&binding_, &refs};
+    return fn_(match);
+  }
+
+  const Rule& rule_;
+  const Instance& instance_;
+  const MatchOptions& options_;
+  const std::function<bool(const Match&)>& fn_;
+
+  std::vector<int> positive_;            // body indices of positive atoms
+  std::vector<const Atom*> negative_;
+  std::vector<bool> used_;
+  std::vector<std::pair<int, FactRef>> facts_;  // (body idx, matched fact)
+  Binding binding_;
+};
+
+}  // namespace
+
+void MatchBody(const datalog::Rule& rule, const Instance& instance,
+               const MatchOptions& options,
+               const std::function<bool(const Match&)>& fn) {
+  Matcher(rule, instance, options, fn).Run();
+}
+
+bool HasMatch(const std::vector<datalog::Atom>& atoms,
+              const Instance& instance, const Binding& seed) {
+  Rule probe;
+  probe.body = atoms;
+  for (Atom& a : probe.body) a.negated = false;
+  MatchOptions options;
+  options.seed = &seed;
+  bool found = false;
+  MatchBody(probe, instance, options, [&](const Match&) {
+    found = true;
+    return false;  // stop at first witness
+  });
+  return found;
+}
+
+}  // namespace triq::chase

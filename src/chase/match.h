@@ -1,0 +1,81 @@
+#ifndef TRIQ_CHASE_MATCH_H_
+#define TRIQ_CHASE_MATCH_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "chase/instance.h"
+#include "datalog/rule.h"
+
+namespace triq::chase {
+
+/// A partial substitution V → U ∪ B. Small rules dominate, so a flat
+/// vector with linear lookup beats a hash map here.
+class Binding {
+ public:
+  Term Lookup(Term variable) const {
+    for (const auto& [var, val] : entries_) {
+      if (var == variable) return val;
+    }
+    return Term();  // "unbound" sentinel: default Term (constant id 0)
+  }
+  bool IsBound(Term variable) const {
+    return Lookup(variable) != Term();
+  }
+  void Bind(Term variable, Term value) { entries_.emplace_back(variable, value); }
+  void PopTo(size_t size) { entries_.resize(size); }
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::pair<Term, Term>>& entries() const {
+    return entries_;
+  }
+
+  /// Applies the binding to a term: bound variables are replaced,
+  /// everything else passes through.
+  Term Apply(Term t) const {
+    if (!t.IsVariable()) return t;
+    Term v = Lookup(t);
+    return v == Term() ? t : v;
+  }
+
+ private:
+  std::vector<std::pair<Term, Term>> entries_;
+};
+
+/// Result of a successful body match: the homomorphism and, for each
+/// positive body atom (in body order), the matched stored fact.
+struct Match {
+  const Binding* binding;
+  const std::vector<FactRef>* positive_facts;
+};
+
+/// Options for a body-matching pass.
+struct MatchOptions {
+  /// If >= 0, the positive body atom at this body index must match a
+  /// fact with tuple index >= delta_begin (semi-naive delta constraint).
+  int delta_body_index = -1;
+  size_t delta_begin = 0;
+  /// Pre-seeded bindings (used for head-satisfaction checks where the
+  /// frontier is already fixed).
+  const Binding* seed = nullptr;
+  /// Greedy most-bound-first atom ordering; disable for the ablation
+  /// baseline that joins atoms in written order (bench E13).
+  bool greedy_atom_order = true;
+};
+
+/// Enumerates all homomorphisms h with h(body+) ⊆ instance and
+/// h(body−) ∩ instance = ∅, invoking `fn` per match. `fn` returning
+/// false stops the enumeration. Atoms are joined index-nested-loop style
+/// with a greedy most-bound-first order.
+void MatchBody(const datalog::Rule& rule, const Instance& instance,
+               const MatchOptions& options,
+               const std::function<bool(const Match&)>& fn);
+
+/// Convenience: true iff the conjunction of (positive) `atoms` has at
+/// least one homomorphism into `instance` extending `seed`.
+bool HasMatch(const std::vector<datalog::Atom>& atoms,
+              const Instance& instance, const Binding& seed);
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_MATCH_H_

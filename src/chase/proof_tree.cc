@@ -1,0 +1,82 @@
+#include "chase/proof_tree.h"
+
+#include <sstream>
+
+namespace triq::chase {
+
+namespace {
+
+std::unique_ptr<ProofTreeNode> Build(const Instance& instance, FactRef ref) {
+  auto node = std::make_unique<ProofTreeNode>();
+  const Relation* rel = instance.Find(ref.predicate);
+  node->fact = datalog::Atom{ref.predicate, rel->tuple(ref.tuple_index),
+                             false};
+  const Derivation* derivation = instance.FindDerivation(ref);
+  if (derivation == nullptr) return node;  // database fact: leaf
+  node->rule_index = static_cast<int>(derivation->rule_index);
+  for (FactRef body_ref : derivation->body_facts) {
+    node->children.push_back(Build(instance, body_ref));
+  }
+  return node;
+}
+
+void Render(const ProofTreeNode& node, const Dictionary& dict, size_t indent,
+            std::ostringstream* out) {
+  for (size_t i = 0; i < indent; ++i) *out << "  ";
+  *out << datalog::AtomToString(node.fact, dict);
+  if (node.rule_index < 0) {
+    *out << "  [db]";
+  } else {
+    *out << "  [rule " << node.rule_index << "]";
+  }
+  *out << '\n';
+  for (const auto& child : node.children) {
+    Render(*child, dict, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ProofTreeNode>> ExtractProofTree(
+    const Instance& instance, FactRef fact) {
+  const Relation* rel = instance.Find(fact.predicate);
+  if (rel == nullptr || fact.tuple_index >= rel->size()) {
+    return Status::NotFound("fact reference is not in the instance");
+  }
+  return Build(instance, fact);
+}
+
+Result<std::unique_ptr<ProofTreeNode>> ExtractProofTree(
+    const Instance& instance, const datalog::Atom& fact) {
+  const Relation* rel = instance.Find(fact.predicate);
+  if (rel == nullptr) return Status::NotFound("predicate has no facts");
+  for (uint32_t i = 0; i < rel->size(); ++i) {
+    if (rel->tuple(i) == fact.args) {
+      return Build(instance, FactRef{fact.predicate, i});
+    }
+  }
+  return Status::NotFound("fact is not in the instance");
+}
+
+size_t ProofTreeSize(const ProofTreeNode& root) {
+  size_t n = 1;
+  for (const auto& child : root.children) n += ProofTreeSize(*child);
+  return n;
+}
+
+size_t ProofTreeDepth(const ProofTreeNode& root) {
+  size_t depth = 0;
+  for (const auto& child : root.children) {
+    depth = std::max(depth, ProofTreeDepth(*child));
+  }
+  return depth + 1;
+}
+
+std::string ProofTreeToString(const ProofTreeNode& root,
+                              const Dictionary& dict) {
+  std::ostringstream out;
+  Render(root, dict, 0, &out);
+  return out.str();
+}
+
+}  // namespace triq::chase

@@ -1,0 +1,47 @@
+#ifndef TRIQ_CHASE_PROOF_TREE_H_
+#define TRIQ_CHASE_PROOF_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "chase/instance.h"
+
+namespace triq::chase {
+
+/// A proof-tree of a fact w.r.t. a database and a program (Definition
+/// 6.11 / Figure 1): the root is the proven fact; an inner node is
+/// labeled by the rule that derived it; leaves are database facts. We
+/// extract proof-trees from chase provenance (run the chase with
+/// `track_provenance = true`).
+struct ProofTreeNode {
+  datalog::Atom fact;
+  /// Index of the deriving rule in the program, or -1 for database facts.
+  int rule_index = -1;
+  std::vector<std::unique_ptr<ProofTreeNode>> children;
+};
+
+/// Builds the proof tree rooted at `fact`. Fails with NotFound if the
+/// fact is not in the instance. Shared subproofs are unfolded into
+/// repeated subtrees, as in the paper's Figure 1(b).
+Result<std::unique_ptr<ProofTreeNode>> ExtractProofTree(
+    const Instance& instance, FactRef fact);
+
+/// Convenience overload: looks up the (ground) atom first.
+Result<std::unique_ptr<ProofTreeNode>> ExtractProofTree(
+    const Instance& instance, const datalog::Atom& fact);
+
+size_t ProofTreeSize(const ProofTreeNode& root);
+size_t ProofTreeDepth(const ProofTreeNode& root);
+
+/// Indented textual rendering, one node per line:
+///   p(a,a)  [rule 4]
+///     q(a,a)  [rule 1]
+///       s(a,a,a)  [db]
+std::string ProofTreeToString(const ProofTreeNode& root,
+                              const Dictionary& dict);
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_PROOF_TREE_H_

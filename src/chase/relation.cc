@@ -1,0 +1,31 @@
+#include "chase/relation.h"
+
+#include <cassert>
+
+namespace triq::chase {
+
+bool Relation::Insert(const Tuple& t, uint32_t* index_out) {
+  assert(t.size() == arity_);
+  auto [it, inserted] =
+      index_of_.emplace(t, static_cast<uint32_t>(tuples_.size()));
+  if (!inserted) {
+    if (index_out != nullptr) *index_out = it->second;
+    return false;
+  }
+  uint32_t idx = it->second;
+  tuples_.push_back(t);
+  for (uint32_t pos = 0; pos < arity_; ++pos) {
+    indexes_[pos][t[pos]].push_back(idx);
+  }
+  if (index_out != nullptr) *index_out = idx;
+  return true;
+}
+
+const std::vector<uint32_t>* Relation::Postings(uint32_t position,
+                                                Term value) const {
+  assert(position < arity_);
+  auto it = indexes_[position].find(value);
+  return it == indexes_[position].end() ? nullptr : &it->second;
+}
+
+}  // namespace triq::chase

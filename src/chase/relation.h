@@ -1,0 +1,64 @@
+#ifndef TRIQ_CHASE_RELATION_H_
+#define TRIQ_CHASE_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "datalog/term.h"
+
+namespace triq::chase {
+
+using datalog::Term;
+using datalog::TermHash;
+
+/// A tuple of ground terms (constants and labeled nulls).
+using Tuple = std::vector<Term>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (Term x : t) {
+      h ^= x.raw();
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+/// The extension of one predicate: an append-only, duplicate-free vector
+/// of tuples with per-position hash indexes (value -> posting list of
+/// tuple indices). Append-only storage gives the chase cheap delta
+/// tracking for semi-naive evaluation: the facts added since a snapshot
+/// are exactly the suffix starting at the snapshot size.
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity), indexes_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts `t`; returns true (and the new index via `index_out`) if the
+  /// tuple is new, false if it was already present.
+  bool Insert(const Tuple& t, uint32_t* index_out = nullptr);
+
+  bool Contains(const Tuple& t) const { return index_of_.count(t) > 0; }
+
+  /// Posting list of tuple indices whose `position`-th term equals
+  /// `value`; nullptr when empty.
+  const std::vector<uint32_t>* Postings(uint32_t position, Term value) const;
+
+ private:
+  uint32_t arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_map<Tuple, uint32_t, TupleHash> index_of_;
+  // indexes_[pos]: value -> tuple indices.
+  std::vector<std::unordered_map<Term, std::vector<uint32_t>, TermHash>>
+      indexes_;
+};
+
+}  // namespace triq::chase
+
+#endif  // TRIQ_CHASE_RELATION_H_

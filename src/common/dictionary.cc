@@ -1,0 +1,30 @@
+#include "common/dictionary.h"
+
+#include <cassert>
+
+namespace triq {
+
+Dictionary::Dictionary() {
+  texts_.emplace_back();  // reserve id 0
+}
+
+SymbolId Dictionary::Intern(std::string_view text) {
+  auto it = ids_.find(std::string(text));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(texts_.size());
+  texts_.emplace_back(text);
+  ids_.emplace(texts_.back(), id);
+  return id;
+}
+
+SymbolId Dictionary::Lookup(std::string_view text) const {
+  auto it = ids_.find(std::string(text));
+  return it == ids_.end() ? kInvalidSymbol : it->second;
+}
+
+const std::string& Dictionary::Text(SymbolId id) const {
+  assert(id < texts_.size() && id != kInvalidSymbol);
+  return texts_[id];
+}
+
+}  // namespace triq

@@ -1,0 +1,49 @@
+#ifndef TRIQ_COMMON_DICTIONARY_H_
+#define TRIQ_COMMON_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace triq {
+
+/// Interned-string identifier. Id 0 is reserved and never handed out.
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kInvalidSymbol = 0;
+
+/// Bidirectional string interner shared by the RDF store, the Datalog
+/// engine and the SPARQL evaluator, so URIs/constants compare as integers.
+///
+/// Not thread-safe; each engine instance owns one Dictionary.
+class Dictionary {
+ public:
+  Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Interns `text`, returning its id (existing id if already present).
+  SymbolId Intern(std::string_view text);
+
+  /// Returns the id of `text` or kInvalidSymbol if never interned.
+  SymbolId Lookup(std::string_view text) const;
+
+  /// Returns the text for `id`. `id` must be a valid interned id.
+  const std::string& Text(SymbolId id) const;
+
+  /// Number of interned symbols (excluding the reserved id 0).
+  size_t size() const { return texts_.size() - 1; }
+
+ private:
+  std::vector<std::string> texts_;                       // id -> text
+  std::unordered_map<std::string, SymbolId> ids_;        // text -> id
+};
+
+}  // namespace triq
+
+#endif  // TRIQ_COMMON_DICTIONARY_H_

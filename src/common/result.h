@@ -1,0 +1,65 @@
+#ifndef TRIQ_COMMON_RESULT_H_
+#define TRIQ_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace triq {
+
+/// A value-or-Status holder, analogous to arrow::Result / absl::StatusOr.
+/// Invariant: exactly one of {value, error status} is present.
+template <typename T>
+class Result {
+ public:
+  /* implicit */ Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+  /* implicit */ Result(Status status)  // NOLINT
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "OK status requires a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define TRIQ_CONCAT_INNER_(a, b) a##b
+#define TRIQ_CONCAT_(a, b) TRIQ_CONCAT_INNER_(a, b)
+
+#define TRIQ_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+/// Assign the value of a Result expression or propagate its error.
+#define TRIQ_ASSIGN_OR_RETURN(lhs, expr) \
+  TRIQ_ASSIGN_OR_RETURN_IMPL_(TRIQ_CONCAT_(_result_tmp_, __COUNTER__), lhs, \
+                              expr)
+
+}  // namespace triq
+
+#endif  // TRIQ_COMMON_RESULT_H_

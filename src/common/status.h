@@ -1,0 +1,90 @@
+#ifndef TRIQ_COMMON_STATUS_H_
+#define TRIQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace triq {
+
+/// Error codes used across the library. The style follows the
+/// Status/Result convention used by large C++ database codebases
+/// (Arrow, RocksDB): no exceptions cross public API boundaries.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+  /// The database is inconsistent w.r.t. the program's constraints:
+  /// the paper's special answer symbol "⊤" (Section 3.2).
+  kInconsistent,
+};
+
+/// A cheap, copyable success-or-error value. `Status::OK()` is the
+/// success singleton; errors carry a code and a human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string name;
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kFailedPrecondition: name = "FailedPrecondition"; break;
+      case StatusCode::kResourceExhausted: name = "ResourceExhausted"; break;
+      case StatusCode::kUnimplemented: name = "Unimplemented"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+      case StatusCode::kInconsistent: name = "Inconsistent"; break;
+    }
+    return name + ": " + message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagate a non-OK status to the caller.
+#define TRIQ_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::triq::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace triq
+
+#endif  // TRIQ_COMMON_STATUS_H_

@@ -1,0 +1,166 @@
+#include "core/atm.h"
+
+#include <cassert>
+
+#include "datalog/parser.h"
+
+namespace triq::core {
+
+namespace {
+
+std::string StateName(int s) { return "st" + std::to_string(s); }
+std::string CellName(int i) { return "cell" + std::to_string(i); }
+std::string SymName(char c) { return std::string("sym_") + c; }
+std::string MoveName(Atm::Move m) {
+  return m == Atm::Move::kLeft ? "left" : "right";
+}
+
+}  // namespace
+
+chase::Instance EncodeAtm(const Atm& atm, const std::string& input,
+                          std::shared_ptr<Dictionary> dict) {
+  chase::Instance db(std::move(dict));
+  const int n = static_cast<int>(input.size());
+
+  db.AddFact("config", {"init"});
+  db.AddFact("state", {StateName(atm.initial_state), "init"});
+  db.AddFact("cursor", {CellName(0), "init"});
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("symbol", {CellName(i), SymName(input[i]), "init"});
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    db.AddFact("next_cell", {CellName(i), CellName(i + 1)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i != j) db.AddFact("neq", {CellName(i), CellName(j)});
+    }
+  }
+  for (int s = 0; s < atm.num_states; ++s) {
+    switch (atm.kinds[s]) {
+      case Atm::StateKind::kExistential:
+        db.AddFact("estate", {StateName(s)});
+        break;
+      case Atm::StateKind::kUniversal:
+        db.AddFact("ustate", {StateName(s)});
+        break;
+      case Atm::StateKind::kAccept:
+        db.AddFact("accepting", {StateName(s)});
+        break;
+      case Atm::StateKind::kReject:
+        break;
+    }
+  }
+  for (const Atm::Transition& t : atm.transitions) {
+    db.AddFact("trans",
+               {StateName(t.state), SymName(t.read), StateName(t.state1),
+                SymName(t.write1), MoveName(t.move1), StateName(t.state2),
+                SymName(t.write2), MoveName(t.move2)});
+  }
+  return db;
+}
+
+datalog::Program AtmProgram(std::shared_ptr<Dictionary> dict) {
+  // The fixed program of Theorem 6.15 — warded with minimal interaction,
+  // independent of the machine. The four move-combination rules spell
+  // out the "similar rules" the paper elides.
+  static constexpr std::string_view kText = R"(
+    % Configuration-tree generation.
+    config(?V) -> exists ?V1 ?V2
+        succ(?V, ?V1, ?V2), config(?V1), config(?V2),
+        follows(?V, ?V1), follows(?V, ?V2) .
+
+    % Auxiliary predicate keeping the transition rules minimally
+    % interacting (the paper's state-cursor-symbol).
+    state(?S, ?V), cursor(?C, ?V) -> state_cursor(?S, ?C, ?V) .
+    state_cursor(?S, ?C, ?V), symbol(?C, ?A, ?V) -> scs(?S, ?C, ?A, ?V) .
+
+    % Transitions, one rule per (branch, move) pair. Generating the two
+    % successor branches independently lets an in-bounds branch proceed
+    % when its sibling would fall off the tape (an existential machine
+    % may exploit exactly this).
+    trans(?S, ?A, ?S1, ?A1, left, ?S2, ?A2, ?M2),
+        succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V), next_cell(?C1, ?C) ->
+        state(?S1, ?V1), symbol(?C, ?A1, ?V1), cursor(?C1, ?V1) .
+    trans(?S, ?A, ?S1, ?A1, right, ?S2, ?A2, ?M2),
+        succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V), next_cell(?C, ?C2) ->
+        state(?S1, ?V1), symbol(?C, ?A1, ?V1), cursor(?C2, ?V1) .
+    trans(?S, ?A, ?S1, ?A1, ?M1, ?S2, ?A2, left),
+        succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V), next_cell(?C1, ?C) ->
+        state(?S2, ?V2), symbol(?C, ?A2, ?V2), cursor(?C1, ?V2) .
+    trans(?S, ?A, ?S1, ?A1, ?M1, ?S2, ?A2, right),
+        succ(?V, ?V1, ?V2), scs(?S, ?C, ?A, ?V), next_cell(?C, ?C2) ->
+        state(?S2, ?V2), symbol(?C, ?A2, ?V2), cursor(?C2, ?V2) .
+
+    % Cells away from the cursor keep their symbol in both successors.
+    trans(?S, ?A, ?S1, ?A1, ?M1, ?S2, ?A2, ?M2),
+        scs(?S, ?C, ?A, ?V), neq(?C, ?Cp), symbol(?Cp, ?Ap, ?V) ->
+        next_symbol(?Cp, ?Ap, ?V) .
+    follows(?V, ?Vp), next_symbol(?C, ?A, ?V) -> symbol(?C, ?A, ?Vp) .
+
+    % Acceptance, propagated bottom-up through the alternation.
+    state(?S, ?V), accepting(?S) -> accept(?V) .
+    follows(?V, ?Vp), state(?S, ?V) -> previous_state(?S, ?Vp) .
+    succ(?V, ?V1, ?V2), accept(?V2) -> sibling_accept(?V1) .
+    succ(?V, ?V1, ?V2), accept(?V1) -> sibling_accept(?V2) .
+    accept(?V), sibling_accept(?V) -> both_accept(?V) .
+    previous_state(?S, ?V), estate(?S), accept(?V) -> previous_accept(?V) .
+    previous_state(?S, ?V), ustate(?S), both_accept(?V) ->
+        previous_accept(?V) .
+    follows(?V, ?Vp), previous_accept(?Vp) -> accept(?V) .
+  )";
+  Result<datalog::Program> program =
+      datalog::ParseProgram(kText, std::move(dict));
+  assert(program.ok());
+  return std::move(program).value();
+}
+
+Result<bool> RunAtm(const Atm& atm, const std::string& input, int max_steps,
+                    std::shared_ptr<Dictionary> dict,
+                    chase::ChaseStats* stats) {
+  chase::Instance db = EncodeAtm(atm, input, dict);
+  datalog::Program program = AtmProgram(dict);
+  chase::ChaseOptions options;
+  options.max_null_depth = static_cast<uint32_t>(max_steps);
+  options.max_facts = 200'000'000;
+  TRIQ_RETURN_IF_ERROR(chase::RunChase(program, &db, options, stats));
+  SymbolId accept = dict->Intern("accept");
+  SymbolId init = dict->Intern("init");
+  return db.Contains(accept, {chase::Term::Constant(init)});
+}
+
+Atm MakeExistentialSearchAtm() {
+  // Accepts iff the tape contains a '1'. On '1' the two existential
+  // branches try both cursor directions, so at least one stays in
+  // bounds on any tape of length >= 2.
+  Atm atm;
+  atm.num_states = 3;
+  atm.initial_state = 0;
+  atm.kinds = {Atm::StateKind::kExistential, Atm::StateKind::kAccept,
+               Atm::StateKind::kReject};
+  atm.transitions.push_back(
+      {0, '0', 0, '0', Atm::Move::kRight, 0, '0', Atm::Move::kRight});
+  atm.transitions.push_back(
+      {0, '1', 1, '1', Atm::Move::kRight, 1, '1', Atm::Move::kLeft});
+  return atm;
+}
+
+Atm MakeUniversalCheckAtm() {
+  // Accepts iff every cell before the trailing '$' is a '1': the
+  // universal state forks "keep checking right" and "accept here"; on
+  // '0' both branches enter the reject state.
+  Atm atm;
+  atm.num_states = 3;
+  atm.initial_state = 0;
+  atm.kinds = {Atm::StateKind::kUniversal, Atm::StateKind::kAccept,
+               Atm::StateKind::kReject};
+  atm.transitions.push_back(
+      {0, '1', 0, '1', Atm::Move::kRight, 1, '1', Atm::Move::kRight});
+  atm.transitions.push_back(
+      {0, '0', 2, '0', Atm::Move::kRight, 2, '0', Atm::Move::kRight});
+  atm.transitions.push_back(
+      {0, '$', 1, '$', Atm::Move::kLeft, 1, '$', Atm::Move::kLeft});
+  return atm;
+}
+
+}  // namespace triq::core

@@ -1,0 +1,73 @@
+#ifndef TRIQ_CORE_ATM_H_
+#define TRIQ_CORE_ATM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "chase/chase.h"
+#include "chase/instance.h"
+#include "datalog/program.h"
+
+namespace triq::core {
+
+/// An alternating Turing machine M = (S, Λ, δ, s0) as in Section 6.4.
+/// States are numbered 0..num_states-1; each is existential, universal,
+/// accepting, or rejecting. Transitions are binary-branching:
+/// δ(s, a) = ((s1, a1, m1), (s2, a2, m2)); an existential configuration
+/// accepts if either branch does, a universal one if both do.
+struct Atm {
+  enum class StateKind { kExistential, kUniversal, kAccept, kReject };
+  enum class Move { kLeft, kRight };
+
+  struct Transition {
+    int state = 0;
+    char read = ' ';
+    int state1 = 0;
+    char write1 = ' ';
+    Move move1 = Move::kRight;
+    int state2 = 0;
+    char write2 = ' ';
+    Move move2 = Move::kRight;
+  };
+
+  int num_states = 0;
+  int initial_state = 0;
+  std::vector<StateKind> kinds;  // size num_states
+  std::vector<Transition> transitions;
+
+  static constexpr char kBlank = '_';
+};
+
+/// Builds the database D_M of Theorem 6.15 for machine `atm` on `input`
+/// (the tape holds exactly |input| cells; the machine is assumed
+/// well-behaved and never moves outside them). The encoding is the
+/// paper's: config/state/cursor/symbol for the initial configuration,
+/// next_cell, neq, estate/ustate/accepting marks, and one trans row per
+/// transition.
+chase::Instance EncodeAtm(const Atm& atm, const std::string& input,
+                          std::shared_ptr<Dictionary> dict);
+
+/// The *fixed* warded Datalog∃ program with minimal interaction from the
+/// proof of Theorem 6.15. It does not depend on the machine; tests
+/// assert it is warded-with-minimal-interaction but not warded.
+datalog::Program AtmProgram(std::shared_ptr<Dictionary> dict);
+
+/// Runs the reduction end to end: encodes, chases (the configuration
+/// tree is generated to depth `max_steps`), and reports whether the
+/// initial configuration is accepting. The chase is exponential in
+/// max_steps — that is the point of experiment E9.
+Result<bool> RunAtm(const Atm& atm, const std::string& input, int max_steps,
+                    std::shared_ptr<Dictionary> dict,
+                    chase::ChaseStats* stats = nullptr);
+
+/// Ready-made machines for tests/benches:
+/// accepts iff the tape contains at least one '1' (existential walk).
+Atm MakeExistentialSearchAtm();
+/// accepts iff every tape cell is '1' (universal sweep).
+Atm MakeUniversalCheckAtm();
+
+}  // namespace triq::core
+
+#endif  // TRIQ_CORE_ATM_H_

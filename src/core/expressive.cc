@@ -1,0 +1,89 @@
+#include "core/expressive.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "datalog/parser.h"
+
+namespace triq::core {
+
+namespace {
+
+using chase::Term;
+
+datalog::Program MustParse(std::string_view text,
+                           std::shared_ptr<Dictionary> dict) {
+  Result<datalog::Program> program =
+      datalog::ParseProgram(text, std::move(dict));
+  assert(program.ok());
+  return std::move(program).value();
+}
+
+}  // namespace
+
+size_t GroundConnection(const chase::Instance& instance, chase::Term null) {
+  std::unordered_set<SymbolId> constants;
+  for (const auto& [pred, rel] : instance.relations()) {
+    for (const chase::Tuple& tuple : rel.tuples()) {
+      bool mentions_null = false;
+      for (Term t : tuple) {
+        if (t == null) {
+          mentions_null = true;
+          break;
+        }
+      }
+      if (!mentions_null) continue;
+      for (Term t : tuple) {
+        if (t.IsConstant()) constants.insert(t.symbol());
+      }
+    }
+  }
+  return constants.size();
+}
+
+size_t MaxGroundConnection(const chase::Instance& instance) {
+  // Single pass: accumulate the constant set per null.
+  std::unordered_map<uint32_t, std::unordered_set<SymbolId>> per_null;
+  for (const auto& [pred, rel] : instance.relations()) {
+    for (const chase::Tuple& tuple : rel.tuples()) {
+      for (Term t : tuple) {
+        if (!t.IsNull()) continue;
+        auto& set = per_null[t.null_id()];
+        for (Term other : tuple) {
+          if (other.IsConstant()) set.insert(other.symbol());
+        }
+      }
+    }
+  }
+  size_t best = 0;
+  for (const auto& [null_id, constants] : per_null) {
+    best = std::max(best, constants.size());
+  }
+  return best;
+}
+
+PepSeparation BuildPepSeparation(std::shared_ptr<Dictionary> dict) {
+  datalog::Program base = MustParse("p(?X) -> exists ?Y s(?X, ?Y) .", dict);
+  datalog::Program lambda1 = MustParse("s(?X, ?Y) -> q() .", dict);
+  datalog::Program lambda2 = MustParse("s(?X, ?Y), p(?Y) -> q() .", dict);
+  chase::Instance database(dict);
+  database.AddFact("p", {"c"});
+  return PepSeparation{std::move(base), std::move(lambda1),
+                       std::move(lambda2), std::move(database)};
+}
+
+datalog::Program NearlyFrontierGuardedDemoProgram(
+    std::shared_ptr<Dictionary> dict) {
+  // Frontier-guarded ∃-rule + harmless-body recursion: legal in nearly
+  // frontier-guarded Datalog∃, but every null's ground connection is
+  // bounded by the inventing atom's constants (Lemma 6.6).
+  return MustParse(R"(
+    p0(?X) -> exists ?Y s(?X, ?Y) .
+    p0(?X), p0(?Z) -> reach(?X, ?Z) .
+    reach(?X, ?Z), p0(?W) -> reach(?X, ?W) .
+  )",
+                   std::move(dict));
+}
+
+}  // namespace triq::core

@@ -1,0 +1,46 @@
+#ifndef TRIQ_CORE_EXPRESSIVE_H_
+#define TRIQ_CORE_EXPRESSIVE_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "chase/instance.h"
+#include "datalog/program.h"
+
+namespace triq::core {
+
+/// |gc(z, I)| (Section 6.2): the number of distinct constants that
+/// co-occur with the null `z` in some atom of `instance`.
+size_t GroundConnection(const chase::Instance& instance, chase::Term null);
+
+/// mgc over all nulls of the instance; 0 when the instance has no nulls.
+/// This is the measured quantity of the UGCP experiment (E7): warded
+/// programs achieve unbounded mgc(n), nearly-frontier-guarded programs
+/// are stuck at O(1) (Lemmas 6.5 / 6.6).
+size_t MaxGroundConnection(const chase::Instance& instance);
+
+/// The Theorem 7.1 separation instance:
+///   D  = { p(c) }
+///   Π  = { p(X) → ∃Y s(X,Y) }              (warded Datalog∃)
+///   Λ1 = { s(X,Y) → q() }                  (() ∈ (Π ∪ Λ1)(D))
+///   Λ2 = { s(X,Y), p(Y) → q() }            (() ∉ (Π ∪ Λ2)(D))
+/// No Datalog program can distinguish Λ1 from Λ2 on D the way Π does,
+/// so warded Datalog∃ is ≻_Pep Datalog.
+struct PepSeparation {
+  datalog::Program base;     // Π
+  datalog::Program lambda1;  // Λ1
+  datalog::Program lambda2;  // Λ2
+  chase::Instance database;  // D
+};
+
+PepSeparation BuildPepSeparation(std::shared_ptr<Dictionary> dict);
+
+/// A nearly-frontier-guarded demo program used as the E7 baseline: it
+/// invents one null per p0-fact but, being frontier-guarded, can only
+/// connect it with the constants of the atom that invented it.
+datalog::Program NearlyFrontierGuardedDemoProgram(
+    std::shared_ptr<Dictionary> dict);
+
+}  // namespace triq::core
+
+#endif  // TRIQ_CORE_EXPRESSIVE_H_

@@ -1,0 +1,98 @@
+#include "core/triq.h"
+
+#include <algorithm>
+
+namespace triq::core {
+
+std::string_view LanguageName(Language language) {
+  switch (language) {
+    case Language::kDatalog: return "Datalog(~s)";
+    case Language::kTriqLite10: return "TriQ-Lite 1.0";
+    case Language::kTriq10: return "TriQ 1.0";
+    case Language::kUnrestricted: return "Datalog(E,~s,_|_)";
+  }
+  return "?";
+}
+
+Result<TriqQuery> TriqQuery::Create(datalog::Program program,
+                                    std::string_view answer_predicate) {
+  SymbolId answer = program.dict().Intern(answer_predicate);
+  for (const datalog::Rule& rule : program.rules()) {
+    for (const datalog::Atom& atom : rule.body) {
+      if (atom.predicate == answer) {
+        return Status::InvalidArgument(
+            "answer predicate must not occur in rule bodies");
+      }
+    }
+  }
+  return TriqQuery(std::move(program), answer);
+}
+
+Language TriqQuery::Classify() const {
+  bool has_existential = false;
+  bool has_constraint = false;
+  for (const datalog::Rule& rule : program_.rules()) {
+    if (rule.IsConstraint()) has_constraint = true;
+    if (!rule.ExistentialVariables().empty()) has_existential = true;
+  }
+  if (!has_existential && !has_constraint &&
+      datalog::IsStratifiedCheck(program_)) {
+    return Language::kDatalog;
+  }
+  if (datalog::IsTriqLite10(program_)) return Language::kTriqLite10;
+  if (datalog::IsTriq10(program_)) return Language::kTriq10;
+  return Language::kUnrestricted;
+}
+
+Result<std::vector<chase::Tuple>> TriqQuery::Evaluate(
+    const chase::Instance& database, const chase::ChaseOptions& options,
+    chase::ChaseStats* stats) const {
+  chase::Instance working = CloneInstance(database);
+  return EvaluateInPlace(&working, options, stats);
+}
+
+Result<std::vector<chase::Tuple>> TriqQuery::EvaluateInPlace(
+    chase::Instance* database, const chase::ChaseOptions& options,
+    chase::ChaseStats* stats) const {
+  TRIQ_RETURN_IF_ERROR(chase::RunChase(program_, database, options, stats));
+  std::vector<chase::Tuple> answers;
+  const chase::Relation* rel = database->Find(answer_predicate_);
+  if (rel != nullptr) {
+    for (const chase::Tuple& tuple : rel->tuples()) {
+      bool all_constants =
+          std::all_of(tuple.begin(), tuple.end(),
+                      [](chase::Term t) { return t.IsConstant(); });
+      if (all_constants) answers.push_back(tuple);
+    }
+  }
+  return answers;
+}
+
+Result<bool> TriqQuery::Holds(const chase::Instance& database,
+                              const std::vector<std::string>& tuple,
+                              const chase::ChaseOptions& options) const {
+  chase::Tuple target;
+  Dictionary& dict = const_cast<Dictionary&>(database.dict());
+  for (const std::string& text : tuple) {
+    target.push_back(chase::Term::Constant(dict.Intern(text)));
+  }
+  TRIQ_ASSIGN_OR_RETURN(std::vector<chase::Tuple> answers,
+                        Evaluate(database, options));
+  return std::find(answers.begin(), answers.end(), target) != answers.end();
+}
+
+chase::Instance CloneInstance(const chase::Instance& src) {
+  chase::Instance out(src.dict_ptr());
+  // Preserve null ids/depths so cloned facts keep their identity.
+  for (uint32_t i = 0; i < src.null_count(); ++i) {
+    out.AllocateNull(src.NullDepth(chase::Term::Null(i)));
+  }
+  for (const auto& [pred, rel] : src.relations()) {
+    for (const chase::Tuple& tuple : rel.tuples()) {
+      out.AddFact(pred, tuple);
+    }
+  }
+  return out;
+}
+
+}  // namespace triq::core

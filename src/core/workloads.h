@@ -1,0 +1,66 @@
+#ifndef TRIQ_CORE_WORKLOADS_H_
+#define TRIQ_CORE_WORKLOADS_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "chase/instance.h"
+#include "datalog/program.h"
+#include "rdf/graph.h"
+
+namespace triq::core {
+
+/// ---- Example 4.3: k-clique in TriQ 1.0 -------------------------------
+
+/// The fixed query program Π_aux ∪ Π_clique of Example 4.3 (answer
+/// predicate `yes`). TriQ 1.0 (weakly-frontier-guarded) and even warded
+/// with minimal interaction, but not warded — tests assert all three.
+datalog::Program CliqueProgram(std::shared_ptr<Dictionary> dict);
+
+/// Encodes an undirected graph and the integer k into the database of
+/// Example 4.3: node0/edge0 facts plus the succ0 chain 0..k.
+chase::Instance CliqueDatabase(int num_nodes,
+                               const std::vector<std::pair<int, int>>& edges,
+                               int k, std::shared_ptr<Dictionary> dict);
+
+/// Undirected G(n, p) edge list (both directions included, no loops).
+std::vector<std::pair<int, int>> RandomGraphEdges(int n, double p,
+                                                  uint64_t seed);
+/// Complete graph K_n edge list.
+std::vector<std::pair<int, int>> CompleteGraphEdges(int n);
+
+/// ---- Section 2: transport-service reachability -----------------------
+
+/// The recursive program from the end of Section 2 (answer `query`):
+/// collects transport services through partOf chains, then the
+/// reachability relation over them. Inexpressible in SPARQL 1.1
+/// property paths (two simultaneous unbounded directions).
+datalog::Program TransportProgram(std::shared_ptr<Dictionary> dict);
+
+/// A transport network shaped like the paper's figure: a chain of
+/// `num_cities` cities; the i-th hop is served by service svc<i>, whose
+/// partOf chain to `transportService` has length `part_of_depth`.
+rdf::Graph TransportNetwork(int num_cities, int part_of_depth,
+                            std::shared_ptr<Dictionary> dict);
+
+/// ---- Section 2: the author example graphs G1..G4 ----------------------
+
+rdf::Graph AuthorsGraphG1(std::shared_ptr<Dictionary> dict);
+rdf::Graph AuthorsGraphG2(std::shared_ptr<Dictionary> dict);
+/// G3 = G2 + the owl:Restriction axioms (5).
+rdf::Graph AuthorsGraphG3(std::shared_ptr<Dictionary> dict);
+/// G4: the owl:sameAs example.
+rdf::Graph AuthorsGraphG4(std::shared_ptr<Dictionary> dict);
+
+/// ---- PTime scaling workload (Theorem 6.7) ----------------------------
+
+/// Plain transitive closure (a warded — indeed Datalog — program).
+datalog::Program TransitiveClosureProgram(std::shared_ptr<Dictionary> dict);
+/// edge(v0,v1), ..., edge(v_{n-1}, v_n).
+chase::Instance ChainDatabase(int n, std::shared_ptr<Dictionary> dict);
+
+}  // namespace triq::core
+
+#endif  // TRIQ_CORE_WORKLOADS_H_

@@ -1,0 +1,34 @@
+#include "datalog/atom.h"
+
+#include <algorithm>
+
+namespace triq::datalog {
+
+bool Atom::IsGround() const {
+  return std::all_of(args.begin(), args.end(),
+                     [](Term t) { return t.IsGround(); });
+}
+
+void Atom::CollectVariables(std::vector<Term>* out) const {
+  for (Term t : args) {
+    if (t.IsVariable() &&
+        std::find(out->begin(), out->end(), t) == out->end()) {
+      out->push_back(t);
+    }
+  }
+}
+
+std::string AtomToString(const Atom& atom, const Dictionary& dict) {
+  std::string out;
+  if (atom.negated) out += "not ";
+  out += dict.Text(atom.predicate);
+  out += '(';
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += TermToString(atom.args[i], dict);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace triq::datalog

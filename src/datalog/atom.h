@@ -1,0 +1,42 @@
+#ifndef TRIQ_DATALOG_ATOM_H_
+#define TRIQ_DATALOG_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "datalog/term.h"
+
+namespace triq::datalog {
+
+/// Predicate names are interned symbols; the arity is carried by the atom.
+using PredicateId = SymbolId;
+
+/// An atom p(t1,...,tn). `negated` marks occurrences in a rule body under
+/// stratified negation (¬s); head atoms and facts are never negated.
+struct Atom {
+  PredicateId predicate = kInvalidSymbol;
+  std::vector<Term> args;
+  bool negated = false;
+
+  size_t arity() const { return args.size(); }
+
+  /// True if every argument is a constant or a null.
+  bool IsGround() const;
+
+  /// Collects the distinct variables of this atom into `out` (appending,
+  /// no duplicates within the result).
+  void CollectVariables(std::vector<Term>* out) const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.predicate == b.predicate && a.negated == b.negated &&
+           a.args == b.args;
+  }
+};
+
+/// Renders `p(a,?X,_:n1)` (with a leading `not ` when negated).
+std::string AtomToString(const Atom& atom, const Dictionary& dict);
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_ATOM_H_

@@ -1,0 +1,258 @@
+#include "datalog/classify.h"
+
+#include <algorithm>
+
+#include "datalog/stratify.h"
+
+namespace triq::datalog {
+
+namespace {
+
+bool Contains(const std::vector<Term>& vec, Term t) {
+  return std::find(vec.begin(), vec.end(), t) != vec.end();
+}
+
+bool Subset(const std::vector<Term>& sub, const std::vector<Term>& super) {
+  return std::all_of(sub.begin(), sub.end(),
+                     [&](Term t) { return Contains(super, t); });
+}
+
+std::vector<Term> AtomVars(const Atom& atom) {
+  std::vector<Term> out;
+  atom.CollectVariables(&out);
+  return out;
+}
+
+// Variables of body \ {body[skip]} (one occurrence removed).
+std::vector<Term> BodyVarsExcept(const Rule& rule, size_t skip) {
+  std::vector<Term> out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i == skip) continue;
+    rule.body[i].CollectVariables(&out);
+  }
+  return out;
+}
+
+std::string RuleDiag(const Program& program, const Rule& rule,
+                     const std::string& why) {
+  return why + ": " + RuleToString(rule, program.dict());
+}
+
+// Generic per-rule guard check: `needed(rule)` returns the variables a
+// guard must cover; a rule passes if some positive body atom covers them.
+template <typename NeededFn>
+CheckResult GuardCheck(const Program& program, NeededFn needed,
+                       const char* language) {
+  Program positive = program.PositiveVersion();
+  PositionAnalysis analysis(positive);
+  for (const Rule& rule : positive.rules()) {
+    std::vector<Term> need = needed(analysis, rule);
+    if (need.empty()) continue;
+    bool guarded = std::any_of(
+        rule.body.begin(), rule.body.end(),
+        [&](const Atom& a) { return Subset(need, AtomVars(a)); });
+    if (!guarded) {
+      return CheckResult::No(RuleDiag(program, rule,
+                                      std::string("not ") + language +
+                                          ": no guard atom covers the "
+                                          "required variables"));
+    }
+  }
+  return CheckResult::Yes();
+}
+
+}  // namespace
+
+CheckResult IsGuarded(const Program& program) {
+  return GuardCheck(
+      program,
+      [](const PositionAnalysis&, const Rule& rule) {
+        return rule.BodyVariables();
+      },
+      "guarded");
+}
+
+CheckResult IsWeaklyGuarded(const Program& program) {
+  return GuardCheck(
+      program,
+      [](const PositionAnalysis& analysis, const Rule& rule) {
+        return analysis.Classify(rule).harmful;
+      },
+      "weakly-guarded");
+}
+
+CheckResult IsFrontierGuarded(const Program& program) {
+  return GuardCheck(
+      program,
+      [](const PositionAnalysis&, const Rule& rule) {
+        return rule.FrontierVariables();
+      },
+      "frontier-guarded");
+}
+
+CheckResult IsWeaklyFrontierGuarded(const Program& program) {
+  return GuardCheck(
+      program,
+      [](const PositionAnalysis& analysis, const Rule& rule) {
+        return analysis.Classify(rule).dangerous;
+      },
+      "weakly-frontier-guarded");
+}
+
+CheckResult IsNearlyFrontierGuarded(const Program& program) {
+  Program positive = program.PositiveVersion();
+  PositionAnalysis analysis(positive);
+  for (const Rule& rule : positive.rules()) {
+    // Option 1: frontier-guarded rule.
+    std::vector<Term> frontier = rule.FrontierVariables();
+    bool fg = frontier.empty() ||
+              std::any_of(rule.body.begin(), rule.body.end(),
+                          [&](const Atom& a) {
+                            return Subset(frontier, AtomVars(a));
+                          });
+    if (fg) continue;
+    // Option 2: all body variables harmless.
+    VariableClasses classes = analysis.Classify(rule);
+    if (classes.harmful.empty()) continue;
+    return CheckResult::No(
+        RuleDiag(program, rule,
+                 "not nearly-frontier-guarded: rule is neither "
+                 "frontier-guarded nor harmless-bodied"));
+  }
+  return CheckResult::Yes();
+}
+
+CheckResult IsWarded(const Program& program) {
+  Program positive = program.PositiveVersion();
+  PositionAnalysis analysis(positive);
+  for (const Rule& rule : positive.rules()) {
+    VariableClasses classes = analysis.Classify(rule);
+    if (classes.dangerous.empty()) continue;
+    bool has_ward = false;
+    for (size_t i = 0; i < rule.body.size(); ++i) {
+      std::vector<Term> ward_vars = AtomVars(rule.body[i]);
+      if (!Subset(classes.dangerous, ward_vars)) continue;
+      // Condition (2): shared variables with the rest of the body must
+      // all be harmless.
+      std::vector<Term> rest = BodyVarsExcept(rule, i);
+      bool ok = true;
+      for (Term v : ward_vars) {
+        if (Contains(rest, v) && !classes.IsHarmless(v)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        has_ward = true;
+        break;
+      }
+    }
+    if (!has_ward) {
+      return CheckResult::No(
+          RuleDiag(program, rule, "not warded: no ward atom exists"));
+    }
+  }
+  return CheckResult::Yes();
+}
+
+CheckResult IsWardedWithMinimalInteraction(const Program& program) {
+  Program positive = program.PositiveVersion();
+  PositionAnalysis analysis(positive);
+  for (const Rule& rule : positive.rules()) {
+    VariableClasses classes = analysis.Classify(rule);
+    if (classes.dangerous.empty()) continue;
+    bool has_ward = false;
+    for (size_t i = 0; i < rule.body.size() && !has_ward; ++i) {
+      std::vector<Term> ward_vars = AtomVars(rule.body[i]);
+      if (!Subset(classes.dangerous, ward_vars)) continue;
+      // B = (var(ward) ∩ var(body \ ward)) \ harmless.
+      std::vector<Term> rest = BodyVarsExcept(rule, i);
+      std::vector<Term> shared_harmful;
+      for (Term v : ward_vars) {
+        if (Contains(rest, v) && !classes.IsHarmless(v)) {
+          shared_harmful.push_back(v);
+        }
+      }
+      if (shared_harmful.empty()) {  // plain warded rule
+        has_ward = true;
+        break;
+      }
+      if (shared_harmful.size() > 1) continue;  // condition (1) fails
+      Term v = shared_harmful[0];
+      // Condition (2): at most one occurrence of v outside the ward.
+      size_t occurrences = 0;
+      const Atom* host = nullptr;
+      bool host_ok = true;
+      for (size_t j = 0; j < rule.body.size(); ++j) {
+        if (j == i) continue;
+        for (Term t : rule.body[j].args) {
+          if (t == v) {
+            ++occurrences;
+            host = &rule.body[j];
+          }
+        }
+      }
+      if (occurrences > 1) continue;
+      // Condition (3): the hosting atom's other variables are harmless.
+      if (host != nullptr) {
+        for (Term t : AtomVars(*host)) {
+          if (t != v && !classes.IsHarmless(t)) {
+            host_ok = false;
+            break;
+          }
+        }
+      }
+      if (host_ok) has_ward = true;
+    }
+    if (!has_ward) {
+      return CheckResult::No(RuleDiag(
+          program, rule,
+          "not warded-with-minimal-interaction: no admissible ward"));
+    }
+  }
+  return CheckResult::Yes();
+}
+
+CheckResult HasGroundedNegation(const Program& program) {
+  Program positive = program.PositiveVersion();
+  PositionAnalysis analysis(positive);
+  for (const Rule& rule : program.rules()) {
+    bool has_negation = std::any_of(rule.body.begin(), rule.body.end(),
+                                    [](const Atom& a) { return a.negated; });
+    if (!has_negation) continue;
+    VariableClasses classes = analysis.Classify(rule);
+    for (const Atom& a : rule.body) {
+      if (!a.negated) continue;
+      for (Term t : a.args) {
+        if (t.IsConstant()) continue;
+        if (t.IsVariable() && classes.IsHarmless(t)) continue;
+        return CheckResult::No(RuleDiag(
+            program, rule,
+            "negation not grounded: negated atom has a harmful term"));
+      }
+    }
+  }
+  return CheckResult::Yes();
+}
+
+CheckResult IsStratifiedCheck(const Program& program) {
+  Result<Stratification> strat = Stratify(program.WithoutConstraints());
+  if (!strat.ok()) return CheckResult::No(strat.status().message());
+  return CheckResult::Yes();
+}
+
+CheckResult IsTriq10(const Program& program) {
+  CheckResult strat = IsStratifiedCheck(program);
+  if (!strat) return strat;
+  return IsWeaklyFrontierGuarded(program);
+}
+
+CheckResult IsTriqLite10(const Program& program) {
+  CheckResult strat = IsStratifiedCheck(program);
+  if (!strat) return strat;
+  CheckResult grounded = HasGroundedNegation(program);
+  if (!grounded) return grounded;
+  return IsWarded(program);
+}
+
+}  // namespace triq::datalog

@@ -1,0 +1,64 @@
+#ifndef TRIQ_DATALOG_CLASSIFY_H_
+#define TRIQ_DATALOG_CLASSIFY_H_
+
+#include <string>
+
+#include "datalog/positions.h"
+#include "datalog/program.h"
+
+namespace triq::datalog {
+
+/// Outcome of a syntactic language-membership check. When `ok` is false,
+/// `reason` names the offending rule/condition.
+struct CheckResult {
+  bool ok = true;
+  std::string reason;
+
+  explicit operator bool() const { return ok; }
+  static CheckResult Yes() { return {true, ""}; }
+  static CheckResult No(std::string why) { return {false, std::move(why)}; }
+};
+
+/// The guardedness taxonomy of Sections 4 and 6. All checks follow the
+/// paper's convention for Datalog∃,¬s,⊥ programs: the conditions are
+/// evaluated on ex(Π)+ — negative atoms and constraints are dropped
+/// before computing affected positions and guards.
+
+/// Every body variable occurs in a single guard atom.
+CheckResult IsGuarded(const Program& program);
+/// Every Π-harmful body variable occurs in a single guard atom.
+CheckResult IsWeaklyGuarded(const Program& program);
+/// Every frontier variable occurs in a single guard atom.
+CheckResult IsFrontierGuarded(const Program& program);
+/// Every Π-dangerous body variable occurs in a single guard atom
+/// (the basis of TriQ 1.0, Definition 4.2).
+CheckResult IsWeaklyFrontierGuarded(const Program& program);
+/// Each rule is frontier-guarded, or all its body variables are harmless
+/// (the most expressive previously-known tractable fragment, Section 6.2).
+CheckResult IsNearlyFrontierGuarded(const Program& program);
+/// Wardedness (Section 6.1): dangerous variables live in a single ward
+/// atom that shares only harmless variables with the rest of the body
+/// (the basis of TriQ-Lite 1.0, Definition 6.1).
+CheckResult IsWarded(const Program& program);
+/// The mildest relaxation of wardedness (Section 6.4): the ward may share
+/// one occurrence of exactly one harmful variable with one outside atom
+/// whose remaining terms are harmless/constants.
+CheckResult IsWardedWithMinimalInteraction(const Program& program);
+
+/// Grounded negation (Section 6.1): every term of a negated atom is a
+/// constant or a harmless variable of its rule (w.r.t. ex(Π)+), so
+/// negation is only ever applied to null-free facts.
+CheckResult HasGroundedNegation(const Program& program);
+
+/// Stratifiability of ex(Π) (Section 3.2).
+CheckResult IsStratifiedCheck(const Program& program);
+
+/// TriQ 1.0 (Definition 4.2): stratified + weakly-frontier-guarded.
+CheckResult IsTriq10(const Program& program);
+/// TriQ-Lite 1.0 (Definition 6.1): stratified + grounded negation +
+/// warded.
+CheckResult IsTriqLite10(const Program& program);
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_CLASSIFY_H_

@@ -1,0 +1,269 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace triq::datalog {
+
+namespace {
+
+enum class TokKind { kIdent, kString, kLParen, kRParen, kComma, kDot, kArrow };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Status Tokenize(std::vector<Token>* out) {
+    size_t line = 1;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (c == '\n') {
+        ++line;
+        ++i;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '%' || c == '#') {  // line comment
+        while (i < text_.size() && text_[i] != '\n') ++i;
+        continue;
+      }
+      if (c == '"') {
+        size_t end = text_.find('"', i + 1);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated string at line " +
+                                         std::to_string(line));
+        }
+        out->push_back(
+            {TokKind::kString, std::string(text_.substr(i, end - i + 1)),
+             line});
+        i = end + 1;
+        continue;
+      }
+      if (c == '(') { out->push_back({TokKind::kLParen, "(", line}); ++i; continue; }
+      if (c == ')') { out->push_back({TokKind::kRParen, ")", line}); ++i; continue; }
+      if (c == ',') { out->push_back({TokKind::kComma, ",", line}); ++i; continue; }
+      if (c == '.') { out->push_back({TokKind::kDot, ".", line}); ++i; continue; }
+      if (c == '-' && i + 1 < text_.size() && text_[i + 1] == '>') {
+        out->push_back({TokKind::kArrow, "->", line});
+        i += 2;
+        continue;
+      }
+      // Identifier: run until a delimiter. Identifiers may contain ':',
+      // '_', '?', '!', '-' etc. but never '(', ')', ',', '.', '"'.
+      size_t end = i;
+      while (end < text_.size()) {
+        char d = text_[end];
+        if (std::isspace(static_cast<unsigned char>(d)) || d == '(' ||
+            d == ')' || d == ',' || d == '.' || d == '"' || d == '%' ||
+            d == '#') {
+          break;
+        }
+        if (d == '-' && end + 1 < text_.size() && text_[end + 1] == '>') break;
+        ++end;
+      }
+      if (end == i) {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at line " +
+                                       std::to_string(line));
+      }
+      out->push_back(
+          {TokKind::kIdent, std::string(text_.substr(i, end - i)), line});
+      i = end;
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string_view text_;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Dictionary* dict)
+      : tokens_(std::move(tokens)), dict_(dict) {}
+
+  bool AtEnd() const { return pos_ >= tokens_.size(); }
+
+  Result<Rule> ParseOneRule() {
+    Rule rule;
+    // Body: comma-separated (possibly negated) atoms until '->'.
+    while (true) {
+      TRIQ_ASSIGN_OR_RETURN(Atom atom, ParseOneAtom());
+      rule.body.push_back(std::move(atom));
+      if (Peek(TokKind::kComma)) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    if (!Consume(TokKind::kArrow)) {
+      return Error("expected '->' after rule body");
+    }
+    // Head: 'false' | [exists ?Y...] atoms.
+    if (PeekIdent("false") || PeekIdent("bottom")) {
+      ++pos_;
+      return rule;
+    }
+    std::vector<Term> declared_existentials;
+    if (PeekIdent("exists")) {
+      ++pos_;
+      while (!AtEnd() && tokens_[pos_].kind == TokKind::kIdent &&
+             tokens_[pos_].text[0] == '?') {
+        declared_existentials.push_back(
+            Term::Variable(dict_->Intern(tokens_[pos_].text)));
+        ++pos_;
+      }
+      if (declared_existentials.empty()) {
+        return Error("'exists' must be followed by at least one variable");
+      }
+    }
+    while (true) {
+      TRIQ_ASSIGN_OR_RETURN(Atom atom, ParseOneAtom());
+      if (atom.negated) return Error("head atoms cannot be negated");
+      rule.head.push_back(std::move(atom));
+      if (Peek(TokKind::kComma)) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    // Check declared existentials actually occur in the head and not in
+    // the body (condition (4) of Section 3.2).
+    std::vector<Term> body_vars = rule.BodyVariables();
+    std::vector<Term> head_vars = rule.HeadVariables();
+    for (Term v : declared_existentials) {
+      bool in_head =
+          std::find(head_vars.begin(), head_vars.end(), v) != head_vars.end();
+      bool in_body =
+          std::find(body_vars.begin(), body_vars.end(), v) != body_vars.end();
+      if (!in_head || in_body) {
+        return Error("existential variable " + dict_->Text(v.symbol()) +
+                     " must occur in the head and not in the body");
+      }
+    }
+    return rule;
+  }
+
+  Result<Atom> ParseOneAtom() {
+    Atom atom;
+    if (PeekIdent("not") || PeekIdent("!")) {
+      atom.negated = true;
+      ++pos_;
+    }
+    if (AtEnd() || tokens_[pos_].kind != TokKind::kIdent) {
+      return Error("expected predicate name");
+    }
+    atom.predicate = dict_->Intern(tokens_[pos_].text);
+    ++pos_;
+    if (!Consume(TokKind::kLParen)) {
+      return Error("expected '(' after predicate name");
+    }
+    if (Peek(TokKind::kRParen)) {  // 0-ary atom, e.g. yes()
+      ++pos_;
+      return atom;
+    }
+    while (true) {
+      if (AtEnd()) return Error("unexpected end of input in atom");
+      const Token& tok = tokens_[pos_];
+      if (tok.kind == TokKind::kIdent) {
+        if (tok.text[0] == '?') {
+          atom.args.push_back(Term::Variable(dict_->Intern(tok.text)));
+        } else {
+          atom.args.push_back(Term::Constant(dict_->Intern(tok.text)));
+        }
+        ++pos_;
+      } else if (tok.kind == TokKind::kString) {
+        atom.args.push_back(Term::Constant(dict_->Intern(tok.text)));
+        ++pos_;
+      } else {
+        return Error("expected term in atom argument list");
+      }
+      if (Peek(TokKind::kComma)) {
+        ++pos_;
+        continue;
+      }
+      if (Consume(TokKind::kRParen)) break;
+      return Error("expected ',' or ')' in atom");
+    }
+    return atom;
+  }
+
+  bool ConsumeDot() { return Consume(TokKind::kDot); }
+
+  Status Error(const std::string& msg) const {
+    size_t line = pos_ < tokens_.size() ? tokens_[pos_].line
+                  : tokens_.empty()     ? 0
+                                        : tokens_.back().line;
+    return Status::InvalidArgument(msg + " (line " + std::to_string(line) +
+                                   ")");
+  }
+
+ private:
+  bool Peek(TokKind kind) const {
+    return pos_ < tokens_.size() && tokens_[pos_].kind == kind;
+  }
+  bool PeekIdent(std::string_view text) const {
+    return pos_ < tokens_.size() && tokens_[pos_].kind == TokKind::kIdent &&
+           tokens_[pos_].text == text;
+  }
+  bool Consume(TokKind kind) {
+    if (!Peek(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  Dictionary* dict_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text,
+                             std::shared_ptr<Dictionary> dict) {
+  std::vector<Token> tokens;
+  TRIQ_RETURN_IF_ERROR(Lexer(text).Tokenize(&tokens));
+  Program program(dict);
+  Parser parser(std::move(tokens), dict.get());
+  while (!parser.AtEnd()) {
+    TRIQ_ASSIGN_OR_RETURN(Rule rule, parser.ParseOneRule());
+    TRIQ_RETURN_IF_ERROR(program.AddRule(std::move(rule)));
+    if (!parser.ConsumeDot()) {
+      return parser.Error("expected '.' after rule");
+    }
+  }
+  return program;
+}
+
+Result<Rule> ParseRule(std::string_view text, Dictionary* dict) {
+  std::vector<Token> tokens;
+  TRIQ_RETURN_IF_ERROR(Lexer(text).Tokenize(&tokens));
+  Parser parser(std::move(tokens), dict);
+  TRIQ_ASSIGN_OR_RETURN(Rule rule, parser.ParseOneRule());
+  parser.ConsumeDot();
+  if (!parser.AtEnd()) return parser.Error("trailing tokens after rule");
+  TRIQ_RETURN_IF_ERROR(rule.Validate());
+  return rule;
+}
+
+Result<Atom> ParseAtom(std::string_view text, Dictionary* dict) {
+  std::vector<Token> tokens;
+  TRIQ_RETURN_IF_ERROR(Lexer(text).Tokenize(&tokens));
+  Parser parser(std::move(tokens), dict);
+  TRIQ_ASSIGN_OR_RETURN(Atom atom, parser.ParseOneAtom());
+  if (!parser.AtEnd()) return parser.Error("trailing tokens after atom");
+  return atom;
+}
+
+}  // namespace triq::datalog

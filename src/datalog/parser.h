@@ -1,0 +1,37 @@
+#ifndef TRIQ_DATALOG_PARSER_H_
+#define TRIQ_DATALOG_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "datalog/program.h"
+
+namespace triq::datalog {
+
+/// Parses the paper's rule notation. One rule per statement, terminated
+/// by '.':
+///
+///   triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X) .
+///   p(?X), not q(?X) -> r(?X) .
+///   triple(?X, is_coauthor_of, ?Y) ->
+///       exists ?Z triple(?X, is_author_of, ?Z), triple(?Y, is_author_of, ?Z) .
+///   type(?X,?Y), type(?X,?Z), disj(?Y,?Z) -> false .
+///
+/// Variables start with '?'; the 'exists' keyword lists the existentially
+/// quantified head variables (it may be omitted — any head variable not in
+/// the body is treated as existential); 'not' negates a body atom;
+/// 'false' as the head denotes a constraint (⊥). '%' and '#' start line
+/// comments. Constants may be bare tokens or double-quoted strings.
+Result<Program> ParseProgram(std::string_view text,
+                             std::shared_ptr<Dictionary> dict);
+
+/// Parses a single rule (no trailing '.').
+Result<Rule> ParseRule(std::string_view text, Dictionary* dict);
+
+/// Parses a single (possibly negated) atom, e.g. `not p(?X, c)`.
+Result<Atom> ParseAtom(std::string_view text, Dictionary* dict);
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_PARSER_H_

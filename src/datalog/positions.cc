@@ -1,0 +1,95 @@
+#include "datalog/positions.h"
+
+#include <algorithm>
+
+namespace triq::datalog {
+
+namespace {
+
+bool Contains(const std::vector<Term>& vec, Term t) {
+  return std::find(vec.begin(), vec.end(), t) != vec.end();
+}
+
+}  // namespace
+
+bool VariableClasses::IsHarmless(Term v) const { return Contains(harmless, v); }
+bool VariableClasses::IsHarmful(Term v) const { return Contains(harmful, v); }
+bool VariableClasses::IsDangerous(Term v) const {
+  return Contains(dangerous, v);
+}
+
+PositionAnalysis::PositionAnalysis(const Program& positive_program) {
+  const std::vector<Rule>& rules = positive_program.rules();
+
+  // Base case: positions of existentially quantified variables.
+  for (const Rule& rule : rules) {
+    std::vector<Term> existentials = rule.ExistentialVariables();
+    for (const Atom& head : rule.head) {
+      for (uint32_t i = 0; i < head.args.size(); ++i) {
+        if (head.args[i].IsVariable() &&
+            Contains(existentials, head.args[i])) {
+          affected_.insert(Position{head.predicate, i});
+        }
+      }
+    }
+  }
+
+  // Propagation: if a body variable occurs only at affected positions,
+  // its head positions become affected. Iterate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules) {
+      std::vector<Term> body_vars = rule.BodyVariables();
+      for (Term v : body_vars) {
+        bool all_affected = true;
+        for (const Atom& a : rule.body) {
+          for (uint32_t i = 0; i < a.args.size(); ++i) {
+            if (a.args[i] == v && !IsAffected(Position{a.predicate, i})) {
+              all_affected = false;
+              break;
+            }
+          }
+          if (!all_affected) break;
+        }
+        if (!all_affected) continue;
+        for (const Atom& head : rule.head) {
+          for (uint32_t i = 0; i < head.args.size(); ++i) {
+            if (head.args[i] == v &&
+                affected_.insert(Position{head.predicate, i}).second) {
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+VariableClasses PositionAnalysis::Classify(const Rule& rule) const {
+  VariableClasses out;
+  std::vector<Term> body_vars = rule.BodyVariables();
+  std::vector<Term> head_vars = rule.HeadVariables();
+  for (Term v : body_vars) {
+    bool harmless = false;
+    for (const Atom& a : rule.body) {
+      if (a.negated) continue;  // occurrences counted in positive body
+      for (uint32_t i = 0; i < a.args.size(); ++i) {
+        if (a.args[i] == v && !IsAffected(Position{a.predicate, i})) {
+          harmless = true;
+          break;
+        }
+      }
+      if (harmless) break;
+    }
+    if (harmless) {
+      out.harmless.push_back(v);
+    } else {
+      out.harmful.push_back(v);
+      if (Contains(head_vars, v)) out.dangerous.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace triq::datalog

@@ -1,0 +1,71 @@
+#ifndef TRIQ_DATALOG_POSITIONS_H_
+#define TRIQ_DATALOG_POSITIONS_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "datalog/program.h"
+
+namespace triq::datalog {
+
+/// A position p[i]: the i-th attribute (0-based) of predicate p.
+struct Position {
+  PredicateId predicate;
+  uint32_t index;
+
+  friend bool operator==(Position a, Position b) {
+    return a.predicate == b.predicate && a.index == b.index;
+  }
+};
+
+struct PositionHash {
+  size_t operator()(Position p) const {
+    uint64_t h = (static_cast<uint64_t>(p.predicate) << 32) | p.index;
+    h *= 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Per-rule classification of body variables (Section 4.1): harmless
+/// variables have at least one body occurrence at a non-affected
+/// position; harmful variables do not; dangerous variables are harmful
+/// variables that also reach the head.
+struct VariableClasses {
+  std::vector<Term> harmless;
+  std::vector<Term> harmful;
+  std::vector<Term> dangerous;
+
+  bool IsHarmless(Term v) const;
+  bool IsHarmful(Term v) const;
+  bool IsDangerous(Term v) const;
+};
+
+/// Computes affected(Π) for a Datalog∃ program (Section 4.1) by the
+/// standard two-rule fixpoint: existential positions are affected, and
+/// affectedness propagates through frontier variables whose body
+/// occurrences are all affected.
+///
+/// Callers analyzing a Datalog∃,¬s,⊥ program Π must pass ex(Π)+ (see
+/// Program::PositiveVersion), matching the paper's definitions.
+class PositionAnalysis {
+ public:
+  explicit PositionAnalysis(const Program& positive_program);
+
+  bool IsAffected(Position pos) const { return affected_.count(pos) > 0; }
+  const std::unordered_set<Position, PositionHash>& affected() const {
+    return affected_;
+  }
+
+  /// Classifies the body variables of `rule`. Only positive body atoms
+  /// determine (non-)affected occurrences; by rule safety every body
+  /// variable occurs in a positive atom.
+  VariableClasses Classify(const Rule& rule) const;
+
+ private:
+  std::unordered_set<Position, PositionHash> affected_;
+};
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_POSITIONS_H_

@@ -1,0 +1,68 @@
+#include "datalog/program.h"
+
+namespace triq::datalog {
+
+Status Program::AddRule(Rule rule) {
+  TRIQ_RETURN_IF_ERROR(rule.Validate());
+  rules_.push_back(std::move(rule));
+  return Status::OK();
+}
+
+std::unordered_set<PredicateId> Program::Predicates() const {
+  std::unordered_set<PredicateId> out;
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.body) out.insert(a.predicate);
+    for (const Atom& a : r.head) out.insert(a.predicate);
+  }
+  return out;
+}
+
+std::unordered_set<PredicateId> Program::HeadPredicates() const {
+  std::unordered_set<PredicateId> out;
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.head) out.insert(a.predicate);
+  }
+  return out;
+}
+
+Program Program::WithoutConstraints() const {
+  Program out(dict_);
+  for (const Rule& r : rules_) {
+    if (!r.IsConstraint()) out.rules_.push_back(r);
+  }
+  return out;
+}
+
+Program Program::PositiveVersion() const {
+  Program out(dict_);
+  for (const Rule& r : rules_) {
+    if (r.IsConstraint()) continue;
+    Rule positive;
+    positive.head = r.head;
+    for (const Atom& a : r.body) {
+      if (!a.negated) positive.body.push_back(a);
+    }
+    out.rules_.push_back(std::move(positive));
+  }
+  return out;
+}
+
+Status Program::Append(const Program& other) {
+  if (other.dict_.get() != dict_.get()) {
+    return Status::InvalidArgument(
+        "cannot append a program over a different dictionary");
+  }
+  for (const Rule& r : other.rules_) rules_.push_back(r);
+  return Status::OK();
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += RuleToString(r, *dict_);
+    out += " .\n";
+  }
+  return out;
+}
+
+}  // namespace triq::datalog

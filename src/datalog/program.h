@@ -1,0 +1,58 @@
+#ifndef TRIQ_DATALOG_PROGRAM_H_
+#define TRIQ_DATALOG_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace triq::datalog {
+
+/// A Datalog∃,¬,⊥ program: a finite set of rules and constraints over a
+/// shared Dictionary. Programs are cheap to copy (rules are value types).
+class Program {
+ public:
+  explicit Program(std::shared_ptr<Dictionary> dict)
+      : dict_(std::move(dict)) {}
+
+  Dictionary& dict() { return *dict_; }
+  const Dictionary& dict() const { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+
+  /// Validates and appends `rule`.
+  Status AddRule(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  size_t size() const { return rules_.size(); }
+
+  /// sch(Π): the set of predicates occurring anywhere in the program.
+  std::unordered_set<PredicateId> Predicates() const;
+
+  /// Predicates appearing in some rule head (IDB predicates).
+  std::unordered_set<PredicateId> HeadPredicates() const;
+
+  /// ex(Π): the program without its constraints (Section 3.2).
+  Program WithoutConstraints() const;
+
+  /// Π+: the program obtained by dropping all negated body atoms
+  /// (Section 4.2). Constraints are dropped as well, matching the
+  /// ex(Π)+ construction used by every language definition.
+  Program PositiveVersion() const;
+
+  /// Appends all rules of `other` (same dictionary required).
+  Status Append(const Program& other);
+
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<Dictionary> dict_;
+  std::vector<Rule> rules_;
+};
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_PROGRAM_H_

@@ -1,0 +1,147 @@
+#include "datalog/rule.h"
+
+#include <algorithm>
+
+namespace triq::datalog {
+
+namespace {
+
+bool Contains(const std::vector<Term>& vec, Term t) {
+  return std::find(vec.begin(), vec.end(), t) != vec.end();
+}
+
+}  // namespace
+
+std::vector<Atom> Rule::PositiveBody() const {
+  std::vector<Atom> out;
+  for (const Atom& a : body) {
+    if (!a.negated) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Atom> Rule::NegativeBody() const {
+  std::vector<Atom> out;
+  for (const Atom& a : body) {
+    if (a.negated) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Term> Rule::BodyVariables() const {
+  std::vector<Term> out;
+  for (const Atom& a : body) a.CollectVariables(&out);
+  return out;
+}
+
+std::vector<Term> Rule::PositiveBodyVariables() const {
+  std::vector<Term> out;
+  for (const Atom& a : body) {
+    if (!a.negated) a.CollectVariables(&out);
+  }
+  return out;
+}
+
+std::vector<Term> Rule::HeadVariables() const {
+  std::vector<Term> out;
+  for (const Atom& a : head) a.CollectVariables(&out);
+  return out;
+}
+
+std::vector<Term> Rule::ExistentialVariables() const {
+  std::vector<Term> body_vars = BodyVariables();
+  std::vector<Term> out;
+  for (Term v : HeadVariables()) {
+    if (!Contains(body_vars, v) && !Contains(out, v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<Term> Rule::FrontierVariables() const {
+  std::vector<Term> body_vars = BodyVariables();
+  std::vector<Term> out;
+  for (Term v : HeadVariables()) {
+    if (Contains(body_vars, v) && !Contains(out, v)) out.push_back(v);
+  }
+  return out;
+}
+
+Status Rule::Validate() const {
+  size_t positive = 0;
+  for (const Atom& a : body) {
+    if (!a.negated) ++positive;
+    for (Term t : a.args) {
+      if (t.IsNull()) {
+        return Status::InvalidArgument(
+            "rule bodies may not mention labeled nulls");
+      }
+    }
+  }
+  if (positive == 0) {
+    return Status::InvalidArgument(
+        "rule must have at least one positive body atom (n >= 1)");
+  }
+  // Safety: variables of negated atoms must occur in positive atoms.
+  std::vector<Term> pos_vars = PositiveBodyVariables();
+  for (const Atom& a : body) {
+    if (!a.negated) continue;
+    std::vector<Term> neg_vars;
+    a.CollectVariables(&neg_vars);
+    for (Term v : neg_vars) {
+      if (std::find(pos_vars.begin(), pos_vars.end(), v) == pos_vars.end()) {
+        return Status::InvalidArgument(
+            "negated atom variable not bound by a positive body atom");
+      }
+    }
+  }
+  if (IsConstraint()) {
+    for (const Atom& a : body) {
+      if (a.negated) {
+        return Status::InvalidArgument(
+            "constraints (-> false) must have a positive body");
+      }
+    }
+    return Status::OK();
+  }
+  for (const Atom& a : head) {
+    if (a.negated) {
+      return Status::InvalidArgument("head atoms cannot be negated");
+    }
+    for (Term t : a.args) {
+      if (t.IsNull()) {
+        return Status::InvalidArgument(
+            "rule heads may not mention labeled nulls");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string RuleToString(const Rule& rule, const Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(rule.body[i], dict);
+  }
+  out += " -> ";
+  if (rule.IsConstraint()) {
+    out += "false";
+    return out;
+  }
+  std::vector<Term> ex = rule.ExistentialVariables();
+  if (!ex.empty()) {
+    out += "exists";
+    for (Term v : ex) {
+      out += ' ';
+      out += dict.Text(v.symbol());
+    }
+    out += ' ';
+  }
+  for (size_t i = 0; i < rule.head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += AtomToString(rule.head[i], dict);
+  }
+  return out;
+}
+
+}  // namespace triq::datalog

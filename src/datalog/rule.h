@@ -1,0 +1,53 @@
+#ifndef TRIQ_DATALOG_RULE_H_
+#define TRIQ_DATALOG_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "common/status.h"
+#include "datalog/atom.h"
+
+namespace triq::datalog {
+
+/// A Datalog∃,¬ rule (Section 3.2):
+///
+///   a1, ..., an, ¬b1, ..., ¬bm  →  ∃?Y1...∃?Yk  c1, ..., cj
+///
+/// Following footnote 6 of the paper we allow several head atoms sharing
+/// the existential variables; this is syntactic sugar the engine supports
+/// natively. A rule with an empty head is a constraint (head ⊥).
+struct Rule {
+  std::vector<Atom> body;  // positive and negated atoms, in written order
+  std::vector<Atom> head;  // empty iff constraint (→ ⊥)
+
+  bool IsConstraint() const { return head.empty(); }
+
+  /// Positive body atoms (body+(ρ)).
+  std::vector<Atom> PositiveBody() const;
+  /// Negated body atoms (body−(ρ)), with the `negated` flag preserved.
+  std::vector<Atom> NegativeBody() const;
+
+  /// Distinct variables of the (whole) body / positive body / head.
+  std::vector<Term> BodyVariables() const;
+  std::vector<Term> PositiveBodyVariables() const;
+  std::vector<Term> HeadVariables() const;
+
+  /// Existentially quantified variables: head variables that do not occur
+  /// in the body (Section 3.2, condition (4)).
+  std::vector<Term> ExistentialVariables() const;
+
+  /// The frontier: body variables propagated to the head.
+  std::vector<Term> FrontierVariables() const;
+
+  /// Checks the syntactic well-formedness conditions (1)-(5) of Section
+  /// 3.2: non-empty body, safety of negated atoms, no variables shared
+  /// between the quantified set and the body, constraints positive-only.
+  Status Validate() const;
+};
+
+std::string RuleToString(const Rule& rule, const Dictionary& dict);
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_RULE_H_

@@ -1,0 +1,64 @@
+#include "datalog/stratify.h"
+
+#include <algorithm>
+
+namespace triq::datalog {
+
+std::vector<size_t> Stratification::RulesInStratum(const Program& program,
+                                                   int i) const {
+  std::vector<size_t> out;
+  for (size_t r = 0; r < program.rules().size(); ++r) {
+    const Rule& rule = program.rules()[r];
+    if (rule.IsConstraint()) continue;
+    // All head atoms of a rule share a stratum by construction (we take
+    // the max); the rule belongs to that stratum.
+    int s = 0;
+    for (const Atom& h : rule.head) s = std::max(s, StratumOf(h.predicate));
+    if (s == i) out.push_back(r);
+  }
+  return out;
+}
+
+Result<Stratification> Stratify(const Program& program) {
+  Stratification strat;
+  std::unordered_set<PredicateId> preds = program.Predicates();
+  const int max_stratum = static_cast<int>(preds.size()) + 1;
+
+  // Relaxation to a least fixpoint; a stratum exceeding |sch(Π)| means a
+  // cycle through negation exists.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : program.rules()) {
+      if (rule.IsConstraint()) continue;
+      int required = 0;
+      for (const Atom& a : rule.body) {
+        int s = strat.StratumOf(a.predicate);
+        required = std::max(required, a.negated ? s + 1 : s);
+      }
+      // Multi-atom heads (footnote 6 sugar) share one stratum: lift all
+      // head predicates to the same level.
+      for (const Atom& h : rule.head) {
+        required = std::max(required, strat.StratumOf(h.predicate));
+      }
+      for (const Atom& h : rule.head) {
+        if (strat.StratumOf(h.predicate) < required) {
+          strat.stratum[h.predicate] = required;
+          if (required > max_stratum) {
+            return Status::FailedPrecondition(
+                "program is not stratified: recursion through negation "
+                "involving predicate " +
+                program.dict().Text(h.predicate));
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  int max_seen = 0;
+  for (const auto& [pred, s] : strat.stratum) max_seen = std::max(max_seen, s);
+  strat.num_strata = max_seen + 1;
+  return strat;
+}
+
+}  // namespace triq::datalog

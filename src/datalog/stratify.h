@@ -1,0 +1,35 @@
+#ifndef TRIQ_DATALOG_STRATIFY_H_
+#define TRIQ_DATALOG_STRATIFY_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "datalog/program.h"
+
+namespace triq::datalog {
+
+/// A stratification µ : sch(Π) → [0, ℓ] (Section 3.2): head strata are
+/// >= strata of positive body predicates and > strata of negated body
+/// predicates. Constraints are ignored (Π is stratified iff ex(Π) is).
+struct Stratification {
+  std::unordered_map<PredicateId, int> stratum;
+  int num_strata = 1;  // ℓ + 1
+
+  int StratumOf(PredicateId p) const {
+    auto it = stratum.find(p);
+    return it == stratum.end() ? 0 : it->second;
+  }
+
+  /// Indices of the non-constraint rules whose head predicate lives in
+  /// stratum `i` (the paper's Π_i).
+  std::vector<size_t> RulesInStratum(const Program& program, int i) const;
+};
+
+/// Computes the minimal stratification of ex(Π), or an error if the
+/// program has recursion through negation.
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_STRATIFY_H_

@@ -1,0 +1,84 @@
+#ifndef TRIQ_DATALOG_TERM_H_
+#define TRIQ_DATALOG_TERM_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/dictionary.h"
+
+namespace triq::datalog {
+
+/// The three disjoint term universes of Section 3: constants (U, interned
+/// URIs/strings), labeled nulls (B, invented by the chase), and variables
+/// (V, names starting with '?').
+enum class TermKind : uint8_t { kConstant = 0, kVariable = 1, kNull = 2 };
+
+/// A term packed into 32 bits: 2 tag bits + 30-bit payload. The payload is
+/// a SymbolId for constants and variables, and a null counter for labeled
+/// nulls. Terms are value types and compare as integers.
+class Term {
+ public:
+  Term() : bits_(0) {}
+
+  static Term Constant(SymbolId id) {
+    return Term(TermKind::kConstant, id);
+  }
+  static Term Variable(SymbolId id) {
+    return Term(TermKind::kVariable, id);
+  }
+  static Term Null(uint32_t null_id) { return Term(TermKind::kNull, null_id); }
+
+  TermKind kind() const { return static_cast<TermKind>(bits_ >> kTagShift); }
+  bool IsConstant() const { return kind() == TermKind::kConstant; }
+  bool IsVariable() const { return kind() == TermKind::kVariable; }
+  bool IsNull() const { return kind() == TermKind::kNull; }
+  /// Ground terms are constants or nulls (no variables).
+  bool IsGround() const { return !IsVariable(); }
+
+  /// Payload accessor for constants/variables.
+  SymbolId symbol() const {
+    assert(!IsNull());
+    return bits_ & kPayloadMask;
+  }
+  uint32_t null_id() const {
+    assert(IsNull());
+    return bits_ & kPayloadMask;
+  }
+  uint32_t raw() const { return bits_; }
+
+  friend bool operator==(Term a, Term b) { return a.bits_ == b.bits_; }
+  friend bool operator!=(Term a, Term b) { return a.bits_ != b.bits_; }
+  friend bool operator<(Term a, Term b) { return a.bits_ < b.bits_; }
+
+ private:
+  static constexpr uint32_t kTagShift = 30;
+  static constexpr uint32_t kPayloadMask = (1u << kTagShift) - 1;
+
+  Term(TermKind kind, uint32_t payload)
+      : bits_((static_cast<uint32_t>(kind) << kTagShift) |
+              (payload & kPayloadMask)) {
+    assert(payload <= kPayloadMask);
+  }
+
+  uint32_t bits_;
+};
+
+struct TermHash {
+  size_t operator()(Term t) const {
+    uint64_t h = t.raw() * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Renders a term for diagnostics: constants/variables by their interned
+/// text, nulls as `_:n<k>`.
+inline std::string TermToString(Term t, const Dictionary& dict) {
+  if (t.IsNull()) return "_:n" + std::to_string(t.null_id());
+  return dict.Text(t.symbol());
+}
+
+}  // namespace triq::datalog
+
+#endif  // TRIQ_DATALOG_TERM_H_

@@ -1,0 +1,145 @@
+#include "owl/generator.h"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace triq::owl {
+
+namespace {
+
+std::vector<SymbolId> MakeNames(const std::string& prefix, int n,
+                                Dictionary* dict) {
+  std::vector<SymbolId> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(dict->Intern(prefix + std::to_string(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Ontology RandomOntology(const RandomOntologyOptions& options,
+                        Dictionary* dict) {
+  std::mt19937_64 rng(options.seed);
+  Ontology ontology;
+  std::vector<SymbolId> classes =
+      MakeNames("class", options.num_classes, dict);
+  std::vector<SymbolId> props =
+      MakeNames("prop", options.num_properties, dict);
+  std::vector<SymbolId> inds =
+      MakeNames("ind", options.num_individuals, dict);
+  for (SymbolId c : classes) ontology.DeclareClass(c);
+  for (SymbolId p : props) ontology.DeclareProperty(p);
+
+  auto random_class = [&]() -> SymbolId {
+    return classes[rng() % classes.size()];
+  };
+  auto random_property = [&]() -> BasicProperty {
+    return BasicProperty{props[rng() % props.size()], (rng() & 1) != 0};
+  };
+  auto random_basic_class = [&]() -> BasicClass {
+    if ((rng() % 3) == 0) return BasicClass::Exists(random_property());
+    return BasicClass::Named(random_class());
+  };
+  auto random_individual = [&]() -> SymbolId {
+    return inds[rng() % inds.size()];
+  };
+
+  // Rank basic classes so SubClassOf axioms always point "upward": the
+  // subclass graph is a DAG, which rules out inverse-existential cycles
+  // like ∃p⁻ ⊑ ∃q, ∃q⁻ ⊑ ∃p whose restricted chase would diverge
+  // (the infinite canonical models of DL-LiteR).
+  auto rank = [&](const BasicClass& c) -> int {
+    if (!c.is_existential) {
+      auto it = std::find(classes.begin(), classes.end(), c.name);
+      return static_cast<int>(it - classes.begin());
+    }
+    auto it =
+        std::find(props.begin(), props.end(), c.property.property);
+    int base = static_cast<int>(classes.size());
+    return base + 2 * static_cast<int>(it - props.begin()) +
+           (c.property.inverse ? 1 : 0);
+  };
+  for (int i = 0; i < options.num_subclass_axioms; ++i) {
+    BasicClass a = random_basic_class();
+    BasicClass b = random_basic_class();
+    if (rank(a) == rank(b)) continue;  // skip degenerate axiom
+    if (rank(a) > rank(b)) std::swap(a, b);
+    ontology.AddSubClassOf(a, b);
+  }
+  for (int i = 0; i < options.num_subproperty_axioms; ++i) {
+    ontology.AddSubPropertyOf(random_property(), random_property());
+  }
+  for (int i = 0; i < options.num_disjoint_axioms; ++i) {
+    if ((rng() & 1) != 0) {
+      ontology.AddDisjointClasses(random_basic_class(), random_basic_class());
+    } else {
+      ontology.AddDisjointProperties(random_property(), random_property());
+    }
+  }
+  for (int i = 0; i < options.num_class_assertions; ++i) {
+    ontology.AddClassAssertion(BasicClass::Named(random_class()),
+                               random_individual());
+  }
+  for (int i = 0; i < options.num_property_assertions; ++i) {
+    ontology.AddPropertyAssertion(props[rng() % props.size()],
+                                  random_individual(), random_individual());
+  }
+  return ontology;
+}
+
+Ontology ChainOntology(int n, Dictionary* dict) {
+  Ontology ontology;
+  SymbolId p = dict->Intern("p");
+  SymbolId c = dict->Intern("c");
+  ontology.DeclareProperty(p);
+  std::vector<SymbolId> levels = MakeNames("a", n + 1, dict);
+  for (SymbolId a : levels) ontology.DeclareClass(a);
+
+  ontology.AddClassAssertion(BasicClass::Named(levels[0]), c);
+  ontology.AddSubClassOf(BasicClass::Named(levels[0]),
+                         BasicClass::Exists(BasicProperty{p, false}));
+  ontology.AddSubClassOf(BasicClass::Exists(BasicProperty{p, true}),
+                         BasicClass::Named(levels.size() > 1 ? levels[1]
+                                                             : levels[0]));
+  for (int i = 1; i + 1 <= n; ++i) {
+    ontology.AddSubClassOf(BasicClass::Named(levels[i]),
+                           BasicClass::Named(levels[i + 1]));
+  }
+  return ontology;
+}
+
+Ontology HierarchyOntology(int depth, int fanout, int individuals_per_leaf,
+                           Dictionary* dict) {
+  Ontology ontology;
+  SymbolId root = dict->Intern("h0");
+  ontology.DeclareClass(root);
+  std::vector<SymbolId> frontier = {root};
+  int counter = 1;
+  int individual = 0;
+  for (int level = 1; level <= depth; ++level) {
+    std::vector<SymbolId> next;
+    for (SymbolId parent : frontier) {
+      for (int f = 0; f < fanout; ++f) {
+        SymbolId child = dict->Intern("h" + std::to_string(counter++));
+        ontology.DeclareClass(child);
+        ontology.AddSubClassOf(BasicClass::Named(child),
+                               BasicClass::Named(parent));
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  for (SymbolId leaf : frontier) {
+    for (int i = 0; i < individuals_per_leaf; ++i) {
+      SymbolId ind = dict->Intern("hx" + std::to_string(individual++));
+      ontology.AddClassAssertion(BasicClass::Named(leaf), ind);
+    }
+  }
+  return ontology;
+}
+
+}  // namespace triq::owl

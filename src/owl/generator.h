@@ -1,0 +1,44 @@
+#ifndef TRIQ_OWL_GENERATOR_H_
+#define TRIQ_OWL_GENERATOR_H_
+
+#include <cstdint>
+
+#include "owl/ontology.h"
+
+namespace triq::owl {
+
+/// Knobs for synthetic OWL 2 QL core ontologies (bench workloads; the
+/// paper's examples use DBpedia-style data we replace with synthetic
+/// equivalents of the same shape, see DESIGN.md).
+struct RandomOntologyOptions {
+  int num_classes = 10;
+  int num_properties = 5;
+  int num_individuals = 100;
+  int num_subclass_axioms = 15;
+  int num_subproperty_axioms = 5;
+  int num_disjoint_axioms = 0;
+  int num_class_assertions = 100;
+  int num_property_assertions = 200;
+  uint64_t seed = 42;
+};
+
+/// Generates a random ontology; names are class<i>, prop<i>, ind<i>.
+/// SubClassOf axioms relate random basic classes (named or ∃r), so the
+/// chase exercises value invention.
+Ontology RandomOntology(const RandomOntologyOptions& options,
+                        Dictionary* dict);
+
+/// The family O_n from the proof of Lemma 6.5 (UGCP experiment E7):
+///   ClassAssertion(a0, c), SubClassOf(a0, ∃p), SubClassOf(∃p⁻, a1),
+///   SubClassOf(a1, a2), ..., SubClassOf(a_{n-1}, a_n).
+Ontology ChainOntology(int n, Dictionary* dict);
+
+/// A class hierarchy of depth `depth` with `fanout` children per class
+/// and one individual asserted at each leaf — a polynomially growing
+/// reasoning workload for the tractability experiment (E8).
+Ontology HierarchyOntology(int depth, int fanout, int individuals_per_leaf,
+                           Dictionary* dict);
+
+}  // namespace triq::owl
+
+#endif  // TRIQ_OWL_GENERATOR_H_

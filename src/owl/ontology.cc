@@ -1,0 +1,125 @@
+#include "owl/ontology.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace triq::owl {
+
+void Ontology::DeclareClass(SymbolId name) {
+  if (std::find(classes_.begin(), classes_.end(), name) == classes_.end()) {
+    classes_.push_back(name);
+  }
+}
+
+void Ontology::DeclareProperty(SymbolId name) {
+  if (std::find(properties_.begin(), properties_.end(), name) ==
+      properties_.end()) {
+    properties_.push_back(name);
+  }
+}
+
+void Ontology::AddSubClassOf(BasicClass sub, BasicClass super) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kSubClassOf;
+  axiom.class1 = sub;
+  axiom.class2 = super;
+  axioms_.push_back(axiom);
+}
+
+void Ontology::AddSubPropertyOf(BasicProperty sub, BasicProperty super) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kSubPropertyOf;
+  axiom.prop1 = sub;
+  axiom.prop2 = super;
+  axioms_.push_back(axiom);
+}
+
+void Ontology::AddDisjointClasses(BasicClass a, BasicClass b) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kDisjointClasses;
+  axiom.class1 = a;
+  axiom.class2 = b;
+  axioms_.push_back(axiom);
+}
+
+void Ontology::AddDisjointProperties(BasicProperty a, BasicProperty b) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kDisjointProperties;
+  axiom.prop1 = a;
+  axiom.prop2 = b;
+  axioms_.push_back(axiom);
+}
+
+void Ontology::AddClassAssertion(BasicClass cls, SymbolId individual) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kClassAssertion;
+  axiom.class1 = cls;
+  axiom.individual1 = individual;
+  axioms_.push_back(axiom);
+}
+
+void Ontology::AddPropertyAssertion(SymbolId property, SymbolId subject,
+                                    SymbolId object) {
+  Axiom axiom;
+  axiom.kind = Axiom::Kind::kPropertyAssertion;
+  axiom.prop1 = BasicProperty{property, false};
+  axiom.individual1 = subject;
+  axiom.individual2 = object;
+  axioms_.push_back(axiom);
+}
+
+bool Ontology::IsPositive() const {
+  return std::none_of(axioms_.begin(), axioms_.end(), [](const Axiom& a) {
+    return a.kind == Axiom::Kind::kDisjointClasses ||
+           a.kind == Axiom::Kind::kDisjointProperties;
+  });
+}
+
+std::string BasicPropertyToString(BasicProperty p, const Dictionary& dict) {
+  std::string out = dict.Text(p.property);
+  if (p.inverse) out += "^-";
+  return out;
+}
+
+std::string BasicClassToString(const BasicClass& c, const Dictionary& dict) {
+  if (!c.is_existential) return dict.Text(c.name);
+  return "Exists(" + BasicPropertyToString(c.property, dict) + ")";
+}
+
+std::string Ontology::ToString(const Dictionary& dict) const {
+  std::ostringstream out;
+  for (const Axiom& a : axioms_) {
+    switch (a.kind) {
+      case Axiom::Kind::kSubClassOf:
+        out << "SubClassOf(" << BasicClassToString(a.class1, dict) << ", "
+            << BasicClassToString(a.class2, dict) << ")\n";
+        break;
+      case Axiom::Kind::kSubPropertyOf:
+        out << "SubObjectPropertyOf(" << BasicPropertyToString(a.prop1, dict)
+            << ", " << BasicPropertyToString(a.prop2, dict) << ")\n";
+        break;
+      case Axiom::Kind::kDisjointClasses:
+        out << "DisjointClasses(" << BasicClassToString(a.class1, dict)
+            << ", " << BasicClassToString(a.class2, dict) << ")\n";
+        break;
+      case Axiom::Kind::kDisjointProperties:
+        out << "DisjointObjectProperties("
+            << BasicPropertyToString(a.prop1, dict) << ", "
+            << BasicPropertyToString(a.prop2, dict) << ")\n";
+        break;
+      case Axiom::Kind::kClassAssertion:
+        out << "ClassAssertion(" << BasicClassToString(a.class1, dict) << ", "
+            << dict.Text(a.individual1) << ")\n";
+        break;
+      case Axiom::Kind::kPropertyAssertion:
+        out << "ObjectPropertyAssertion("
+            << BasicPropertyToString(a.prop1, dict) << ", "
+            << dict.Text(a.individual1) << ", " << dict.Text(a.individual2)
+            << ")\n";
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace triq::owl

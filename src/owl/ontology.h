@@ -1,0 +1,100 @@
+#ifndef TRIQ_OWL_ONTOLOGY_H_
+#define TRIQ_OWL_ONTOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/dictionary.h"
+
+namespace triq::owl {
+
+/// A basic property over Σ: a property p or its inverse p⁻ (Section 5.2).
+struct BasicProperty {
+  SymbolId property = kInvalidSymbol;
+  bool inverse = false;
+
+  friend bool operator==(BasicProperty a, BasicProperty b) {
+    return a.property == b.property && a.inverse == b.inverse;
+  }
+};
+
+/// A basic class over Σ: a named class a or an existential restriction
+/// ∃r for a basic property r (Section 5.2).
+struct BasicClass {
+  bool is_existential = false;
+  SymbolId name = kInvalidSymbol;  // used when !is_existential
+  BasicProperty property;          // used when is_existential
+
+  static BasicClass Named(SymbolId name) {
+    BasicClass c;
+    c.name = name;
+    return c;
+  }
+  static BasicClass Exists(BasicProperty r) {
+    BasicClass c;
+    c.is_existential = true;
+    c.property = r;
+    return c;
+  }
+
+  friend bool operator==(const BasicClass& a, const BasicClass& b) {
+    return a.is_existential == b.is_existential && a.name == b.name &&
+           a.property == b.property;
+  }
+};
+
+/// The six OWL 2 QL core axiom forms of Section 5.2 (functional-style
+/// syntax), i.e. DL-LiteR.
+struct Axiom {
+  enum class Kind {
+    kSubClassOf,               // SubClassOf(b1, b2)
+    kSubPropertyOf,            // SubObjectPropertyOf(r1, r2)
+    kDisjointClasses,          // DisjointClasses(b1, b2)
+    kDisjointProperties,       // DisjointObjectProperties(r1, r2)
+    kClassAssertion,           // ClassAssertion(b, a)
+    kPropertyAssertion,        // ObjectPropertyAssertion(p, a1, a2)
+  };
+  Kind kind = Kind::kSubClassOf;
+  BasicClass class1, class2;      // class axioms; class1 for assertions
+  BasicProperty prop1, prop2;     // property axioms; prop1 for assertions
+  SymbolId individual1 = kInvalidSymbol;  // assertions
+  SymbolId individual2 = kInvalidSymbol;  // property assertions
+};
+
+/// An OWL 2 QL core ontology: a vocabulary Σ of classes and properties
+/// plus a finite set of axioms.
+class Ontology {
+ public:
+  void DeclareClass(SymbolId name);
+  void DeclareProperty(SymbolId name);
+
+  void AddSubClassOf(BasicClass sub, BasicClass super);
+  void AddSubPropertyOf(BasicProperty sub, BasicProperty super);
+  void AddDisjointClasses(BasicClass a, BasicClass b);
+  void AddDisjointProperties(BasicProperty a, BasicProperty b);
+  void AddClassAssertion(BasicClass cls, SymbolId individual);
+  void AddPropertyAssertion(SymbolId property, SymbolId subject,
+                            SymbolId object);
+
+  const std::vector<SymbolId>& classes() const { return classes_; }
+  const std::vector<SymbolId>& properties() const { return properties_; }
+  const std::vector<Axiom>& axioms() const { return axioms_; }
+
+  /// A positive ontology has no disjointness axioms (Section 6.2).
+  bool IsPositive() const;
+
+  std::string ToString(const Dictionary& dict) const;
+
+ private:
+  std::vector<SymbolId> classes_;
+  std::vector<SymbolId> properties_;
+  std::vector<Axiom> axioms_;
+};
+
+/// Renders a basic class/property in the functional-style syntax.
+std::string BasicClassToString(const BasicClass& c, const Dictionary& dict);
+std::string BasicPropertyToString(BasicProperty p, const Dictionary& dict);
+
+}  // namespace triq::owl
+
+#endif  // TRIQ_OWL_ONTOLOGY_H_

@@ -1,0 +1,178 @@
+#include "owl/rdf_mapping.h"
+
+#include "common/strings.h"
+#include "rdf/vocabulary.h"
+
+namespace triq::owl {
+
+namespace {
+constexpr std::string_view kSomePrefix = "some:";
+constexpr char kInverseSuffix = '~';
+}  // namespace
+
+std::string InverseUriText(const std::string& property_uri) {
+  return property_uri + kInverseSuffix;
+}
+
+std::string SomeUriText(const std::string& basic_property_uri) {
+  return std::string(kSomePrefix) + basic_property_uri;
+}
+
+SymbolId BasicPropertyUri(BasicProperty r, Dictionary* dict) {
+  std::string text = dict->Text(r.property);
+  if (r.inverse) text = InverseUriText(text);
+  return dict->Intern(text);
+}
+
+SymbolId BasicClassUri(const BasicClass& b, Dictionary* dict) {
+  if (!b.is_existential) return b.name;
+  std::string prop = dict->Text(b.property.property);
+  if (b.property.inverse) prop = InverseUriText(prop);
+  return dict->Intern(SomeUriText(prop));
+}
+
+BasicProperty UriToBasicProperty(SymbolId uri, Dictionary* dict) {
+  const std::string& text = dict->Text(uri);
+  if (!text.empty() && text.back() == kInverseSuffix) {
+    return BasicProperty{dict->Intern(text.substr(0, text.size() - 1)), true};
+  }
+  return BasicProperty{uri, false};
+}
+
+BasicClass UriToBasicClass(SymbolId uri, Dictionary* dict) {
+  const std::string& text = dict->Text(uri);
+  if (StartsWith(text, kSomePrefix)) {
+    SymbolId prop = dict->Intern(text.substr(kSomePrefix.size()));
+    return BasicClass::Exists(UriToBasicProperty(prop, dict));
+  }
+  return BasicClass::Named(uri);
+}
+
+void OntologyToGraph(const Ontology& ontology, rdf::Graph* graph) {
+  Dictionary* dict = &graph->dict();
+  rdf::Vocabulary vocab(*dict);
+
+  for (SymbolId cls : ontology.classes()) {
+    graph->Add(cls, vocab.rdf_type, vocab.owl_class);
+  }
+  for (SymbolId prop : ontology.properties()) {
+    const std::string text = dict->Text(prop);
+    SymbolId inv = dict->Intern(InverseUriText(text));
+    SymbolId some_p = dict->Intern(SomeUriText(text));
+    SymbolId some_inv = dict->Intern(SomeUriText(InverseUriText(text)));
+
+    graph->Add(prop, vocab.rdf_type, vocab.owl_object_property);
+    graph->Add(inv, vocab.rdf_type, vocab.owl_object_property);
+    graph->Add(prop, vocab.owl_inverse_of, inv);
+    graph->Add(inv, vocab.owl_inverse_of, prop);
+    graph->Add(some_p, vocab.rdf_type, vocab.owl_restriction);
+    graph->Add(some_inv, vocab.rdf_type, vocab.owl_restriction);
+    graph->Add(some_p, vocab.owl_on_property, prop);
+    graph->Add(some_inv, vocab.owl_on_property, inv);
+    graph->Add(some_p, vocab.owl_some_values_from, vocab.owl_thing);
+    graph->Add(some_inv, vocab.owl_some_values_from, vocab.owl_thing);
+    graph->Add(some_p, vocab.rdf_type, vocab.owl_class);
+    graph->Add(some_inv, vocab.rdf_type, vocab.owl_class);
+  }
+
+  for (const Axiom& axiom : ontology.axioms()) {
+    switch (axiom.kind) {
+      case Axiom::Kind::kSubClassOf:
+        graph->Add(BasicClassUri(axiom.class1, dict),
+                   vocab.rdfs_sub_class_of,
+                   BasicClassUri(axiom.class2, dict));
+        break;
+      case Axiom::Kind::kSubPropertyOf:
+        graph->Add(BasicPropertyUri(axiom.prop1, dict),
+                   vocab.rdfs_sub_property_of,
+                   BasicPropertyUri(axiom.prop2, dict));
+        break;
+      case Axiom::Kind::kDisjointClasses:
+        graph->Add(BasicClassUri(axiom.class1, dict), vocab.owl_disjoint_with,
+                   BasicClassUri(axiom.class2, dict));
+        break;
+      case Axiom::Kind::kDisjointProperties:
+        graph->Add(BasicPropertyUri(axiom.prop1, dict),
+                   vocab.owl_property_disjoint_with,
+                   BasicPropertyUri(axiom.prop2, dict));
+        break;
+      case Axiom::Kind::kClassAssertion:
+        graph->Add(axiom.individual1, vocab.rdf_type,
+                   BasicClassUri(axiom.class1, dict));
+        break;
+      case Axiom::Kind::kPropertyAssertion:
+        graph->Add(axiom.individual1, axiom.prop1.property,
+                   axiom.individual2);
+        break;
+    }
+  }
+}
+
+Result<Ontology> GraphToOntology(const rdf::Graph& graph) {
+  // The dictionary is logically shared; interning derived URIs does not
+  // modify the graph itself.
+  Dictionary* dict = const_cast<Dictionary*>(&graph.dict());
+  rdf::Vocabulary vocab(*dict);
+  Ontology ontology;
+
+  auto is_derived_class_uri = [&](SymbolId s) {
+    return StartsWith(dict->Text(s), kSomePrefix);
+  };
+  auto is_derived_property_uri = [&](SymbolId s) {
+    const std::string& text = dict->Text(s);
+    return !text.empty() && text.back() == kInverseSuffix;
+  };
+
+  // Pass 1: declarations.
+  for (const rdf::Triple& t : graph.triples()) {
+    if (t.predicate != vocab.rdf_type) continue;
+    if (t.object == vocab.owl_class && !is_derived_class_uri(t.subject)) {
+      ontology.DeclareClass(t.subject);
+    } else if (t.object == vocab.owl_object_property &&
+               !is_derived_property_uri(t.subject)) {
+      ontology.DeclareProperty(t.subject);
+    }
+  }
+
+  // Pass 2: axioms (Table 1 patterns).
+  for (const rdf::Triple& t : graph.triples()) {
+    if (t.predicate == vocab.rdfs_sub_class_of) {
+      ontology.AddSubClassOf(UriToBasicClass(t.subject, dict),
+                             UriToBasicClass(t.object, dict));
+    } else if (t.predicate == vocab.rdfs_sub_property_of) {
+      ontology.AddSubPropertyOf(UriToBasicProperty(t.subject, dict),
+                                UriToBasicProperty(t.object, dict));
+    } else if (t.predicate == vocab.owl_disjoint_with) {
+      ontology.AddDisjointClasses(UriToBasicClass(t.subject, dict),
+                                  UriToBasicClass(t.object, dict));
+    } else if (t.predicate == vocab.owl_property_disjoint_with) {
+      ontology.AddDisjointProperties(UriToBasicProperty(t.subject, dict),
+                                     UriToBasicProperty(t.object, dict));
+    } else if (t.predicate == vocab.rdf_type) {
+      if (t.object == vocab.owl_class ||
+          t.object == vocab.owl_object_property ||
+          t.object == vocab.owl_restriction) {
+        continue;  // declaration
+      }
+      ontology.AddClassAssertion(UriToBasicClass(t.object, dict), t.subject);
+    } else if (t.predicate == vocab.owl_inverse_of ||
+               t.predicate == vocab.owl_on_property ||
+               t.predicate == vocab.owl_some_values_from) {
+      continue;  // declaration scaffolding
+    } else {
+      // Must be a property assertion over a declared property.
+      const std::vector<SymbolId>& props = ontology.properties();
+      bool declared = std::find(props.begin(), props.end(), t.predicate) !=
+                      props.end();
+      if (!declared) {
+        return Status::InvalidArgument(
+            "triple predicate " + dict->Text(t.predicate) +
+            " is neither vocabulary nor a declared property");
+      }
+      ontology.AddPropertyAssertion(t.predicate, t.subject, t.object);
+    }
+  }
+  return ontology;
+}
+
+}  // namespace triq::owl

@@ -1,0 +1,42 @@
+#ifndef TRIQ_OWL_RDF_MAPPING_H_
+#define TRIQ_OWL_RDF_MAPPING_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "owl/ontology.h"
+#include "rdf/graph.h"
+
+namespace triq::owl {
+
+/// URI conventions for derived vocabulary elements (Section 5.2 assumes
+/// p, p⁻, ∃p, ∃p⁻ are pairwise distinct URIs): the inverse of `p` is
+/// spelled `p~`, the restriction ∃r is spelled `some:r`.
+std::string InverseUriText(const std::string& property_uri);
+std::string SomeUriText(const std::string& basic_property_uri);
+
+/// Interns the URI denoting basic property `r` / basic class `b`.
+SymbolId BasicPropertyUri(BasicProperty r, Dictionary* dict);
+SymbolId BasicClassUri(const BasicClass& b, Dictionary* dict);
+
+/// Parses a URI back into a basic property / class (inverse of the
+/// functions above; classifies by the `~` suffix and `some:` prefix).
+BasicProperty UriToBasicProperty(SymbolId uri, Dictionary* dict);
+BasicClass UriToBasicClass(SymbolId uri, Dictionary* dict);
+
+/// Serializes the ontology as an RDF graph, exactly as prescribed in
+/// Section 5.2: class/property declarations (rdf:type owl:Class /
+/// owl:ObjectProperty, owl:inverseOf, owl:onProperty,
+/// owl:someValuesFrom triples) plus one triple per axiom per Table 1.
+void OntologyToGraph(const Ontology& ontology, rdf::Graph* graph);
+
+/// Reconstructs the ontology from an RDF graph produced by
+/// OntologyToGraph (used to verify that the Table 1 mapping round-trips,
+/// experiment E1). Triples that do not match any Table 1 pattern and are
+/// not declarations are reported as property assertions when their
+/// predicate is a declared property, else rejected.
+Result<Ontology> GraphToOntology(const rdf::Graph& graph);
+
+}  // namespace triq::owl
+
+#endif  // TRIQ_OWL_RDF_MAPPING_H_

@@ -1,0 +1,42 @@
+#ifndef TRIQ_RDF_TRIPLE_H_
+#define TRIQ_RDF_TRIPLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "common/dictionary.h"
+
+namespace triq::rdf {
+
+/// An RDF triple (s, p, o) over interned URIs/literals (Section 3.1).
+/// Following footnote 5 of the paper, graphs contain constants only;
+/// blank nodes appear in graph *patterns*, not in stored graphs.
+struct Triple {
+  SymbolId subject = kInvalidSymbol;
+  SymbolId predicate = kInvalidSymbol;
+  SymbolId object = kInvalidSymbol;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+  friend bool operator<(const Triple& a, const Triple& b) {
+    return std::tie(a.subject, a.predicate, a.object) <
+           std::tie(b.subject, b.predicate, b.object);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = t.subject;
+    h = h * 0x9e3779b97f4a7c15ULL + t.predicate;
+    h = h * 0x9e3779b97f4a7c15ULL + t.object;
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace triq::rdf
+
+#endif  // TRIQ_RDF_TRIPLE_H_

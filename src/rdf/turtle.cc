@@ -1,0 +1,110 @@
+#include "rdf/turtle.h"
+
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace triq::rdf {
+
+namespace {
+
+// Tokenizes one statement body into terms, honoring quoted literals.
+Status TokenizeStatement(std::string_view body, size_t line_no,
+                         std::vector<std::string>* tokens) {
+  size_t i = 0;
+  while (i < body.size()) {
+    if (std::isspace(static_cast<unsigned char>(body[i]))) {
+      ++i;
+      continue;
+    }
+    if (body[i] == '"') {
+      size_t end = body.find('"', i + 1);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument("unterminated string literal at line " +
+                                       std::to_string(line_no));
+      }
+      tokens->emplace_back(body.substr(i, end - i + 1));
+      i = end + 1;
+    } else {
+      size_t end = i;
+      while (end < body.size() &&
+             !std::isspace(static_cast<unsigned char>(body[end]))) {
+        ++end;
+      }
+      tokens->emplace_back(body.substr(i, end - i));
+      i = end;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ParseTurtle(std::string_view text, Graph* graph) {
+  // Strip comments line by line, then split statements on '.': a '.'
+  // terminates a statement when followed by whitespace/EOL.
+  std::string cleaned;
+  cleaned.reserve(text.size());
+  size_t line_start = 0;
+  while (line_start <= text.size()) {
+    size_t eol = text.find('\n', line_start);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(line_start)
+                                : text.substr(line_start, eol - line_start);
+    bool in_string = false;
+    for (char c : line) {
+      if (c == '"') in_string = !in_string;
+      if (c == '#' && !in_string) break;
+      cleaned.push_back(c);
+    }
+    cleaned.push_back('\n');
+    if (eol == std::string_view::npos) break;
+    line_start = eol + 1;
+  }
+
+  size_t line_no = 1;
+  std::vector<std::string> tokens;
+  size_t stmt_start = 0;
+  bool in_string = false;
+  for (size_t i = 0; i <= cleaned.size(); ++i) {
+    bool end_of_stmt = false;
+    if (i == cleaned.size()) {
+      end_of_stmt = true;
+    } else {
+      char c = cleaned[i];
+      if (c == '"') in_string = !in_string;
+      if (c == '\n') ++line_no;
+      if (c == '.' && !in_string &&
+          (i + 1 == cleaned.size() ||
+           std::isspace(static_cast<unsigned char>(cleaned[i + 1])))) {
+        end_of_stmt = true;
+      }
+    }
+    if (!end_of_stmt) continue;
+    std::string_view body(cleaned.data() + stmt_start, i - stmt_start);
+    stmt_start = i + 1;
+    tokens.clear();
+    TRIQ_RETURN_IF_ERROR(TokenizeStatement(body, line_no, &tokens));
+    if (tokens.empty()) continue;
+    if (tokens.size() != 3) {
+      return Status::InvalidArgument(
+          "statement near line " + std::to_string(line_no) + " has " +
+          std::to_string(tokens.size()) + " terms; expected 3");
+    }
+    graph->Add(tokens[0], tokens[1], tokens[2]);
+  }
+  return Status::OK();
+}
+
+std::string WriteTurtle(const Graph& graph) {
+  std::ostringstream out;
+  for (const Triple& t : graph.triples()) {
+    out << graph.dict().Text(t.subject) << ' '
+        << graph.dict().Text(t.predicate) << ' '
+        << graph.dict().Text(t.object) << " .\n";
+  }
+  return out.str();
+}
+
+}  // namespace triq::rdf

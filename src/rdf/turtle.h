@@ -1,0 +1,25 @@
+#ifndef TRIQ_RDF_TURTLE_H_
+#define TRIQ_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "rdf/graph.h"
+
+namespace triq::rdf {
+
+/// Parses a minimal Turtle-like serialization into `graph`:
+///   subject predicate object .
+/// one statement per '.', terms are whitespace-separated tokens; quoted
+/// strings ("...") are literals and may contain spaces; '#' starts a
+/// line comment. This is intentionally a small, dependency-free subset
+/// sufficient for the paper's examples and the test corpora.
+Status ParseTurtle(std::string_view text, Graph* graph);
+
+/// Serializes `graph` in the same format (one triple per line).
+std::string WriteTurtle(const Graph& graph);
+
+}  // namespace triq::rdf
+
+#endif  // TRIQ_RDF_TURTLE_H_

@@ -1,0 +1,20 @@
+#include "rdf/vocabulary.h"
+
+namespace triq::rdf {
+
+Vocabulary::Vocabulary(Dictionary& dict)
+    : rdf_type(dict.Intern(uri::kRdfType)),
+      rdfs_sub_class_of(dict.Intern(uri::kRdfsSubClassOf)),
+      rdfs_sub_property_of(dict.Intern(uri::kRdfsSubPropertyOf)),
+      owl_class(dict.Intern(uri::kOwlClass)),
+      owl_object_property(dict.Intern(uri::kOwlObjectProperty)),
+      owl_restriction(dict.Intern(uri::kOwlRestriction)),
+      owl_on_property(dict.Intern(uri::kOwlOnProperty)),
+      owl_some_values_from(dict.Intern(uri::kOwlSomeValuesFrom)),
+      owl_thing(dict.Intern(uri::kOwlThing)),
+      owl_inverse_of(dict.Intern(uri::kOwlInverseOf)),
+      owl_disjoint_with(dict.Intern(uri::kOwlDisjointWith)),
+      owl_property_disjoint_with(dict.Intern(uri::kOwlPropertyDisjointWith)),
+      owl_same_as(dict.Intern(uri::kOwlSameAs)) {}
+
+}  // namespace triq::rdf

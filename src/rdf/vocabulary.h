@@ -1,0 +1,51 @@
+#ifndef TRIQ_RDF_VOCABULARY_H_
+#define TRIQ_RDF_VOCABULARY_H_
+
+#include <string_view>
+
+#include "common/dictionary.h"
+
+namespace triq::rdf {
+
+/// URI spellings of the RDF/RDFS/OWL vocabulary used throughout the
+/// paper (Sections 2 and 5). We keep the paper's compact prefix forms.
+namespace uri {
+inline constexpr std::string_view kRdfType = "rdf:type";
+inline constexpr std::string_view kRdfsSubClassOf = "rdfs:subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf = "rdfs:subPropertyOf";
+inline constexpr std::string_view kOwlClass = "owl:Class";
+inline constexpr std::string_view kOwlObjectProperty = "owl:ObjectProperty";
+inline constexpr std::string_view kOwlRestriction = "owl:Restriction";
+inline constexpr std::string_view kOwlOnProperty = "owl:onProperty";
+inline constexpr std::string_view kOwlSomeValuesFrom = "owl:someValuesFrom";
+inline constexpr std::string_view kOwlThing = "owl:Thing";
+inline constexpr std::string_view kOwlInverseOf = "owl:inverseOf";
+inline constexpr std::string_view kOwlDisjointWith = "owl:disjointWith";
+inline constexpr std::string_view kOwlPropertyDisjointWith =
+    "owl:propertyDisjointWith";
+inline constexpr std::string_view kOwlSameAs = "owl:sameAs";
+}  // namespace uri
+
+/// Interned ids of the vocabulary in a particular Dictionary.
+/// Construct once per session and reuse.
+struct Vocabulary {
+  explicit Vocabulary(Dictionary& dict);
+
+  SymbolId rdf_type;
+  SymbolId rdfs_sub_class_of;
+  SymbolId rdfs_sub_property_of;
+  SymbolId owl_class;
+  SymbolId owl_object_property;
+  SymbolId owl_restriction;
+  SymbolId owl_on_property;
+  SymbolId owl_some_values_from;
+  SymbolId owl_thing;
+  SymbolId owl_inverse_of;
+  SymbolId owl_disjoint_with;
+  SymbolId owl_property_disjoint_with;
+  SymbolId owl_same_as;
+};
+
+}  // namespace triq::rdf
+
+#endif  // TRIQ_RDF_VOCABULARY_H_

@@ -1,0 +1,88 @@
+#include "sparql/construct.h"
+
+#include <atomic>
+#include <string>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+
+namespace triq::sparql {
+
+namespace {
+std::atomic<uint64_t> g_blank_counter{0};
+}  // namespace
+
+Result<rdf::Graph> EvaluateConstruct(const ConstructQuery& query,
+                                     const rdf::Graph& graph) {
+  if (query.where == nullptr) {
+    return Status::InvalidArgument("CONSTRUCT query has no WHERE pattern");
+  }
+  Dictionary* dict = const_cast<Dictionary*>(&graph.dict());
+  MappingSet mappings = Evaluate(*query.where, graph);
+  rdf::Graph out(graph.dict_ptr());
+  for (const SparqlMapping& mapping : mappings.mappings()) {
+    // Fresh blank nodes per mapping, shared across the template.
+    std::unordered_map<SymbolId, SymbolId> local_blanks;
+    auto resolve = [&](PatternTerm t) -> SymbolId {
+      switch (t.kind) {
+        case PatternTerm::Kind::kConstant:
+          return t.symbol;
+        case PatternTerm::Kind::kVariable:
+          return mapping.Get(t.symbol);  // kInvalidSymbol when unbound
+        case PatternTerm::Kind::kBlank: {
+          auto it = local_blanks.find(t.symbol);
+          if (it != local_blanks.end()) return it->second;
+          SymbolId fresh = dict->Intern(
+              "_:c" + std::to_string(g_blank_counter.fetch_add(1)));
+          local_blanks.emplace(t.symbol, fresh);
+          return fresh;
+        }
+      }
+      return kInvalidSymbol;
+    };
+    for (const TriplePattern& tp : query.construct_template) {
+      SymbolId s = resolve(tp.subject);
+      SymbolId p = resolve(tp.predicate);
+      SymbolId o = resolve(tp.object);
+      if (s == kInvalidSymbol || p == kInvalidSymbol ||
+          o == kInvalidSymbol) {
+        continue;  // unbound variable: skip this template triple
+      }
+      out.Add(s, p, o);
+    }
+  }
+  return out;
+}
+
+Result<ConstructQuery> ParseConstruct(std::string_view text,
+                                      Dictionary* dict) {
+  std::string_view stripped = StripWhitespace(text);
+  if (!StartsWith(stripped, "CONSTRUCT")) {
+    return Status::InvalidArgument("expected CONSTRUCT");
+  }
+  stripped.remove_prefix(std::string_view("CONSTRUCT").size());
+  size_t where_pos = stripped.find("WHERE");
+  if (where_pos == std::string_view::npos) {
+    return Status::InvalidArgument("expected WHERE");
+  }
+  std::string_view template_text =
+      StripWhitespace(stripped.substr(0, where_pos));
+  std::string_view where_text = StripWhitespace(
+      stripped.substr(where_pos + std::string_view("WHERE").size()));
+
+  // The template reuses the basic-graph-pattern syntax.
+  TRIQ_ASSIGN_OR_RETURN(std::unique_ptr<GraphPattern> template_pattern,
+                        ParsePattern(template_text, dict));
+  if (template_pattern->kind != GraphPattern::Kind::kBasic) {
+    return Status::InvalidArgument(
+        "CONSTRUCT template must be a basic graph pattern");
+  }
+  ConstructQuery query;
+  query.construct_template = std::move(template_pattern->triples);
+  TRIQ_ASSIGN_OR_RETURN(query.where, ParsePattern(where_text, dict));
+  return query;
+}
+
+}  // namespace triq::sparql

@@ -1,0 +1,40 @@
+#ifndef TRIQ_SPARQL_CONSTRUCT_H_
+#define TRIQ_SPARQL_CONSTRUCT_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+
+namespace triq::sparql {
+
+/// A SPARQL CONSTRUCT query (Section 2): a template of triple patterns
+/// instantiated once per solution mapping of the WHERE pattern. Blank
+/// nodes in the template are *local*: a fresh blank node is minted per
+/// mapping (the restriction the paper contrasts with Datalog∃'s global
+/// nulls — see the anonymization example).
+struct ConstructQuery {
+  std::vector<TriplePattern> construct_template;
+  std::unique_ptr<GraphPattern> where;
+};
+
+/// Evaluates the query over `graph`, returning the constructed RDF
+/// graph. Template triples whose variables are unbound in a mapping are
+/// skipped for that mapping (standard CONSTRUCT semantics). Fresh blank
+/// nodes are interned as `_:c<k>` — the ids continue across calls on
+/// the same dictionary.
+Result<rdf::Graph> EvaluateConstruct(const ConstructQuery& query,
+                                     const rdf::Graph& graph);
+
+/// Parses `CONSTRUCT { template } WHERE pattern`, e.g. the Section 2
+/// query:
+///   CONSTRUCT { ?X is_author_of _:B . ?Y is_author_of _:B }
+///   WHERE { ?X is_coauthor_of ?Y }
+Result<ConstructQuery> ParseConstruct(std::string_view text,
+                                      Dictionary* dict);
+
+}  // namespace triq::sparql
+
+#endif  // TRIQ_SPARQL_CONSTRUCT_H_

@@ -1,0 +1,144 @@
+#include "sparql/eval.h"
+
+#include <optional>
+
+namespace triq::sparql {
+
+namespace {
+
+/// Backtracking matcher for basic graph patterns. Variables and blank
+/// nodes are both bound during the search (h and µ of Section 3.1);
+/// blank-node bindings are dropped before emitting.
+class BasicMatcher {
+ public:
+  BasicMatcher(const std::vector<TriplePattern>& triples,
+               const rdf::Graph& graph, MappingSet* out)
+      : triples_(triples), graph_(graph), out_(out) {}
+
+  void Run() { Recurse(0); }
+
+ private:
+  void Recurse(size_t i) {
+    if (i == triples_.size()) {
+      SparqlMapping result;
+      for (const auto& [sym, val] : var_bindings_.entries()) {
+        if (!IsBlankSymbol(sym)) result.Bind(sym, val);
+      }
+      out_->Insert(result);
+      return;
+    }
+    const TriplePattern& tp = triples_[i];
+    std::optional<SymbolId> s = Resolve(tp.subject);
+    std::optional<SymbolId> p = Resolve(tp.predicate);
+    std::optional<SymbolId> o = Resolve(tp.object);
+    graph_.Match(s, p, o, [&](const rdf::Triple& t) {
+      size_t bound = 0;
+      if (TryBind(tp.subject, t.subject, &bound) &&
+          TryBind(tp.predicate, t.predicate, &bound) &&
+          TryBind(tp.object, t.object, &bound)) {
+        Recurse(i + 1);
+      }
+      while (bound-- > 0) {
+        var_bindings_.Unbind(trail_.back());
+        trail_.pop_back();
+      }
+    });
+  }
+
+  // Blank nodes are marked by interning their "_:" spelling; we detect
+  // them by symbol text prefix once per call.
+  bool IsBlankSymbol(SymbolId sym) const {
+    const std::string& text = graph_.dict().Text(sym);
+    return text.size() >= 2 && text[0] == '_' && text[1] == ':';
+  }
+
+  std::optional<SymbolId> Resolve(PatternTerm t) const {
+    if (t.IsConstant()) return t.symbol;
+    SymbolId v = var_bindings_.Get(t.symbol);
+    if (v != kInvalidSymbol) return v;
+    return std::nullopt;
+  }
+
+  bool TryBind(PatternTerm t, SymbolId value, size_t* bound) {
+    if (t.IsConstant()) return t.symbol == value;
+    SymbolId existing = var_bindings_.Get(t.symbol);
+    if (existing != kInvalidSymbol) return existing == value;
+    var_bindings_.Bind(t.symbol, value);
+    trail_.push_back(t.symbol);
+    ++*bound;
+    return true;
+  }
+
+  const std::vector<TriplePattern>& triples_;
+  const rdf::Graph& graph_;
+  MappingSet* out_;
+  SparqlMapping var_bindings_;  // variables and blanks alike
+  std::vector<SymbolId> trail_;
+};
+
+}  // namespace
+
+MappingSet EvaluateBasic(const std::vector<TriplePattern>& triples,
+                         const rdf::Graph& graph) {
+  MappingSet out;
+  BasicMatcher(triples, graph, &out).Run();
+  return out;
+}
+
+bool Satisfies(const SparqlMapping& mapping, const Condition& condition) {
+  switch (condition.kind) {
+    case Condition::Kind::kBound:
+      return mapping.IsBound(condition.var1);
+    case Condition::Kind::kEqConst:
+      return mapping.IsBound(condition.var1) &&
+             mapping.Get(condition.var1) == condition.constant;
+    case Condition::Kind::kEqVar:
+      return mapping.IsBound(condition.var1) &&
+             mapping.IsBound(condition.var2) &&
+             mapping.Get(condition.var1) == mapping.Get(condition.var2);
+    case Condition::Kind::kNot:
+      return !Satisfies(mapping, *condition.left);
+    case Condition::Kind::kOr:
+      return Satisfies(mapping, *condition.left) ||
+             Satisfies(mapping, *condition.right);
+    case Condition::Kind::kAnd:
+      return Satisfies(mapping, *condition.left) &&
+             Satisfies(mapping, *condition.right);
+  }
+  return false;
+}
+
+MappingSet Evaluate(const GraphPattern& pattern, const rdf::Graph& graph) {
+  switch (pattern.kind) {
+    case GraphPattern::Kind::kBasic:
+      return EvaluateBasic(pattern.triples, graph);
+    case GraphPattern::Kind::kAnd:
+      return Join(Evaluate(*pattern.left, graph),
+                  Evaluate(*pattern.right, graph));
+    case GraphPattern::Kind::kUnion:
+      return Union(Evaluate(*pattern.left, graph),
+                   Evaluate(*pattern.right, graph));
+    case GraphPattern::Kind::kOpt:
+      return LeftOuterJoin(Evaluate(*pattern.left, graph),
+                           Evaluate(*pattern.right, graph));
+    case GraphPattern::Kind::kFilter: {
+      MappingSet inner = Evaluate(*pattern.left, graph);
+      MappingSet out;
+      for (const SparqlMapping& m : inner.mappings()) {
+        if (Satisfies(m, *pattern.condition)) out.Insert(m);
+      }
+      return out;
+    }
+    case GraphPattern::Kind::kSelect: {
+      MappingSet inner = Evaluate(*pattern.left, graph);
+      MappingSet out;
+      for (const SparqlMapping& m : inner.mappings()) {
+        out.Insert(m.Restrict(pattern.projection));
+      }
+      return out;
+    }
+  }
+  return MappingSet();
+}
+
+}  // namespace triq::sparql

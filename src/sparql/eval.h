@@ -1,0 +1,28 @@
+#ifndef TRIQ_SPARQL_EVAL_H_
+#define TRIQ_SPARQL_EVAL_H_
+
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+#include "sparql/mapping.h"
+
+namespace triq::sparql {
+
+/// The direct SPARQL evaluator: computes JPK_G exactly as defined in
+/// Section 3.1 — basic graph patterns by graph matching (blank nodes as
+/// existentials via h : B → U), then the mapping-set algebra for AND,
+/// UNION, OPT, FILTER, and SELECT. This is the semantics baseline that
+/// the Datalog translation of Section 5.1 is tested and benchmarked
+/// against (Theorem 5.2).
+MappingSet Evaluate(const GraphPattern& pattern, const rdf::Graph& graph);
+
+/// µ |= R (Section 3.1).
+bool Satisfies(const SparqlMapping& mapping, const Condition& condition);
+
+/// Evaluates a basic graph pattern only (exposed for the entailment
+/// regime, which swaps this rule while keeping the algebra).
+MappingSet EvaluateBasic(const std::vector<TriplePattern>& triples,
+                         const rdf::Graph& graph);
+
+}  // namespace triq::sparql
+
+#endif  // TRIQ_SPARQL_EVAL_H_

@@ -1,0 +1,166 @@
+#include "sparql/mapping.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace triq::sparql {
+
+namespace {
+
+// Binary search over the sorted entry vector.
+auto FindEntry(const std::vector<std::pair<SymbolId, SymbolId>>& entries,
+               SymbolId var) {
+  return std::lower_bound(
+      entries.begin(), entries.end(), var,
+      [](const std::pair<SymbolId, SymbolId>& e, SymbolId v) {
+        return e.first < v;
+      });
+}
+
+}  // namespace
+
+bool SparqlMapping::IsBound(SymbolId var) const {
+  auto it = FindEntry(entries_, var);
+  return it != entries_.end() && it->first == var;
+}
+
+SymbolId SparqlMapping::Get(SymbolId var) const {
+  auto it = FindEntry(entries_, var);
+  return (it != entries_.end() && it->first == var) ? it->second
+                                                    : kInvalidSymbol;
+}
+
+void SparqlMapping::Bind(SymbolId var, SymbolId value) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), var,
+      [](const std::pair<SymbolId, SymbolId>& e, SymbolId v) {
+        return e.first < v;
+      });
+  if (it != entries_.end() && it->first == var) {
+    it->second = value;
+  } else {
+    entries_.insert(it, {var, value});
+  }
+}
+
+void SparqlMapping::Unbind(SymbolId var) {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), var,
+      [](const std::pair<SymbolId, SymbolId>& e, SymbolId v) {
+        return e.first < v;
+      });
+  if (it != entries_.end() && it->first == var) entries_.erase(it);
+}
+
+bool SparqlMapping::Compatible(const SparqlMapping& a,
+                               const SparqlMapping& b) {
+  // Merge-scan over the two sorted entry lists.
+  size_t i = 0, j = 0;
+  while (i < a.entries_.size() && j < b.entries_.size()) {
+    if (a.entries_[i].first < b.entries_[j].first) {
+      ++i;
+    } else if (a.entries_[i].first > b.entries_[j].first) {
+      ++j;
+    } else {
+      if (a.entries_[i].second != b.entries_[j].second) return false;
+      ++i;
+      ++j;
+    }
+  }
+  return true;
+}
+
+SparqlMapping SparqlMapping::Merge(const SparqlMapping& a,
+                                   const SparqlMapping& b) {
+  SparqlMapping out = a;
+  for (const auto& [var, val] : b.entries_) out.Bind(var, val);
+  return out;
+}
+
+SparqlMapping SparqlMapping::Restrict(
+    const std::vector<SymbolId>& vars) const {
+  SparqlMapping out;
+  for (const auto& [var, val] : entries_) {
+    if (std::find(vars.begin(), vars.end(), var) != vars.end()) {
+      out.Bind(var, val);
+    }
+  }
+  return out;
+}
+
+std::string SparqlMapping::ToString(const Dictionary& dict) const {
+  std::string out = "{";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += dict.Text(entries_[i].first) + "->" + dict.Text(entries_[i].second);
+  }
+  return out + "}";
+}
+
+bool MappingSet::Insert(const SparqlMapping& m) {
+  if (Contains(m)) return false;
+  mappings_.push_back(m);
+  return true;
+}
+
+bool MappingSet::Contains(const SparqlMapping& m) const {
+  return std::find(mappings_.begin(), mappings_.end(), m) != mappings_.end();
+}
+
+std::string MappingSet::ToString(const Dictionary& dict) const {
+  std::vector<std::string> lines;
+  for (const SparqlMapping& m : mappings_) lines.push_back(m.ToString(dict));
+  std::sort(lines.begin(), lines.end());
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line << '\n';
+  return out.str();
+}
+
+bool operator==(const MappingSet& a, const MappingSet& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<SparqlMapping> sa = a.mappings_;
+  std::vector<SparqlMapping> sb = b.mappings_;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+MappingSet Join(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const SparqlMapping& m1 : a.mappings()) {
+    for (const SparqlMapping& m2 : b.mappings()) {
+      if (SparqlMapping::Compatible(m1, m2)) {
+        out.Insert(SparqlMapping::Merge(m1, m2));
+      }
+    }
+  }
+  return out;
+}
+
+MappingSet Union(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const SparqlMapping& m : a.mappings()) out.Insert(m);
+  for (const SparqlMapping& m : b.mappings()) out.Insert(m);
+  return out;
+}
+
+MappingSet Difference(const MappingSet& a, const MappingSet& b) {
+  MappingSet out;
+  for (const SparqlMapping& m1 : a.mappings()) {
+    bool has_compatible = false;
+    for (const SparqlMapping& m2 : b.mappings()) {
+      if (SparqlMapping::Compatible(m1, m2)) {
+        has_compatible = true;
+        break;
+      }
+    }
+    if (!has_compatible) out.Insert(m1);
+  }
+  return out;
+}
+
+MappingSet LeftOuterJoin(const MappingSet& a, const MappingSet& b) {
+  return Union(Join(a, b), Difference(a, b));
+}
+
+}  // namespace triq::sparql

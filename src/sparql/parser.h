@@ -1,0 +1,29 @@
+#ifndef TRIQ_SPARQL_PARSER_H_
+#define TRIQ_SPARQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "sparql/algebra.h"
+
+namespace triq::sparql {
+
+/// Parses the algebraic graph-pattern notation used in the paper
+/// (Section 3.1, operators written functionally):
+///
+///   { ?Y is_author_of ?Z . ?Y name ?X }
+///   AND({ ?X name ?Y }, { ?X phone ?Z })
+///   UNION(P1, P2)    OPT(P1, P2)
+///   FILTER(P, (bound(?X) && ?Y = dbUllman))
+///   SELECT(?X ?Y, P)
+///
+/// Variables start with '?', blank nodes with '_:', everything else is a
+/// URI/constant token; double-quoted strings are literals. Conditions
+/// support bound(?X), ?X = c, ?X = ?Y, '!', '&&', '||' and parentheses.
+Result<std::unique_ptr<GraphPattern>> ParsePattern(
+    std::string_view text, Dictionary* dict);
+
+}  // namespace triq::sparql
+
+#endif  // TRIQ_SPARQL_PARSER_H_

@@ -1,0 +1,67 @@
+#include "translate/owl2ql_program.h"
+
+#include <cassert>
+
+#include "datalog/parser.h"
+
+namespace triq::translate {
+
+std::string_view Owl2QlCoreRuleText() {
+  // Verbatim from Section 5.2. Predicate triple(·,·,·) holds the input
+  // graph; triple1(·,·,·) is its inference-closed copy so that invented
+  // nulls never pollute the active-domain predicate C(·).
+  return R"(
+    % Active domain of the graph.
+    triple(?X, ?Y, ?Z) -> C(?X), C(?Y), C(?Z) .
+
+    % Projections of the ontology stored in the graph.
+    triple(?X, rdf:type, ?Y) -> type(?X, ?Y) .
+    triple(?X, rdfs:subPropertyOf, ?Y) -> sp(?X, ?Y) .
+    triple(?X, owl:inverseOf, ?Y) -> inv(?X, ?Y) .
+    triple(?X, rdf:type, owl:Restriction),
+        triple(?X, owl:onProperty, ?Y),
+        triple(?X, owl:someValuesFrom, owl:Thing) -> restriction(?X, ?Y) .
+    triple(?X, rdfs:subClassOf, ?Y) -> sc(?X, ?Y) .
+    triple(?X, owl:disjointWith, ?Y) -> disj(?X, ?Y) .
+    triple(?X, owl:propertyDisjointWith, ?Y) -> disj_property(?X, ?Y) .
+    triple(?X, ?Y, ?Z) -> triple1(?X, ?Y, ?Z) .
+
+    % Reasoning about properties. The C(?X) guard on the reflexivity
+    % rule keeps the program warded: sub-property edges are only needed
+    % for URIs of the graph, never for invented nulls, and without the
+    % guard the affected positions of triple1 would leak into sp via
+    % type(·,·) and break wardedness (see DESIGN.md).
+    sp(?X1, ?X2), inv(?Y1, ?X1), inv(?Y2, ?X2) -> sp(?Y1, ?Y2) .
+    type(?X, owl:ObjectProperty), C(?X) -> sp(?X, ?X) .
+    sp(?X, ?Y), sp(?Y, ?Z) -> sp(?X, ?Z) .
+
+    % Reasoning about classes (same guard rationale).
+    sp(?X1, ?X2), restriction(?Y1, ?X1), restriction(?Y2, ?X2) -> sc(?Y1, ?Y2) .
+    type(?X, owl:Class), C(?X) -> sc(?X, ?X) .
+    sc(?X, ?Y), sc(?Y, ?Z) -> sc(?X, ?Z) .
+
+    % Reasoning about disjointness constraints.
+    disj(?X1, ?X2), sc(?Y1, ?X1), sc(?Y2, ?X2) -> disj(?Y1, ?Y2) .
+    disj_property(?X1, ?X2), sp(?Y1, ?X1), sp(?Y2, ?X2) ->
+        disj_property(?Y1, ?Y2) .
+
+    % Reasoning about membership assertions.
+    triple1(?X, ?U, ?Y), sp(?U, ?V) -> triple1(?X, ?V, ?Y) .
+    triple1(?X, ?U, ?Y), inv(?U, ?V) -> triple1(?Y, ?V, ?X) .
+    type(?X, ?Y), restriction(?Y, ?U) -> exists ?Z triple1(?X, ?U, ?Z) .
+    type(?X, ?Y) -> triple1(?X, rdf:type, ?Y) .
+    type(?X, ?Y), sc(?Y, ?Z) -> type(?X, ?Z) .
+    triple1(?X, ?U, ?Y), restriction(?Z, ?U) -> type(?X, ?Z) .
+    type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false .
+    triple1(?X, ?U, ?Y), triple1(?X, ?V, ?Y), disj_property(?U, ?V) -> false .
+  )";
+}
+
+datalog::Program BuildOwl2QlCoreProgram(std::shared_ptr<Dictionary> dict) {
+  Result<datalog::Program> program =
+      datalog::ParseProgram(Owl2QlCoreRuleText(), std::move(dict));
+  assert(program.ok());
+  return std::move(program).value();
+}
+
+}  // namespace triq::translate

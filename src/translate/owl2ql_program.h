@@ -1,0 +1,23 @@
+#ifndef TRIQ_TRANSLATE_OWL2QL_PROGRAM_H_
+#define TRIQ_TRANSLATE_OWL2QL_PROGRAM_H_
+
+#include <memory>
+#include <string_view>
+
+#include "datalog/program.h"
+
+namespace triq::translate {
+
+/// The rule text of the *fixed* program τ_owl2ql_core (Section 5.2),
+/// which encodes the OWL 2 QL core direct-semantics entailment regime.
+/// It is independent of the query: users include it as a black box.
+std::string_view Owl2QlCoreRuleText();
+
+/// Parses τ_owl2ql_core over the given dictionary. The program is
+/// warded with grounded (indeed, absent) negation, hence a TriQ-Lite 1.0
+/// component (Corollary 5.4); tests assert this.
+datalog::Program BuildOwl2QlCoreProgram(std::shared_ptr<Dictionary> dict);
+
+}  // namespace triq::translate
+
+#endif  // TRIQ_TRANSLATE_OWL2QL_PROGRAM_H_

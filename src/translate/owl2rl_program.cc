@@ -1,0 +1,85 @@
+#include "translate/owl2rl_program.h"
+
+#include <cassert>
+
+#include "datalog/parser.h"
+
+namespace triq::translate {
+
+std::string_view Owl2RlRuleText() {
+  // Rule names follow the W3C OWL 2 RL/RDF rule table.
+  return R"(
+    % ---- eq-*: owl:sameAs is an equivalence + substitution ----
+    triple(?X, ?P, ?Y) -> triple(?X, owl:sameAs, ?X),
+                          triple(?Y, owl:sameAs, ?Y) .          % eq-ref
+    triple(?X, owl:sameAs, ?Y) -> triple(?Y, owl:sameAs, ?X) .  % eq-sym
+    triple(?X, owl:sameAs, ?Y), triple(?Y, owl:sameAs, ?Z) ->
+        triple(?X, owl:sameAs, ?Z) .                            % eq-trans
+    triple(?S, owl:sameAs, ?S2), triple(?S, ?P, ?O) ->
+        triple(?S2, ?P, ?O) .                                   % eq-rep-s
+    triple(?P, owl:sameAs, ?P2), triple(?S, ?P, ?O) ->
+        triple(?S, ?P2, ?O) .                                   % eq-rep-p
+    triple(?O, owl:sameAs, ?O2), triple(?S, ?P, ?O) ->
+        triple(?S, ?P, ?O2) .                                   % eq-rep-o
+
+    % ---- prp-*: object property axioms ----
+    triple(?P, rdfs:domain, ?C), triple(?X, ?P, ?Y) ->
+        triple(?X, rdf:type, ?C) .                              % prp-dom
+    triple(?P, rdfs:range, ?C), triple(?X, ?P, ?Y) ->
+        triple(?Y, rdf:type, ?C) .                              % prp-rng
+    triple(?P, rdf:type, owl:SymmetricProperty), triple(?X, ?P, ?Y) ->
+        triple(?Y, ?P, ?X) .                                    % prp-symp
+    triple(?P, rdf:type, owl:TransitiveProperty),
+        triple(?X, ?P, ?Y), triple(?Y, ?P, ?Z) ->
+        triple(?X, ?P, ?Z) .                                    % prp-trp
+    triple(?P, rdfs:subPropertyOf, ?Q), triple(?X, ?P, ?Y) ->
+        triple(?X, ?Q, ?Y) .                                    % prp-spo1
+    triple(?P, owl:inverseOf, ?Q), triple(?X, ?P, ?Y) ->
+        triple(?Y, ?Q, ?X) .                                    % prp-inv1
+    triple(?P, owl:inverseOf, ?Q), triple(?X, ?Q, ?Y) ->
+        triple(?Y, ?P, ?X) .                                    % prp-inv2
+    triple(?P, rdf:type, owl:FunctionalProperty),
+        triple(?X, ?P, ?Y1), triple(?X, ?P, ?Y2) ->
+        triple(?Y1, owl:sameAs, ?Y2) .                          % prp-fp
+    triple(?P, rdf:type, owl:InverseFunctionalProperty),
+        triple(?X1, ?P, ?Y), triple(?X2, ?P, ?Y) ->
+        triple(?X1, owl:sameAs, ?X2) .                          % prp-ifp
+    triple(?P, owl:propertyDisjointWith, ?Q),
+        triple(?X, ?P, ?Y), triple(?X, ?Q, ?Y) -> false .       % prp-pdw
+
+    % ---- cax-*: class axioms ----
+    triple(?C, rdfs:subClassOf, ?D), triple(?X, rdf:type, ?C) ->
+        triple(?X, rdf:type, ?D) .                              % cax-sco
+    triple(?C, owl:equivalentClass, ?D), triple(?X, rdf:type, ?C) ->
+        triple(?X, rdf:type, ?D) .                              % cax-eqc1
+    triple(?C, owl:equivalentClass, ?D), triple(?X, rdf:type, ?D) ->
+        triple(?X, rdf:type, ?C) .                              % cax-eqc2
+    triple(?C, owl:disjointWith, ?D),
+        triple(?X, rdf:type, ?C), triple(?X, rdf:type, ?D) ->
+        false .                                                 % cax-dw
+
+    % ---- cls-svf: someValuesFrom membership (the RL direction) ----
+    triple(?R, owl:onProperty, ?P),
+        triple(?R, owl:someValuesFrom, owl:Thing),
+        triple(?X, ?P, ?Y) ->
+        triple(?X, rdf:type, ?R) .                              % cls-svf2
+
+    % ---- scm-*: schema-level closure ----
+    triple(?C, rdfs:subClassOf, ?D), triple(?D, rdfs:subClassOf, ?E) ->
+        triple(?C, rdfs:subClassOf, ?E) .                       % scm-sco
+    triple(?P, rdfs:subPropertyOf, ?Q), triple(?Q, rdfs:subPropertyOf, ?R) ->
+        triple(?P, rdfs:subPropertyOf, ?R) .                    % scm-spo
+    triple(?C, owl:equivalentClass, ?D) ->
+        triple(?C, rdfs:subClassOf, ?D),
+        triple(?D, rdfs:subClassOf, ?C) .                       % scm-eqc1
+  )";
+}
+
+datalog::Program BuildOwl2RlProgram(std::shared_ptr<Dictionary> dict) {
+  Result<datalog::Program> program =
+      datalog::ParseProgram(Owl2RlRuleText(), std::move(dict));
+  assert(program.ok());
+  return std::move(program).value();
+}
+
+}  // namespace triq::translate

@@ -1,0 +1,30 @@
+#ifndef TRIQ_TRANSLATE_OWL2RL_PROGRAM_H_
+#define TRIQ_TRANSLATE_OWL2RL_PROGRAM_H_
+
+#include <memory>
+#include <string_view>
+
+#include "datalog/program.h"
+
+namespace triq::translate {
+
+/// Section 8 names extending the approach to the other two lightweight
+/// OWL 2 profiles as future work. OWL 2 RL is the rule-based profile:
+/// its semantics is *defined* by Datalog-style rules over triples, so
+/// it embeds directly into TriQ-Lite 1.0 (no value invention needed —
+/// the program below is plain Datalog with constraints, hence trivially
+/// warded with grounded negation).
+///
+/// The library covers the core OWL 2 RL rule set over object
+/// properties: eq-* (owl:sameAs), prp-dom/rng/symp/trp/spo1/inv/fp/ifp,
+/// cax-sco/eqc/dw, cls-svf-ish restriction membership, scm-sco/spo
+/// schema transitivity. Datatype and list-based rules (owl:unionOf,
+/// allValuesFrom over lists, ...) are out of scope of the paper's data
+/// model (footnote 5 drops literals).
+std::string_view Owl2RlRuleText();
+
+datalog::Program BuildOwl2RlProgram(std::shared_ptr<Dictionary> dict);
+
+}  // namespace triq::translate
+
+#endif  // TRIQ_TRANSLATE_OWL2RL_PROGRAM_H_

@@ -1,0 +1,72 @@
+#ifndef TRIQ_TRANSLATE_SPARQL_TO_DATALOG_H_
+#define TRIQ_TRANSLATE_SPARQL_TO_DATALOG_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "chase/chase.h"
+#include "datalog/program.h"
+#include "rdf/graph.h"
+#include "sparql/algebra.h"
+#include "sparql/mapping.h"
+
+namespace triq::translate {
+
+/// Which semantics the basic graph patterns are translated under
+/// (Sections 5.1-5.3).
+enum class Regime {
+  /// τ_bgp: plain SPARQL over the stored triples (Theorem 5.2).
+  kPlain,
+  /// τ^U_bgp: the OWL 2 QL core direct-semantics entailment regime with
+  /// the active-domain restriction — triples are read from the
+  /// inference-closed triple1 and every variable *and blank node* is
+  /// constrained to the graph's constants via C(·) (Theorem 5.3).
+  kActiveDomain,
+  /// τ^All_bgp: the relaxed regime of Section 5.3 — blank nodes may take
+  /// invented (null) values; only proper variables are C(·)-guarded.
+  kAll,
+};
+
+struct TranslationOptions {
+  Regime regime = Regime::kPlain;
+  /// Include τ_owl2ql_core in the emitted program (required for the two
+  /// entailment regimes; ignored for kPlain).
+  bool include_owl2ql_core = true;
+};
+
+/// The result of translating a graph pattern P: a Datalog∃,¬s,⊥ query
+/// (program, answer predicate). Answers are tuples over
+/// `answer_variables`, with the reserved constant ⋆ marking positions
+/// the corresponding SPARQL mapping leaves unbound (the paper's τ_out
+/// convention).
+struct TranslatedQuery {
+  datalog::Program program;
+  datalog::PredicateId answer_predicate = kInvalidSymbol;
+  std::vector<SymbolId> answer_variables;
+  SymbolId star = kInvalidSymbol;
+};
+
+/// Translates P into the Datalog¬s query P_dat (kPlain) or the
+/// TriQ(-Lite) 1.0 queries P^U_dat / P^All_dat (entailment regimes).
+/// The produced programs are warded with grounded stratified negation;
+/// tests assert Corollaries 5.4 and 6.2 on them.
+Result<TranslatedQuery> TranslatePattern(const sparql::GraphPattern& pattern,
+                                         std::shared_ptr<Dictionary> dict,
+                                         const TranslationOptions& options);
+
+/// Decodes the answer relation of a chased instance back into SPARQL
+/// mappings (the paper's JP_dat, τ_db(G)K: drop ⋆ positions).
+sparql::MappingSet AnswersToMappings(const TranslatedQuery& query,
+                                     const chase::Instance& instance);
+
+/// End-to-end evaluation: loads τ_db(G), runs the stratified chase of
+/// the translated program, and decodes the mappings. Returns the
+/// Inconsistent status for the ⊤ answer.
+Result<sparql::MappingSet> EvaluateTranslated(
+    const TranslatedQuery& query, const rdf::Graph& graph,
+    const chase::ChaseOptions& chase_options = {});
+
+}  // namespace triq::translate
+
+#endif  // TRIQ_TRANSLATE_SPARQL_TO_DATALOG_H_

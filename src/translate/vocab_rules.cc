@@ -1,0 +1,74 @@
+#include "translate/vocab_rules.h"
+
+#include <cassert>
+
+#include "datalog/parser.h"
+
+namespace triq::translate {
+
+namespace {
+
+datalog::Program MustParse(std::string_view text,
+                           std::shared_ptr<Dictionary> dict) {
+  Result<datalog::Program> program =
+      datalog::ParseProgram(text, std::move(dict));
+  assert(program.ok());
+  return std::move(program).value();
+}
+
+}  // namespace
+
+datalog::Program SameAsRules(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    % Symmetry and transitivity of owl:sameAs.
+    triple(?X, owl:sameAs, ?Y) -> triple(?Y, owl:sameAs, ?X) .
+    triple(?X, owl:sameAs, ?Y), triple(?Y, owl:sameAs, ?Z) ->
+        triple(?X, owl:sameAs, ?Z) .
+    % Substitution of equals for equals (subject and object positions).
+    triple(?X1, owl:sameAs, ?X2), triple(?Y1, owl:sameAs, ?Y2),
+        triple(?X1, ?U, ?Y1) -> triple(?X2, ?U, ?Y2) .
+    triple(?X1, owl:sameAs, ?X2), triple(?X1, ?U, ?Y) ->
+        triple(?X2, ?U, ?Y) .
+    triple(?Y1, owl:sameAs, ?Y2), triple(?X, ?U, ?Y1) ->
+        triple(?X, ?U, ?Y2) .
+  )",
+                   std::move(dict));
+}
+
+datalog::Program RdfsRules(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    % Transitivity of the two hierarchy predicates.
+    triple(?C, rdfs:subClassOf, ?D), triple(?D, rdfs:subClassOf, ?E) ->
+        triple(?C, rdfs:subClassOf, ?E) .
+    triple(?P, rdfs:subPropertyOf, ?Q), triple(?Q, rdfs:subPropertyOf, ?R) ->
+        triple(?P, rdfs:subPropertyOf, ?R) .
+    % Membership propagation.
+    triple(?X, rdf:type, ?C), triple(?C, rdfs:subClassOf, ?D) ->
+        triple(?X, rdf:type, ?D) .
+    triple(?X, ?P, ?Y), triple(?P, rdfs:subPropertyOf, ?Q) ->
+        triple(?X, ?Q, ?Y) .
+  )",
+                   std::move(dict));
+}
+
+datalog::Program OnPropertyRules(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    % Section 2: the semantics of the owl:onProperty primitive — members
+    % of a someValuesFrom restriction have an (anonymous) filler.
+    triple(?X, rdf:type, ?Y),
+        triple(?Y, rdf:type, owl:Restriction),
+        triple(?Y, owl:onProperty, ?Z),
+        triple(?Y, owl:someValuesFrom, ?U) ->
+        exists ?W triple(?X, ?Z, ?W) .
+    % ...and conversely, having a filler puts you in the restriction
+    % class (needed so G3's dbAho lands in r1 and, via RDFS, in r2).
+    triple(?X, ?Z, ?W),
+        triple(?Y, rdf:type, owl:Restriction),
+        triple(?Y, owl:onProperty, ?Z),
+        triple(?Y, owl:someValuesFrom, owl:Thing) ->
+        triple(?X, rdf:type, ?Y) .
+  )",
+                   std::move(dict));
+}
+
+}  // namespace triq::translate

@@ -1,0 +1,29 @@
+#ifndef TRIQ_TRANSLATE_VOCAB_RULES_H_
+#define TRIQ_TRANSLATE_VOCAB_RULES_H_
+
+#include <memory>
+
+#include "datalog/program.h"
+
+namespace triq::translate {
+
+/// Fixed rule libraries from Section 2: once included, the user can keep
+/// writing the plain query (1) and the library supplies the semantics of
+/// the vocabulary. All three are plain Datalog∃ programs over the
+/// triple(·,·,·) predicate.
+
+/// owl:sameAs — reflexive use sites, symmetry, transitivity, and
+/// substitution into subject/object positions.
+datalog::Program SameAsRules(std::shared_ptr<Dictionary> dict);
+
+/// RDFS — rdfs:subClassOf / rdfs:subPropertyOf transitivity and the
+/// membership propagation rules.
+datalog::Program RdfsRules(std::shared_ptr<Dictionary> dict);
+
+/// owl:onProperty/owl:someValuesFrom — the value-inventing rule shown in
+/// Section 2 for the G3 example.
+datalog::Program OnPropertyRules(std::shared_ptr<Dictionary> dict);
+
+}  // namespace triq::translate
+
+#endif  // TRIQ_TRANSLATE_VOCAB_RULES_H_

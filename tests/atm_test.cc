@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/atm.h"
+
+namespace triq::core {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+bool Accepts(const Atm& atm, const std::string& input, int steps) {
+  auto dict = Dict();
+  auto result = RunAtm(atm, input, steps, dict);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return *result;
+}
+
+TEST(AtmEncodingTest, DatabaseShape) {
+  auto dict = Dict();
+  Atm atm = MakeExistentialSearchAtm();
+  chase::Instance db = EncodeAtm(atm, "010", dict);
+  EXPECT_EQ(db.Find(dict->Intern("symbol"))->size(), 3u);
+  EXPECT_EQ(db.Find(dict->Intern("next_cell"))->size(), 2u);
+  EXPECT_EQ(db.Find(dict->Intern("neq"))->size(), 6u);
+  EXPECT_EQ(db.Find(dict->Intern("trans"))->size(), 2u);
+  EXPECT_EQ(db.Find(dict->Intern("estate"))->size(), 1u);
+  EXPECT_EQ(db.Find(dict->Intern("accepting"))->size(), 1u);
+}
+
+TEST(AtmTest, ExistentialMachineFindsAOne) {
+  Atm atm = MakeExistentialSearchAtm();
+  EXPECT_TRUE(Accepts(atm, "0100", 6));
+}
+
+TEST(AtmTest, ExistentialMachineRejectsAllZeros) {
+  Atm atm = MakeExistentialSearchAtm();
+  EXPECT_FALSE(Accepts(atm, "0000", 6));
+}
+
+TEST(AtmTest, ExistentialMachineOneAtTheEnd) {
+  // The right-moving branch dies at the boundary; the left-moving
+  // existential branch must save the run.
+  Atm atm = MakeExistentialSearchAtm();
+  EXPECT_TRUE(Accepts(atm, "0001", 6));
+}
+
+TEST(AtmTest, ExistentialMachineOneAtTheStart) {
+  Atm atm = MakeExistentialSearchAtm();
+  EXPECT_TRUE(Accepts(atm, "1000", 4));
+}
+
+TEST(AtmTest, UniversalMachineAcceptsAllOnes) {
+  Atm atm = MakeUniversalCheckAtm();
+  EXPECT_TRUE(Accepts(atm, "111$", 7));
+}
+
+TEST(AtmTest, UniversalMachineRejectsAZero) {
+  Atm atm = MakeUniversalCheckAtm();
+  EXPECT_FALSE(Accepts(atm, "101$", 7));
+}
+
+TEST(AtmTest, UniversalMachineEmptyBody) {
+  // "1$" -> accept; "0$" -> reject.
+  Atm atm = MakeUniversalCheckAtm();
+  EXPECT_TRUE(Accepts(atm, "1$", 5));
+  EXPECT_FALSE(Accepts(atm, "0$", 5));
+}
+
+TEST(AtmTest, InsufficientDepthMeansNoAcceptance) {
+  // The '1' is 4 steps away but we only unfold 2 levels of the
+  // configuration tree: the ExpTime resource is genuinely needed.
+  Atm atm = MakeExistentialSearchAtm();
+  EXPECT_FALSE(Accepts(atm, "00001", 2));
+  EXPECT_TRUE(Accepts(atm, "00001", 7));
+}
+
+TEST(AtmTest, ConfigurationTreeGrowsWithDepth) {
+  auto dict1 = Dict();
+  auto dict2 = Dict();
+  Atm atm = MakeExistentialSearchAtm();
+  chase::ChaseStats s1, s2;
+  ASSERT_TRUE(RunAtm(atm, "0000", 3, dict1, &s1).ok());
+  ASSERT_TRUE(RunAtm(atm, "0000", 5, dict2, &s2).ok());
+  // Two children per configuration: deeper unfolding, more nulls.
+  EXPECT_GT(s2.nulls_created, s1.nulls_created);
+  EXPECT_GE(s1.nulls_created, 2u);
+}
+
+}  // namespace
+}  // namespace triq::core

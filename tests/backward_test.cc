@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chase/backward.h"
+#include "chase/chase.h"
+#include "datalog/parser.h"
+#include "owl/generator.h"
+#include "owl/rdf_mapping.h"
+#include "translate/owl2ql_program.h"
+
+namespace triq::chase {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+datalog::Program Parse(std::string_view text,
+                       std::shared_ptr<Dictionary> dict) {
+  auto program = datalog::ParseProgram(text, std::move(dict));
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+datalog::Atom Ground(std::string_view pred,
+                     const std::vector<std::string>& args,
+                     Dictionary* dict) {
+  datalog::Atom atom;
+  atom.predicate = dict->Intern(pred);
+  for (const std::string& a : args) {
+    atom.args.push_back(datalog::Term::Constant(dict->Intern(a)));
+  }
+  return atom;
+}
+
+TEST(BackwardTest, DatabaseFactProvesImmediately) {
+  auto dict = Dict();
+  datalog::Program program = Parse("p(?X) -> q(?X) .", dict);
+  Instance db(dict);
+  db.AddFact("q", {"a"});
+  auto result = BackwardProve(program, db, Ground("q", {"a"}, dict.get()));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(*result);
+}
+
+TEST(BackwardTest, OneStepRule) {
+  auto dict = Dict();
+  datalog::Program program = Parse("p(?X) -> q(?X) .", dict);
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  EXPECT_TRUE(*BackwardProve(program, db, Ground("q", {"a"}, dict.get())));
+  EXPECT_FALSE(*BackwardProve(program, db, Ground("q", {"b"}, dict.get())));
+}
+
+TEST(BackwardTest, TransitiveClosureChain) {
+  auto dict = Dict();
+  datalog::Program program = Parse(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    edge(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                                   dict);
+  Instance db(dict);
+  for (int i = 0; i < 12; ++i) {
+    db.AddFact("edge", {"v" + std::to_string(i), "v" + std::to_string(i + 1)});
+  }
+  EXPECT_TRUE(
+      *BackwardProve(program, db, Ground("tc", {"v0", "v12"}, dict.get())));
+  EXPECT_TRUE(
+      *BackwardProve(program, db, Ground("tc", {"v3", "v7"}, dict.get())));
+  BackwardStats stats;
+  auto negative = BackwardProve(program, db,
+                                Ground("tc", {"v7", "v3"}, dict.get()), {},
+                                &stats);
+  ASSERT_TRUE(negative.ok());
+  EXPECT_FALSE(*negative);
+  EXPECT_FALSE(stats.depth_limited);  // authoritative no
+}
+
+TEST(BackwardTest, RightRecursiveVariantAlsoWorks) {
+  auto dict = Dict();
+  datalog::Program program = Parse(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    tc(?X, ?Y), edge(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                                   dict);
+  Instance db(dict);
+  for (int i = 0; i < 8; ++i) {
+    db.AddFact("edge", {"v" + std::to_string(i), "v" + std::to_string(i + 1)});
+  }
+  EXPECT_TRUE(
+      *BackwardProve(program, db, Ground("tc", {"v0", "v8"}, dict.get())));
+}
+
+TEST(BackwardTest, ExistentialWitnessesAreFree) {
+  auto dict = Dict();
+  // q(a) holds because s(a, z) is invented; the z is a placeholder.
+  datalog::Program program = Parse(R"(
+    p(?X) -> exists ?Y s(?X, ?Y) .
+    s(?X, ?Y) -> q(?X) .
+  )",
+                                   dict);
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  EXPECT_TRUE(*BackwardProve(program, db, Ground("q", {"a"}, dict.get())));
+  EXPECT_FALSE(*BackwardProve(program, db, Ground("q", {"b"}, dict.get())));
+}
+
+TEST(BackwardTest, ExistentialPositionRejectsConstants) {
+  auto dict = Dict();
+  // s(a, b) for a concrete b is NOT entailed: the invented null is not b
+  // (Definition 6.11's compatibility condition (ii)).
+  datalog::Program program = Parse("p(?X) -> exists ?Y s(?X, ?Y) .", dict);
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  EXPECT_FALSE(*BackwardProve(program, db, Ground("s", {"a", "b"},
+                                                  dict.get())));
+}
+
+TEST(BackwardTest, JointWitnessAcrossSubgoals) {
+  auto dict = Dict();
+  // good(x) needs link(x, W) and tag(W) for the SAME W.
+  datalog::Program program = Parse(R"(
+    link(?X, ?W), tag(?W) -> good(?X) .
+  )",
+                                   dict);
+  Instance db(dict);
+  db.AddFact("link", {"x", "w1"});
+  db.AddFact("link", {"x", "w2"});
+  db.AddFact("link", {"y", "w3"});
+  db.AddFact("tag", {"w2"});
+  EXPECT_TRUE(*BackwardProve(program, db, Ground("good", {"x"}, dict.get())));
+  EXPECT_FALSE(
+      *BackwardProve(program, db, Ground("good", {"y"}, dict.get())));
+}
+
+TEST(BackwardTest, AgreesWithChaseOnOwl2QlChain) {
+  auto dict = Dict();
+  owl::Ontology o = owl::ChainOntology(4, dict.get());
+  rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+  datalog::Program regime =
+      translate::BuildOwl2QlCoreProgram(dict).WithoutConstraints();
+
+  Instance chased = Instance::FromGraph(g);
+  ASSERT_TRUE(RunChase(regime, &chased).ok());
+
+  // Every ground type(·,·) fact of the chase is provable backward.
+  const Relation* types = chased.Find(dict->Intern("type"));
+  ASSERT_NE(types, nullptr);
+  Instance db = Instance::FromGraph(g);
+  int checked = 0;
+  for (const Tuple& tuple : types->tuples()) {
+    if (!tuple[0].IsConstant() || !tuple[1].IsConstant()) continue;
+    datalog::Atom goal{dict->Intern("type"), tuple, false};
+    auto proved = BackwardProve(regime, db, goal);
+    ASSERT_TRUE(proved.ok());
+    EXPECT_TRUE(*proved) << AtomToString(goal, *dict);
+    ++checked;
+  }
+  EXPECT_GT(checked, 4);
+  // And a non-fact is refuted.
+  EXPECT_FALSE(*BackwardProve(regime, db,
+                              Ground("type", {"a1", "a0"}, dict.get())));
+}
+
+TEST(BackwardTest, RejectsNegationAndConstraints) {
+  auto dict = Dict();
+  datalog::Program with_neg = Parse("p(?X), not q(?X) -> r(?X) .", dict);
+  Instance db(dict);
+  EXPECT_FALSE(
+      BackwardProve(with_neg, db, Ground("r", {"a"}, dict.get())).ok());
+  datalog::Program with_bot = Parse("p(?X) -> false .", dict);
+  EXPECT_FALSE(
+      BackwardProve(with_bot, db, Ground("p", {"a"}, dict.get())).ok());
+}
+
+TEST(BackwardTest, RejectsNonGroundGoal) {
+  auto dict = Dict();
+  datalog::Program program = Parse("p(?X) -> q(?X) .", dict);
+  Instance db(dict);
+  datalog::Atom goal;
+  goal.predicate = dict->Intern("q");
+  goal.args = {datalog::Term::Variable(dict->Intern("?X"))};
+  EXPECT_FALSE(BackwardProve(program, db, goal).ok());
+}
+
+TEST(BackwardTest, MemoHitsOnRepeatedSubgoals) {
+  auto dict = Dict();
+  datalog::Program program = Parse(R"(
+    e(?X, ?Y) -> tc(?X, ?Y) .
+    e(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+    tc(?X, ?Y), tc(?Y, ?Z) -> hop2(?X, ?Z) .
+  )",
+                                   dict);
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"b", "c"});
+  BackwardStats stats;
+  EXPECT_TRUE(*BackwardProve(program, db,
+                             Ground("hop2", {"a", "c"}, dict.get()), {},
+                             &stats));
+}
+
+class BackwardVsChaseSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackwardVsChaseSweep, ChainLengthsAgree) {
+  int n = GetParam();
+  auto dict = Dict();
+  datalog::Program program = Parse(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    edge(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                                   dict);
+  Instance db(dict);
+  for (int i = 0; i < n; ++i) {
+    db.AddFact("edge", {"v" + std::to_string(i), "v" + std::to_string(i + 1)});
+  }
+  Instance chased(dict);
+  for (int i = 0; i < n; ++i) {
+    chased.AddFact("edge",
+                   {"v" + std::to_string(i), "v" + std::to_string(i + 1)});
+  }
+  ASSERT_TRUE(RunChase(program, &chased).ok());
+  // Forward and backward agree on every pair.
+  for (int a = 0; a <= n; ++a) {
+    for (int b = 0; b <= n; ++b) {
+      datalog::Atom goal = Ground(
+          "tc", {"v" + std::to_string(a), "v" + std::to_string(b)},
+          dict.get());
+      bool forward = chased.Contains(goal.predicate, goal.args);
+      auto backward = BackwardProve(program, db, goal);
+      ASSERT_TRUE(backward.ok());
+      EXPECT_EQ(forward, *backward) << a << "->" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Chains, BackwardVsChaseSweep,
+                         ::testing::Values(2, 5, 9));
+
+}  // namespace
+}  // namespace triq::chase

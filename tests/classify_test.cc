@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/atm.h"
+#include "core/workloads.h"
+#include "datalog/classify.h"
+#include "datalog/parser.h"
+#include "translate/owl2ql_program.h"
+
+namespace triq::datalog {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+Program Parse(std::string_view text, std::shared_ptr<Dictionary> dict) {
+  auto program = ParseProgram(text, std::move(dict));
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return std::move(program).value();
+}
+
+TEST(ClassifyTest, Example41IsWeaklyFrontierGuardedNotWeaklyGuarded) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X, ?Y), s(?Y, ?Z) -> exists ?W t(?Y, ?X, ?W) .
+    t(?X, ?Y, ?Z) -> exists ?W p(?W, ?Z) .
+    t(?X, ?Y, ?Z) -> s(?X, ?Y) .
+  )",
+                          dict);
+  EXPECT_TRUE(IsWeaklyFrontierGuarded(program));
+  // Rule 1 has harmful ?X (p[1]) and ?Z (s[2]) in different atoms.
+  EXPECT_FALSE(IsWeaklyGuarded(program));
+}
+
+TEST(ClassifyTest, PlainDatalogIsEverything) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    edge(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                          dict);
+  // affected(Π) = ∅, so all variables are harmless: trivially warded
+  // (Section 6.3) and weakly-(frontier-)guarded.
+  EXPECT_TRUE(IsWarded(program));
+  EXPECT_TRUE(IsWeaklyGuarded(program));
+  EXPECT_TRUE(IsWeaklyFrontierGuarded(program));
+  EXPECT_TRUE(IsNearlyFrontierGuarded(program));
+  EXPECT_TRUE(HasGroundedNegation(program));
+  // But the TC rule has no atom containing all three variables:
+  EXPECT_FALSE(IsGuarded(program));
+}
+
+TEST(ClassifyTest, GuardedProgram) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    r(?X, ?Y, ?Z), p(?X) -> exists ?W r(?Y, ?Z, ?W) .
+  )",
+                          dict);
+  EXPECT_TRUE(IsGuarded(program));
+  EXPECT_TRUE(IsFrontierGuarded(program));
+}
+
+TEST(ClassifyTest, FrontierGuardedButNotGuarded) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X, ?Y), q(?Z) -> exists ?W t(?X, ?Y, ?W) .
+  )",
+                          dict);
+  // Frontier {?X, ?Y} is inside p, but no atom holds ?X ?Y ?Z together.
+  EXPECT_TRUE(IsFrontierGuarded(program));
+  EXPECT_FALSE(IsGuarded(program));
+}
+
+TEST(ClassifyTest, WardedRequiresHarmlessSharing) {
+  auto dict = Dict();
+  // The ward t(...) shares the harmful ?X with the second atom: weakly-
+  // frontier-guarded but NOT warded (the Section 6.1 distinction).
+  Program program = Parse(R"(
+    start(?X) -> exists ?Y t(?X, ?Y) .
+    t(?X, ?Y) -> t(?Y, ?X) .
+    t(?X, ?Y), t(?Y, ?Z) -> out(?Y) .
+  )",
+                          dict);
+  EXPECT_TRUE(IsWeaklyFrontierGuarded(program));
+  EXPECT_FALSE(IsWarded(program));
+}
+
+TEST(ClassifyTest, WardedAcceptsHarmlessJoin) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    person(?X) -> exists ?Y knows(?X, ?Y) .
+    knows(?X, ?Y), person(?X) -> out(?Y) .
+  )",
+                          dict);
+  // knows is the ward; it shares only the harmless ?X (person[1] is
+  // non-affected) with the rest of the body.
+  EXPECT_TRUE(IsWarded(program));
+}
+
+TEST(ClassifyTest, GroundedNegationDetectsHarmfulNegatedTerm) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X) -> exists ?Y s(?X, ?Y) .
+    s(?X, ?Y), not bad(?Y) -> out(?X) .
+    s(?X, ?Y) -> bad(?Y) .
+  )",
+                          dict);
+  EXPECT_FALSE(HasGroundedNegation(program));
+}
+
+TEST(ClassifyTest, GroundedNegationAcceptsHarmlessTerms) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X) -> exists ?Y s(?X, ?Y) .
+    s(?X, ?Y), p(?X), not bad(?X) -> out(?X) .
+  )",
+                          dict);
+  EXPECT_TRUE(HasGroundedNegation(program));
+}
+
+TEST(ClassifyTest, NearlyFrontierGuardedAllowsHarmlessRecursion) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p0(?X) -> exists ?Y s(?X, ?Y) .
+    p0(?X), p0(?Z) -> reach(?X, ?Z) .
+    reach(?X, ?Z), p0(?W) -> reach(?X, ?W) .
+  )",
+                          dict);
+  EXPECT_TRUE(IsNearlyFrontierGuarded(program));
+}
+
+TEST(ClassifyTest, NearlyFrontierGuardedRejectsHarmfulNonFrontierGuarded) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X) -> exists ?Y s(?X, ?Y) .
+    s(?X, ?Y), s(?Y, ?Z) -> t(?X, ?Z) .
+  )",
+                          dict);
+  // Frontier {?X, ?Z} spans two atoms and ?Y, ?Z are harmful.
+  EXPECT_FALSE(IsNearlyFrontierGuarded(program));
+}
+
+// --- The paper's named programs -----------------------------------------
+
+TEST(ClassifyTest, Owl2QlCoreProgramIsTriqLite10) {
+  auto dict = Dict();
+  Program program = translate::BuildOwl2QlCoreProgram(dict);
+  EXPECT_TRUE(IsWarded(program)) << IsWarded(program).reason;
+  EXPECT_TRUE(HasGroundedNegation(program));
+  EXPECT_TRUE(IsTriqLite10(program)) << IsTriqLite10(program).reason;
+  // ...hence also TriQ 1.0 (warded ⊂ weakly-frontier-guarded).
+  EXPECT_TRUE(IsTriq10(program));
+}
+
+TEST(ClassifyTest, CliqueProgramIsTriq10ButNotTriqLite10) {
+  auto dict = Dict();
+  Program program = core::CliqueProgram(dict);
+  EXPECT_TRUE(IsTriq10(program)) << IsTriq10(program).reason;
+  EXPECT_FALSE(IsWarded(program));
+  // The negation on noclique(?X) ranges over nulls: not grounded.
+  EXPECT_FALSE(HasGroundedNegation(program));
+  EXPECT_FALSE(IsTriqLite10(program));
+  // Example 4.3's program is within the mildest relaxation of Section
+  // 6.4 — consistent with its ExpTime-hardness.
+  EXPECT_TRUE(IsWardedWithMinimalInteraction(program))
+      << IsWardedWithMinimalInteraction(program).reason;
+}
+
+TEST(ClassifyTest, AtmProgramIsMinimalInteractionNotWarded) {
+  auto dict = Dict();
+  Program program = core::AtmProgram(dict);
+  EXPECT_TRUE(IsWardedWithMinimalInteraction(program))
+      << IsWardedWithMinimalInteraction(program).reason;
+  EXPECT_FALSE(IsWarded(program));
+  EXPECT_TRUE(IsTriq10(program)) << IsTriq10(program).reason;
+}
+
+TEST(ClassifyTest, MinimalInteractionRejectsTwoSharedHarmfuls) {
+  auto dict = Dict();
+  Program program = Parse(R"(
+    p(?X) -> exists ?Y ?Z t(?X, ?Y, ?Z) .
+    t(?X, ?Y, ?Z), u(?Y, ?Z) -> t(?Z, ?Y, ?X) .
+    t(?X, ?Y, ?Z) -> u(?Y, ?Z) .
+  )",
+                          dict);
+  EXPECT_FALSE(IsWardedWithMinimalInteraction(program));
+}
+
+TEST(ClassifyTest, StratifiedCheckMirrorsStratify) {
+  auto dict = Dict();
+  Program bad = Parse(R"(
+    n(?X), not q(?X) -> p(?X) .
+    n(?X), not p(?X) -> q(?X) .
+  )",
+                      dict);
+  EXPECT_FALSE(IsStratifiedCheck(bad));
+  EXPECT_FALSE(IsTriq10(bad));
+}
+
+}  // namespace
+}  // namespace triq::datalog

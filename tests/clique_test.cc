@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/triq.h"
+#include "core/workloads.h"
+
+namespace triq::core {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+/// Runs Example 4.3 end to end: does the graph contain a k-clique?
+bool HasClique(int num_nodes, const std::vector<std::pair<int, int>>& edges,
+               int k, std::shared_ptr<Dictionary> dict) {
+  auto query = TriqQuery::Create(CliqueProgram(dict), "yes");
+  EXPECT_TRUE(query.ok());
+  chase::Instance db = CliqueDatabase(num_nodes, edges, k, dict);
+  chase::ChaseOptions options;
+  options.max_facts = 100'000'000;
+  auto answers = query->Evaluate(db, options);
+  EXPECT_TRUE(answers.ok()) << answers.status().ToString();
+  return !answers->empty();
+}
+
+TEST(CliqueTest, TriangleIsA3Clique) {
+  auto dict = Dict();
+  EXPECT_TRUE(HasClique(3, {{0, 1}, {1, 2}, {0, 2}}, 3, dict));
+}
+
+TEST(CliqueTest, PathIsNotA3Clique) {
+  auto dict = Dict();
+  EXPECT_FALSE(HasClique(3, {{0, 1}, {1, 2}}, 3, dict));
+}
+
+TEST(CliqueTest, TriangleHasNo4Clique) {
+  auto dict = Dict();
+  EXPECT_FALSE(HasClique(3, {{0, 1}, {1, 2}, {0, 2}}, 4, dict));
+}
+
+TEST(CliqueTest, K4Contains4Clique) {
+  auto dict = Dict();
+  EXPECT_TRUE(HasClique(4, CompleteGraphEdges(4), 4, dict));
+}
+
+TEST(CliqueTest, K4MinusEdgeHasNo4Clique) {
+  auto dict = Dict();
+  std::vector<std::pair<int, int>> edges = CompleteGraphEdges(4);
+  edges.pop_back();
+  EXPECT_FALSE(HasClique(4, edges, 4, dict));
+}
+
+TEST(CliqueTest, TwoCliqueIsJustAnEdge) {
+  auto dict = Dict();
+  EXPECT_TRUE(HasClique(2, {{0, 1}}, 2, dict));
+  auto dict2 = Dict();
+  EXPECT_FALSE(HasClique(2, {}, 2, dict2));
+}
+
+TEST(CliqueTest, SelfLoopsDoNotFakeACilque) {
+  // The fifth Π_clique rule exists exactly for this case: a node with a
+  // self-loop must not count as a clique of size 2 by itself.
+  auto dict = Dict();
+  EXPECT_FALSE(HasClique(1, {{0, 0}}, 2, dict));
+}
+
+TEST(CliqueTest, EmbeddedTriangleInSparseGraph) {
+  auto dict = Dict();
+  // A 6-node graph whose only triangle is {2,3,4}.
+  EXPECT_TRUE(HasClique(
+      6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {2, 4}, {4, 5}}, 3, dict));
+}
+
+TEST(CliqueTest, CompleteBipartiteHasNoTriangle) {
+  auto dict = Dict();
+  // K_{3,3} is triangle-free.
+  std::vector<std::pair<int, int>> edges;
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 3; b < 6; ++b) edges.emplace_back(a, b);
+  }
+  EXPECT_FALSE(HasClique(6, edges, 3, dict));
+}
+
+class CliqueOnCompleteGraphs : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueOnCompleteGraphs, KnHasAllCliquesUpToN) {
+  int n = GetParam();
+  auto dict = Dict();
+  EXPECT_TRUE(HasClique(n, CompleteGraphEdges(n), n, dict));
+  auto dict2 = Dict();
+  EXPECT_FALSE(HasClique(n, CompleteGraphEdges(n), n + 1, dict2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliqueOnCompleteGraphs,
+                         ::testing::Values(2, 3, 4));
+
+TEST(CliqueTest, RandomGraphEdgesDeterministic) {
+  auto e1 = RandomGraphEdges(10, 0.5, 42);
+  auto e2 = RandomGraphEdges(10, 0.5, 42);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(RandomGraphEdges(10, 0.0, 1).size(), 0u);
+  EXPECT_EQ(RandomGraphEdges(10, 1.0, 1).size(), 45u);
+}
+
+}  // namespace
+}  // namespace triq::core

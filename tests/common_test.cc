@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "common/dictionary.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace triq {
+namespace {
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  SymbolId a = dict.Intern("hello");
+  SymbolId b = dict.Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.Text(a), "hello");
+}
+
+TEST(DictionaryTest, DistinctStringsGetDistinctIds) {
+  Dictionary dict;
+  SymbolId a = dict.Intern("a");
+  SymbolId b = dict.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, IdZeroIsReserved) {
+  Dictionary dict;
+  EXPECT_NE(dict.Intern("x"), kInvalidSymbol);
+  EXPECT_EQ(dict.Lookup("never-interned"), kInvalidSymbol);
+}
+
+TEST(DictionaryTest, LookupFindsInterned) {
+  Dictionary dict;
+  SymbolId a = dict.Intern("rdf:type");
+  EXPECT_EQ(dict.Lookup("rdf:type"), a);
+}
+
+TEST(DictionaryTest, ManySymbolsRoundTrip) {
+  Dictionary dict;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(dict.Intern("sym" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.Text(ids[i]), "sym" + std::to_string(i));
+  }
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad rule");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad rule");
+}
+
+TEST(StatusTest, InconsistentIsTheTopAnswer) {
+  Status s = Status::Inconsistent("constraint fired");
+  EXPECT_EQ(s.code(), StatusCode::kInconsistent);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  abc \t\n"), "abc");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  std::vector<std::string> parts = SplitAndTrim("a, b , ,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("some:prop", "some:"));
+  EXPECT_FALSE(StartsWith("so", "some:"));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+}  // namespace
+}  // namespace triq

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datalog/parser.h"
+
+namespace triq::datalog {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(ParserTest, ParsesQueryTwoFromThePaper) {
+  auto dict = Dict();
+  // Rule (2) of Section 2.
+  auto program = ParseProgram(
+      "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X) .",
+      dict);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->size(), 1u);
+  const Rule& rule = program->rules()[0];
+  EXPECT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.head.size(), 1u);
+  EXPECT_EQ(dict->Text(rule.head[0].predicate), "query");
+}
+
+TEST(ParserTest, ParsesExistentialRule) {
+  auto dict = Dict();
+  auto rule = ParseRule(
+      "triple(?X, is_coauthor_of, ?Y) -> exists ?Z "
+      "triple(?X, is_author_of, ?Z), triple(?Y, is_author_of, ?Z)",
+      dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head.size(), 2u);
+  std::vector<Term> ex = rule->ExistentialVariables();
+  ASSERT_EQ(ex.size(), 1u);
+  EXPECT_EQ(dict->Text(ex[0].symbol()), "?Z");
+}
+
+TEST(ParserTest, ImplicitExistentialsWork) {
+  auto dict = Dict();
+  auto rule = ParseRule("p(?X) -> s(?X, ?Y)", dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->ExistentialVariables().size(), 1u);
+}
+
+TEST(ParserTest, ParsesNegation) {
+  auto dict = Dict();
+  auto rule = ParseRule("p(?X), not q(?X) -> r(?X)", dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_FALSE(rule->body[0].negated);
+  EXPECT_TRUE(rule->body[1].negated);
+}
+
+TEST(ParserTest, ParsesConstraint) {
+  auto dict = Dict();
+  auto rule = ParseRule("type(?X, ?Y), type(?X, ?Z), disj(?Y, ?Z) -> false",
+                        dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_TRUE(rule->IsConstraint());
+}
+
+TEST(ParserTest, ParsesZeroAryHead) {
+  auto dict = Dict();
+  auto rule = ParseRule("ism(?X, ?Y), max(?Y), not noclique(?X) -> yes()",
+                        dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->head[0].arity(), 0u);
+}
+
+TEST(ParserTest, ParsesQuotedConstants) {
+  auto dict = Dict();
+  auto rule = ParseRule(
+      "triple(?X, name, \"Jeffrey Ullman\") -> found(?X)", dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(dict->Text(rule->body[0].args[2].symbol()), "\"Jeffrey Ullman\"");
+}
+
+TEST(ParserTest, ParsesColonsInUris) {
+  auto dict = Dict();
+  auto rule = ParseRule(
+      "triple(?X, rdf:type, owl:Restriction) -> restriction(?X)", dict.get());
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(dict->Text(rule->body[0].args[1].symbol()), "rdf:type");
+}
+
+TEST(ParserTest, CommentsAreIgnored) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    % a comment
+    p(?X) -> q(?X) .  # another
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->size(), 1u);
+}
+
+TEST(ParserTest, RejectsUnsafeNegation) {
+  auto dict = Dict();
+  auto rule = ParseRule("p(?X), not q(?Y) -> r(?X)", dict.get());
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserTest, RejectsEmptyBody) {
+  auto dict = Dict();
+  auto rule = ParseRule("-> q(a)", dict.get());
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserTest, RejectsNegatedHead) {
+  auto dict = Dict();
+  auto rule = ParseRule("p(?X) -> not q(?X)", dict.get());
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserTest, RejectsExistentialAlsoInBody) {
+  auto dict = Dict();
+  auto rule = ParseRule("p(?X) -> exists ?X q(?X)", dict.get());
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(ParserTest, RejectsMissingDotBetweenRules) {
+  auto dict = Dict();
+  auto program = ParseProgram("p(?X) -> q(?X) p(?Y) -> q(?Y) .", dict);
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, RoundTripsThroughToString) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    p(?X, c), not q(?X) -> exists ?Y r(?X, ?Y) .
+    r(?X, ?Y) -> false .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto reparsed = ParseProgram(program->ToString(), dict);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->ToString(), program->ToString());
+}
+
+TEST(ParserTest, ParseAtomStandalone) {
+  auto dict = Dict();
+  auto atom = ParseAtom("not edge(?W, ?U)", dict.get());
+  ASSERT_TRUE(atom.ok());
+  EXPECT_TRUE(atom->negated);
+  EXPECT_EQ(atom->arity(), 2u);
+}
+
+}  // namespace
+}  // namespace triq::datalog

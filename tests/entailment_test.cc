@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "owl/generator.h"
+#include "owl/rdf_mapping.h"
+#include "sparql/parser.h"
+#include "translate/owl2ql_program.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace triq::translate {
+namespace {
+
+using sparql::GraphPattern;
+using sparql::MappingSet;
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+std::unique_ptr<GraphPattern> Parse(std::string_view text, Dictionary* dict) {
+  auto pattern = sparql::ParsePattern(text, dict);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return std::move(pattern).value();
+}
+
+Result<MappingSet> EvalUnder(const GraphPattern& pattern,
+                             const rdf::Graph& graph, Regime regime,
+                             std::shared_ptr<Dictionary> dict) {
+  TranslationOptions options;
+  options.regime = regime;
+  auto translated = TranslatePattern(pattern, std::move(dict), options);
+  if (!translated.ok()) return translated.status();
+  return EvaluateTranslated(*translated, graph);
+}
+
+/// The Section 5.2 example graph (14): dog is an animal; every animal
+/// eats something.
+rdf::Graph AnimalsGraph(std::shared_ptr<Dictionary> dict) {
+  owl::Ontology o;
+  SymbolId animal = dict->Intern("animal");
+  SymbolId eats = dict->Intern("eats");
+  o.DeclareClass(animal);
+  o.DeclareProperty(eats);
+  o.AddClassAssertion(owl::BasicClass::Named(animal), dict->Intern("dog"));
+  o.AddSubClassOf(owl::BasicClass::Named(animal),
+                  owl::BasicClass::Exists(owl::BasicProperty{eats, false}));
+  rdf::Graph g(std::move(dict));
+  owl::OntologyToGraph(o, &g);
+  return g;
+}
+
+TEST(EntailmentTest, ActiveDomainMissesInventedFiller) {
+  // Under J·K^U the pattern (?X, eats, _:B) has an empty answer: the
+  // invented filler is not a graph constant (Section 5.2's example).
+  auto dict = Dict();
+  rdf::Graph g = AnimalsGraph(dict);
+  auto p = Parse("{ ?X eats _:B }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 0u);
+}
+
+TEST(EntailmentTest, ActiveDomainFindsRestrictionClass) {
+  // The paper's workaround: (?X, rdf:type, ∃eats) does find dog.
+  auto dict = Dict();
+  rdf::Graph g = AnimalsGraph(dict);
+  auto p = Parse("{ ?X rdf:type some:eats }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(dict->Text(result->mappings()[0].Get(dict->Intern("?X"))),
+            "dog");
+}
+
+TEST(EntailmentTest, AllSemanticsFindsInventedFiller) {
+  // Section 5.3: dropping the active-domain restriction, _:B may take
+  // the invented value, so dog is an answer of (?X, eats, _:B).
+  auto dict = Dict();
+  rdf::Graph g = AnimalsGraph(dict);
+  auto p = Parse("{ ?X eats _:B }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kAll, dict);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(dict->Text(result->mappings()[0].Get(dict->Intern("?X"))),
+            "dog");
+}
+
+TEST(EntailmentTest, HerbivoresExample) {
+  // Section 5.3's motivating query: animals that eat some plant
+  // material, where plant-material-hood is only implied by the axiom
+  // ∃eats⁻ ⊑ plant_material.
+  auto dict = Dict();
+  owl::Ontology o;
+  SymbolId animal = dict->Intern("animal");
+  SymbolId plant = dict->Intern("plant_material");
+  SymbolId eats = dict->Intern("eats");
+  o.DeclareClass(animal);
+  o.DeclareClass(plant);
+  o.DeclareProperty(eats);
+  o.AddClassAssertion(owl::BasicClass::Named(animal), dict->Intern("dog"));
+  o.AddSubClassOf(owl::BasicClass::Named(animal),
+                  owl::BasicClass::Exists(owl::BasicProperty{eats, false}));
+  o.AddSubClassOf(owl::BasicClass::Exists(owl::BasicProperty{eats, true}),
+                  owl::BasicClass::Named(plant));
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+
+  auto q = Parse("{ ?X eats _:B . _:B rdf:type plant_material }", dict.get());
+  auto all = EvalUnder(*q, g, Regime::kAll, dict);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->size(), 1u);
+  EXPECT_EQ(dict->Text(all->mappings()[0].Get(dict->Intern("?X"))), "dog");
+
+  auto active = EvalUnder(*q, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(active.ok());
+  EXPECT_EQ(active->size(), 0u);  // no concrete witness in G
+}
+
+TEST(EntailmentTest, SubPropertyReasoning) {
+  auto dict = Dict();
+  owl::Ontology o;
+  SymbolId owns = dict->Intern("owns");
+  SymbolId has = dict->Intern("has");
+  o.DeclareProperty(owns);
+  o.DeclareProperty(has);
+  o.AddSubPropertyOf(owl::BasicProperty{owns, false},
+                     owl::BasicProperty{has, false});
+  o.AddPropertyAssertion(owns, dict->Intern("ann"), dict->Intern("car"));
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+
+  auto p = Parse("{ ann has ?X }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(dict->Text(result->mappings()[0].Get(dict->Intern("?X"))),
+            "car");
+}
+
+TEST(EntailmentTest, InversePropertyReasoning) {
+  auto dict = Dict();
+  owl::Ontology o;
+  SymbolId part_of = dict->Intern("partOfP");
+  SymbolId has_part = dict->Intern("hasPart");
+  o.DeclareProperty(part_of);
+  o.DeclareProperty(has_part);
+  // partOfP ⊑ hasPart⁻.
+  o.AddSubPropertyOf(owl::BasicProperty{part_of, false},
+                     owl::BasicProperty{has_part, true});
+  o.AddPropertyAssertion(part_of, dict->Intern("wheel"),
+                         dict->Intern("car"));
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+
+  auto p = Parse("{ car hasPart ?X }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(dict->Text(result->mappings()[0].Get(dict->Intern("?X"))),
+            "wheel");
+}
+
+TEST(EntailmentTest, SubclassChainPropagatesTypes) {
+  auto dict = Dict();
+  owl::Ontology o = owl::ChainOntology(6, dict.get());
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+  // c gets a p-filler (a0 ⊑ ∃p); the filler is typed a1 ⊑ ... ⊑ a6.
+  auto p = Parse("{ c p _:B . _:B rdf:type a6 }", dict.get());
+  auto all = EvalUnder(*p, g, Regime::kAll, dict);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->size(), 1u);
+}
+
+TEST(EntailmentTest, DisjointnessMakesGraphInconsistent) {
+  auto dict = Dict();
+  owl::Ontology o;
+  SymbolId cat = dict->Intern("cat");
+  SymbolId dog = dict->Intern("dog_cls");
+  o.DeclareClass(cat);
+  o.DeclareClass(dog);
+  o.AddDisjointClasses(owl::BasicClass::Named(cat),
+                       owl::BasicClass::Named(dog));
+  o.AddClassAssertion(owl::BasicClass::Named(cat), dict->Intern("felix"));
+  o.AddClassAssertion(owl::BasicClass::Named(dog), dict->Intern("felix"));
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+
+  auto p = Parse("{ ?X rdf:type cat }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  // The ⊤ answer (Section 3.2): surfaced as kInconsistent.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInconsistent);
+}
+
+TEST(EntailmentTest, ConsistentDisjointnessIsFine) {
+  auto dict = Dict();
+  owl::Ontology o;
+  SymbolId cat = dict->Intern("cat");
+  SymbolId dog = dict->Intern("dog_cls");
+  o.DeclareClass(cat);
+  o.DeclareClass(dog);
+  o.AddDisjointClasses(owl::BasicClass::Named(cat),
+                       owl::BasicClass::Named(dog));
+  o.AddClassAssertion(owl::BasicClass::Named(cat), dict->Intern("felix"));
+  o.AddClassAssertion(owl::BasicClass::Named(dog), dict->Intern("rex"));
+  rdf::Graph g(dict);
+  owl::OntologyToGraph(o, &g);
+  auto p = Parse("{ ?X rdf:type cat }", dict.get());
+  auto result = EvalUnder(*p, g, Regime::kActiveDomain, dict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(EntailmentTest, AlgebraOperatorsComposeWithRegime) {
+  // Theorem 5.3 applies the regime at the BGP level and the standard
+  // algebra above it: check UNION and OPT compose.
+  auto dict = Dict();
+  rdf::Graph g = AnimalsGraph(dict);
+  auto p = Parse(
+      "UNION({ ?X eats _:B }, { ?X rdf:type animal })", dict.get());
+  auto all = EvalUnder(*p, g, Regime::kAll, dict);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);  // dog via both arms, deduplicated
+}
+
+TEST(EntailmentTest, Owl2QlProgramIsFixed) {
+  // The black-box property stressed in Section 5.2: the regime program
+  // text does not depend on the query.
+  std::string_view text1 = Owl2QlCoreRuleText();
+  std::string_view text2 = Owl2QlCoreRuleText();
+  EXPECT_EQ(text1.data(), text2.data());
+  auto dict = Dict();
+  datalog::Program program = BuildOwl2QlCoreProgram(dict);
+  EXPECT_EQ(program.size(), 25u);
+}
+
+}  // namespace
+}  // namespace triq::translate

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chase/chase.h"
+#include "core/expressive.h"
+#include "core/triq.h"
+#include "datalog/classify.h"
+#include "datalog/parser.h"
+#include "owl/generator.h"
+#include "owl/rdf_mapping.h"
+#include "sparql/parser.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace triq::core {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(GroundConnectionTest, CountsCooccurringConstants) {
+  auto dict = Dict();
+  chase::Instance db(dict);
+  chase::Term z = db.AllocateNull(1);
+  chase::Term a = chase::Term::Constant(dict->Intern("a"));
+  chase::Term b = chase::Term::Constant(dict->Intern("b"));
+  chase::Term c = chase::Term::Constant(dict->Intern("c"));
+  db.AddFact(dict->Intern("p"), {z, a});
+  db.AddFact(dict->Intern("p"), {z, b});
+  db.AddFact(dict->Intern("q"), {c, c});
+  EXPECT_EQ(GroundConnection(db, z), 2u);
+  EXPECT_EQ(MaxGroundConnection(db), 2u);
+}
+
+TEST(GroundConnectionTest, NoNullsMeansZero) {
+  auto dict = Dict();
+  chase::Instance db(dict);
+  db.AddFact("p", {"a", "b"});
+  EXPECT_EQ(MaxGroundConnection(db), 0u);
+}
+
+// Lemma 6.5: the warded entailment-regime program connects one null
+// with n constants on the family (G_n) — mgc grows with n.
+TEST(UgcpTest, WardedProgramHasUnboundedGroundConnection) {
+  size_t previous = 0;
+  for (int n : {2, 4, 8}) {
+    auto dict = Dict();
+    owl::Ontology o = owl::ChainOntology(n, dict.get());
+    rdf::Graph g(dict);
+    owl::OntologyToGraph(o, &g);
+    auto pattern = sparql::ParsePattern("{ c p _:B }", dict.get());
+    ASSERT_TRUE(pattern.ok());
+    translate::TranslationOptions options;
+    options.regime = translate::Regime::kAll;
+    auto translated = translate::TranslatePattern(**pattern, dict, options);
+    ASSERT_TRUE(translated.ok());
+    chase::Instance db = chase::Instance::FromGraph(g);
+    ASSERT_TRUE(chase::RunChase(translated->program, &db).ok());
+    size_t mgc = MaxGroundConnection(db);
+    EXPECT_GE(mgc, static_cast<size_t>(n));  // >= the n class URIs
+    EXPECT_GT(mgc, previous);
+    previous = mgc;
+  }
+}
+
+// Lemma 6.6: a nearly-frontier-guarded program's mgc stays constant.
+TEST(UgcpTest, NearlyFrontierGuardedIsBounded) {
+  size_t first = 0;
+  for (int n : {2, 8, 32}) {
+    auto dict = Dict();
+    datalog::Program program = NearlyFrontierGuardedDemoProgram(dict);
+    ASSERT_TRUE(datalog::IsNearlyFrontierGuarded(program));
+    chase::Instance db(dict);
+    for (int i = 0; i < n; ++i) {
+      db.AddFact("p0", {"c" + std::to_string(i)});
+    }
+    ASSERT_TRUE(chase::RunChase(program, &db).ok());
+    size_t mgc = MaxGroundConnection(db);
+    if (n == 2) first = mgc;
+    EXPECT_EQ(mgc, first);  // constant in n
+    EXPECT_LE(mgc, 2u);
+  }
+}
+
+// Theorem 7.1: the Pep separation instance behaves as in the proof.
+TEST(PepTest, WardedDistinguishesLambda1FromLambda2) {
+  auto dict = Dict();
+  PepSeparation sep = BuildPepSeparation(dict);
+  ASSERT_TRUE(datalog::IsWarded(sep.base));
+
+  datalog::Program q1 = sep.base;
+  ASSERT_TRUE(q1.Append(sep.lambda1).ok());
+  auto query1 = TriqQuery::Create(std::move(q1), "q");
+  ASSERT_TRUE(query1.ok());
+  auto answers1 = query1->Evaluate(sep.database);
+  ASSERT_TRUE(answers1.ok());
+  EXPECT_EQ(answers1->size(), 1u);  // () ∈ Q1(D)
+
+  datalog::Program q2 = sep.base;
+  ASSERT_TRUE(q2.Append(sep.lambda2).ok());
+  auto query2 = TriqQuery::Create(std::move(q2), "q");
+  ASSERT_TRUE(query2.ok());
+  auto answers2 = query2->Evaluate(sep.database);
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_TRUE(answers2->empty());  // () ∉ Q2(D)
+}
+
+// For *Datalog* programs, Λ1 answering () forces Λ2 to answer () as
+// well on D = {p(c)} — checked here for a few candidate programs, as in
+// the proof of Theorem 7.1.
+TEST(PepTest, DatalogCannotSeparate) {
+  for (std::string_view base_text :
+       {"p(?X) -> s(?X, ?X) .", "p(?X) -> s(?X, c) .",
+        "p(?X), p(?Y) -> s(?X, ?Y) ."}) {
+    auto dict = Dict();
+    auto base = datalog::ParseProgram(base_text, dict);
+    ASSERT_TRUE(base.ok());
+    PepSeparation sep = BuildPepSeparation(dict);
+
+    auto eval = [&](const datalog::Program& lambda) {
+      datalog::Program q = *base;
+      EXPECT_TRUE(q.Append(lambda).ok());
+      auto query = TriqQuery::Create(std::move(q), "q");
+      EXPECT_TRUE(query.ok());
+      auto answers = query->Evaluate(sep.database);
+      EXPECT_TRUE(answers.ok());
+      return !answers->empty();
+    };
+    bool q1 = eval(sep.lambda1);
+    bool q2 = eval(sep.lambda2);
+    // Datalog derives only ground atoms over dom(D) ∪ constants: if
+    // s(t1,t2) holds then p(t2) ∈ {p(c)} as well, so q1 -> q2.
+    EXPECT_TRUE(!q1 || q2) << base_text;
+  }
+}
+
+}  // namespace
+}  // namespace triq::core

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chase/instance.h"
+#include "chase/relation.h"
+#include "rdf/graph.h"
+
+namespace triq::chase {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation rel(2);
+  Tuple t = {Term::Constant(1), Term::Constant(2)};
+  uint32_t idx = 99;
+  EXPECT_TRUE(rel.Insert(t, &idx));
+  EXPECT_EQ(idx, 0u);
+  EXPECT_FALSE(rel.Insert(t, &idx));
+  EXPECT_EQ(idx, 0u);
+  EXPECT_EQ(rel.size(), 1u);
+}
+
+TEST(RelationTest, PostingsPerPosition) {
+  Relation rel(2);
+  rel.Insert({Term::Constant(1), Term::Constant(2)});
+  rel.Insert({Term::Constant(1), Term::Constant(3)});
+  rel.Insert({Term::Constant(4), Term::Constant(2)});
+  const auto* by_first = rel.Postings(0, Term::Constant(1));
+  ASSERT_NE(by_first, nullptr);
+  EXPECT_EQ(by_first->size(), 2u);
+  const auto* by_second = rel.Postings(1, Term::Constant(2));
+  ASSERT_NE(by_second, nullptr);
+  EXPECT_EQ(by_second->size(), 2u);
+  EXPECT_EQ(rel.Postings(0, Term::Constant(42)), nullptr);
+}
+
+TEST(RelationTest, NullsAreIndexedLikeConstants) {
+  Relation rel(1);
+  rel.Insert({Term::Null(7)});
+  const auto* postings = rel.Postings(0, Term::Null(7));
+  ASSERT_NE(postings, nullptr);
+  EXPECT_EQ(postings->size(), 1u);
+  EXPECT_TRUE(rel.Contains({Term::Null(7)}));
+  EXPECT_FALSE(rel.Contains({Term::Null(8)}));
+}
+
+TEST(InstanceTest, AddFactCreatesRelations) {
+  auto dict = Dict();
+  Instance db(dict);
+  EXPECT_TRUE(db.AddFact("p", {"a", "b"}));
+  EXPECT_FALSE(db.AddFact("p", {"a", "b"}));
+  EXPECT_EQ(db.TotalFacts(), 1u);
+  EXPECT_NE(db.Find(dict->Intern("p")), nullptr);
+  EXPECT_EQ(db.Find(dict->Intern("q")), nullptr);
+}
+
+TEST(InstanceTest, NullAllocationTracksDepth) {
+  auto dict = Dict();
+  Instance db(dict);
+  Term z0 = db.AllocateNull(1);
+  Term z1 = db.AllocateNull(5);
+  EXPECT_NE(z0, z1);
+  EXPECT_EQ(db.NullDepth(z0), 1u);
+  EXPECT_EQ(db.NullDepth(z1), 5u);
+  EXPECT_EQ(db.null_count(), 2u);
+}
+
+TEST(InstanceTest, GroundFactsFilterNulls) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  Term z = db.AllocateNull(1);
+  db.AddFact(dict->Intern("q"), {z});
+  EXPECT_EQ(db.AllFacts().size(), 2u);
+  EXPECT_EQ(db.GroundFacts().size(), 1u);
+}
+
+TEST(InstanceTest, ToStringIsSortedAndStable) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("b_rel", {"x"});
+  db.AddFact("a_rel", {"y"});
+  EXPECT_EQ(db.ToString(), "a_rel(y)\nb_rel(x)\n");
+}
+
+TEST(InstanceTest, FromGraphLoadsTripleFacts) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("s", "p", "o");
+  g.Add("s2", "p", "o2");
+  Instance db = Instance::FromGraph(g);
+  const Relation* triples = db.Find(dict->Intern("triple"));
+  ASSERT_NE(triples, nullptr);
+  EXPECT_EQ(triples->size(), 2u);
+  EXPECT_EQ(triples->arity(), 3u);
+}
+
+TEST(InstanceTest, ToGraphExportsTriplesWithBlankNulls) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("output", {"alice", "knows", "bob"});
+  Term z = db.AllocateNull(1);
+  db.AddFact(dict->Intern("output"),
+             {z, Term::Constant(dict->Intern("likes")),
+              Term::Constant(dict->Intern("tea"))});
+  auto graph = db.ToGraph("output");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->size(), 2u);
+  EXPECT_NE(dict->Lookup("_:n0"), kInvalidSymbol);
+}
+
+TEST(InstanceTest, ToGraphRejectsWrongArity) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("pair", {"a", "b"});
+  EXPECT_FALSE(db.ToGraph("pair").ok());
+}
+
+TEST(InstanceTest, ToGraphOnMissingPredicateIsEmpty) {
+  auto dict = Dict();
+  Instance db(dict);
+  auto graph = db.ToGraph("nothing");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->size(), 0u);
+}
+
+TEST(InstanceTest, GraphRoundTrip) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("s", "p", "o");
+  g.Add("a", "b", "c");
+  Instance db = Instance::FromGraph(g);
+  auto back = db.ToGraph("triple");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), g.size());
+  for (const rdf::Triple& t : g.triples()) {
+    EXPECT_TRUE(back->Contains(t));
+  }
+}
+
+TEST(InstanceTest, DerivationRecordKeepsFirst) {
+  auto dict = Dict();
+  Instance db(dict);
+  FactRef ref;
+  db.AddFact(dict->Intern("p"), {Term::Constant(dict->Intern("a"))}, &ref);
+  db.RecordDerivation(ref, Derivation{3, {}});
+  db.RecordDerivation(ref, Derivation{9, {}});
+  const Derivation* d = db.FindDerivation(ref);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->rule_index, 3u);
+}
+
+}  // namespace
+}  // namespace triq::chase

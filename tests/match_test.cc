@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "chase/match.h"
+#include "datalog/parser.h"
+
+namespace triq::chase {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+datalog::Rule ParseR(std::string_view text, Dictionary* dict) {
+  auto rule = datalog::ParseRule(text, dict);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+size_t CountMatches(const datalog::Rule& rule, const Instance& db,
+                    const MatchOptions& options = {}) {
+  size_t count = 0;
+  MatchBody(rule, db, options, [&](const Match&) {
+    ++count;
+    return true;
+  });
+  return count;
+}
+
+TEST(MatchTest, SimpleJoin) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"b", "c"});
+  db.AddFact("e", {"c", "d"});
+  datalog::Rule rule = ParseR("e(?X, ?Y), e(?Y, ?Z) -> path(?X, ?Z)",
+                              dict.get());
+  EXPECT_EQ(CountMatches(rule, db), 2u);  // a-b-c and b-c-d
+}
+
+TEST(MatchTest, ConstantsInBodyFilter) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"a", "c"});
+  db.AddFact("e", {"b", "c"});
+  datalog::Rule rule = ParseR("e(a, ?Y) -> from_a(?Y)", dict.get());
+  EXPECT_EQ(CountMatches(rule, db), 2u);
+}
+
+TEST(MatchTest, EarlyTerminationViaCallback) {
+  auto dict = Dict();
+  Instance db(dict);
+  for (int i = 0; i < 100; ++i) {
+    db.AddFact("p", {"c" + std::to_string(i)});
+  }
+  datalog::Rule rule = ParseR("p(?X) -> q(?X)", dict.get());
+  size_t seen = 0;
+  MatchBody(rule, db, {}, [&](const Match&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(MatchTest, DeltaConstraintRestrictsOneAtom) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});  // index 0
+  db.AddFact("e", {"b", "c"});  // index 1
+  db.AddFact("e", {"c", "d"});  // index 2
+  datalog::Rule rule = ParseR("e(?X, ?Y), e(?Y, ?Z) -> p(?X, ?Z)",
+                              dict.get());
+  MatchOptions options;
+  options.delta_body_index = 0;  // first atom restricted to new facts
+  options.delta_begin = 2;       // only e(c, d)
+  // Only (c,d) can play the first role; no (d, ?) edge exists.
+  EXPECT_EQ(CountMatches(rule, db, options), 0u);
+  options.delta_begin = 1;  // e(b,c) and e(c,d) as first atom
+  EXPECT_EQ(CountMatches(rule, db, options), 1u);  // b-c-d
+}
+
+TEST(MatchTest, SeedBindingRestrictsVariables) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});
+  db.AddFact("e", {"a", "c"});
+  datalog::Rule rule = ParseR("e(?X, ?Y) -> p(?Y)", dict.get());
+  Binding seed;
+  seed.Bind(Term::Variable(dict->Intern("?Y")),
+            Term::Constant(dict->Intern("c")));
+  MatchOptions options;
+  options.seed = &seed;
+  EXPECT_EQ(CountMatches(rule, db, options), 1u);
+}
+
+TEST(MatchTest, NegatedAtomFiltersBoundTuples) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  db.AddFact("p", {"b"});
+  db.AddFact("blocked", {"a"});
+  datalog::Rule rule = ParseR("p(?X), not blocked(?X) -> ok(?X)",
+                              dict.get());
+  EXPECT_EQ(CountMatches(rule, db), 1u);
+}
+
+TEST(MatchTest, MissingRelationYieldsNoMatches) {
+  auto dict = Dict();
+  Instance db(dict);
+  datalog::Rule rule = ParseR("ghost(?X) -> q(?X)", dict.get());
+  EXPECT_EQ(CountMatches(rule, db), 0u);
+}
+
+TEST(MatchTest, ArityMismatchIsSafe) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("p", {"a", "b"});  // binary extension
+  datalog::Rule rule = ParseR("p(?X) -> q(?X)", dict.get());  // unary atom
+  EXPECT_EQ(CountMatches(rule, db), 0u);
+}
+
+TEST(MatchTest, PositiveFactRefsAlignWithBodyOrder) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("a_rel", {"x"});
+  db.AddFact("b_rel", {"x"});
+  datalog::Rule rule = ParseR("a_rel(?X), b_rel(?X) -> q(?X)", dict.get());
+  MatchBody(rule, db, {}, [&](const Match& match) {
+    EXPECT_EQ(match.positive_facts->size(), 2u);
+    EXPECT_EQ((*match.positive_facts)[0].predicate, dict->Intern("a_rel"));
+    EXPECT_EQ((*match.positive_facts)[1].predicate, dict->Intern("b_rel"));
+    return true;
+  });
+}
+
+TEST(MatchTest, HasMatchFindsWitness) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("s", {"a", "b"});
+  datalog::Atom atom;
+  atom.predicate = dict->Intern("s");
+  atom.args = {Term::Constant(dict->Intern("a")),
+               Term::Variable(dict->Intern("?Y"))};
+  EXPECT_TRUE(HasMatch({atom}, db, Binding()));
+  Binding seed;
+  seed.Bind(Term::Variable(dict->Intern("?Y")),
+            Term::Constant(dict->Intern("zzz")));
+  EXPECT_FALSE(HasMatch({atom}, db, seed));
+}
+
+TEST(BindingTest, ApplyAndPop) {
+  auto dict = Dict();
+  Binding b;
+  Term x = Term::Variable(dict->Intern("?X"));
+  Term a = Term::Constant(dict->Intern("a"));
+  EXPECT_EQ(b.Apply(x), x);  // unbound passes through
+  b.Bind(x, a);
+  EXPECT_EQ(b.Apply(x), a);
+  EXPECT_EQ(b.Apply(a), a);
+  b.PopTo(0);
+  EXPECT_FALSE(b.IsBound(x));
+}
+
+}  // namespace
+}  // namespace triq::chase

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/triq.h"
+#include "datalog/classify.h"
+#include "datalog/parser.h"
+#include "rdf/graph.h"
+#include "translate/owl2rl_program.h"
+
+namespace triq::translate {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+/// Runs the OWL 2 RL library over a graph and checks whether the given
+/// triple is entailed.
+Result<bool> Entails(const rdf::Graph& graph, const std::string& s,
+                     const std::string& p, const std::string& o,
+                     std::shared_ptr<Dictionary> dict) {
+  datalog::Program program = BuildOwl2RlProgram(dict);
+  chase::Instance db = chase::Instance::FromGraph(graph);
+  TRIQ_RETURN_IF_ERROR(chase::RunChase(program, &db));
+  return db.Contains(dict->Intern("triple"),
+                     {chase::Term::Constant(dict->Intern(s)),
+                      chase::Term::Constant(dict->Intern(p)),
+                      chase::Term::Constant(dict->Intern(o))});
+}
+
+TEST(Owl2RlTest, ProgramIsTriqLite10) {
+  // Section 8's conjecture holds trivially for OWL 2 RL: the rule set
+  // is plain Datalog(⊥), hence warded with grounded negation.
+  auto dict = Dict();
+  datalog::Program program = BuildOwl2RlProgram(dict);
+  EXPECT_TRUE(datalog::IsTriqLite10(program))
+      << datalog::IsTriqLite10(program).reason;
+}
+
+TEST(Owl2RlTest, TransitiveProperty) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("ancestor", "rdf:type", "owl:TransitiveProperty");
+  g.Add("a", "ancestor", "b");
+  g.Add("b", "ancestor", "c");
+  g.Add("c", "ancestor", "d");
+  EXPECT_TRUE(*Entails(g, "a", "ancestor", "d", dict));
+}
+
+TEST(Owl2RlTest, SymmetricProperty) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("spouse", "rdf:type", "owl:SymmetricProperty");
+  g.Add("ann", "spouse", "bob");
+  EXPECT_TRUE(*Entails(g, "bob", "spouse", "ann", dict));
+}
+
+TEST(Owl2RlTest, DomainAndRange) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("teaches", "rdfs:domain", "teacher");
+  g.Add("teaches", "rdfs:range", "course");
+  g.Add("ann", "teaches", "db101");
+  EXPECT_TRUE(*Entails(g, "ann", "rdf:type", "teacher", dict));
+  EXPECT_TRUE(*Entails(g, "db101", "rdf:type", "course", dict));
+}
+
+TEST(Owl2RlTest, FunctionalPropertyDerivesSameAs) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("hasMother", "rdf:type", "owl:FunctionalProperty");
+  g.Add("kid", "hasMother", "ann");
+  g.Add("kid", "hasMother", "anna");
+  g.Add("ann", "age", "40");
+  EXPECT_TRUE(*Entails(g, "ann", "owl:sameAs", "anna", dict));
+  // ...and sameAs substitution carries facts over.
+  EXPECT_TRUE(*Entails(g, "anna", "age", "40", dict));
+}
+
+TEST(Owl2RlTest, InverseFunctionalProperty) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("email", "rdf:type", "owl:InverseFunctionalProperty");
+  g.Add("u1", "email", "x@y.z");
+  g.Add("u2", "email", "x@y.z");
+  EXPECT_TRUE(*Entails(g, "u1", "owl:sameAs", "u2", dict));
+}
+
+TEST(Owl2RlTest, EquivalentClassBothWays) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("human", "owl:equivalentClass", "person");
+  g.Add("ann", "rdf:type", "human");
+  g.Add("bob", "rdf:type", "person");
+  EXPECT_TRUE(*Entails(g, "ann", "rdf:type", "person", dict));
+  EXPECT_TRUE(*Entails(g, "bob", "rdf:type", "human", dict));
+}
+
+TEST(Owl2RlTest, SubClassChainViaSchemaClosure) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("pug", "rdfs:subClassOf", "dog");
+  g.Add("dog", "rdfs:subClassOf", "mammal");
+  g.Add("rex", "rdf:type", "pug");
+  EXPECT_TRUE(*Entails(g, "rex", "rdf:type", "mammal", dict));
+  EXPECT_TRUE(*Entails(g, "pug", "rdfs:subClassOf", "mammal", dict));
+}
+
+TEST(Owl2RlTest, DisjointClassesViolation) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("cat", "owl:disjointWith", "dog");
+  g.Add("felix", "rdf:type", "cat");
+  g.Add("felix", "rdf:type", "dog");
+  datalog::Program program = BuildOwl2RlProgram(dict);
+  chase::Instance db = chase::Instance::FromGraph(g);
+  EXPECT_EQ(chase::RunChase(program, &db).code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(Owl2RlTest, PropertyDisjointnessViolation) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("likes", "owl:propertyDisjointWith", "hates");
+  g.Add("a", "likes", "b");
+  g.Add("a", "hates", "b");
+  datalog::Program program = BuildOwl2RlProgram(dict);
+  chase::Instance db = chase::Instance::FromGraph(g);
+  EXPECT_EQ(chase::RunChase(program, &db).code(),
+            StatusCode::kInconsistent);
+}
+
+TEST(Owl2RlTest, RestrictionMembership) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("r1", "owl:onProperty", "eats");
+  g.Add("r1", "owl:someValuesFrom", "owl:Thing");
+  g.Add("r1", "rdfs:subClassOf", "eater");
+  g.Add("dog", "eats", "meat");
+  EXPECT_TRUE(*Entails(g, "dog", "rdf:type", "eater", dict));
+}
+
+TEST(Owl2RlTest, ConsistentGraphStaysOk) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("cat", "owl:disjointWith", "dog");
+  g.Add("felix", "rdf:type", "cat");
+  datalog::Program program = BuildOwl2RlProgram(dict);
+  chase::Instance db = chase::Instance::FromGraph(g);
+  EXPECT_TRUE(chase::RunChase(program, &db).ok());
+}
+
+}  // namespace
+}  // namespace triq::translate

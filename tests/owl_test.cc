@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "owl/generator.h"
+#include "owl/ontology.h"
+#include "owl/rdf_mapping.h"
+#include "rdf/vocabulary.h"
+
+namespace triq::owl {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(OntologyTest, DeclarationsAreDeduplicated) {
+  auto dict = Dict();
+  Ontology o;
+  SymbolId c = dict->Intern("animal");
+  o.DeclareClass(c);
+  o.DeclareClass(c);
+  EXPECT_EQ(o.classes().size(), 1u);
+}
+
+TEST(OntologyTest, PositiveMeansNoDisjointness) {
+  auto dict = Dict();
+  Ontology o;
+  SymbolId a = dict->Intern("a"), b = dict->Intern("b");
+  o.AddSubClassOf(BasicClass::Named(a), BasicClass::Named(b));
+  EXPECT_TRUE(o.IsPositive());
+  o.AddDisjointClasses(BasicClass::Named(a), BasicClass::Named(b));
+  EXPECT_FALSE(o.IsPositive());
+}
+
+TEST(OntologyTest, ToStringUsesFunctionalSyntax) {
+  auto dict = Dict();
+  Ontology o;
+  SymbolId animal = dict->Intern("animal");
+  SymbolId eats = dict->Intern("eats");
+  o.AddSubClassOf(BasicClass::Named(animal),
+                  BasicClass::Exists(BasicProperty{eats, false}));
+  EXPECT_EQ(o.ToString(*dict), "SubClassOf(animal, Exists(eats))\n");
+}
+
+TEST(UriMappingTest, BasicPropertyUris) {
+  auto dict = Dict();
+  BasicProperty p{dict->Intern("eats"), false};
+  BasicProperty p_inv{dict->Intern("eats"), true};
+  EXPECT_EQ(dict->Text(BasicPropertyUri(p, dict.get())), "eats");
+  EXPECT_EQ(dict->Text(BasicPropertyUri(p_inv, dict.get())), "eats~");
+  EXPECT_EQ(UriToBasicProperty(dict->Intern("eats~"), dict.get()), p_inv);
+}
+
+TEST(UriMappingTest, BasicClassUris) {
+  auto dict = Dict();
+  BasicClass named = BasicClass::Named(dict->Intern("animal"));
+  BasicClass exists =
+      BasicClass::Exists(BasicProperty{dict->Intern("eats"), true});
+  EXPECT_EQ(dict->Text(BasicClassUri(named, dict.get())), "animal");
+  EXPECT_EQ(dict->Text(BasicClassUri(exists, dict.get())), "some:eats~");
+  EXPECT_EQ(UriToBasicClass(dict->Intern("some:eats~"), dict.get()), exists);
+}
+
+// Experiment E1 (Table 1): the ontology -> RDF -> ontology round trip.
+TEST(Table1Test, AxiomTriplesMatchTable1) {
+  auto dict = Dict();
+  rdf::Vocabulary vocab(*dict);
+  Ontology o;
+  SymbolId animal = dict->Intern("animal");
+  SymbolId plant = dict->Intern("plant");
+  SymbolId eats = dict->Intern("eats");
+  o.DeclareClass(animal);
+  o.DeclareClass(plant);
+  o.DeclareProperty(eats);
+  o.AddSubClassOf(BasicClass::Named(animal),
+                  BasicClass::Exists(BasicProperty{eats, false}));
+  o.AddClassAssertion(BasicClass::Named(animal), dict->Intern("dog"));
+  o.AddPropertyAssertion(eats, dict->Intern("dog"), dict->Intern("meat"));
+
+  rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+
+  // Row 1 of Table 1: (b1, rdfs:subClassOf, b2).
+  EXPECT_TRUE(g.Contains(rdf::Triple{animal, vocab.rdfs_sub_class_of,
+                                     dict->Intern("some:eats")}));
+  // Row 5: (a, rdf:type, b).
+  EXPECT_TRUE(g.Contains(
+      rdf::Triple{dict->Intern("dog"), vocab.rdf_type, animal}));
+  // Row 6: (a1, p, a2).
+  EXPECT_TRUE(g.Contains(
+      rdf::Triple{dict->Intern("dog"), eats, dict->Intern("meat")}));
+}
+
+TEST(Table1Test, DeclarationTriplesPerSection52) {
+  auto dict = Dict();
+  rdf::Vocabulary vocab(*dict);
+  Ontology o;
+  SymbolId eats = dict->Intern("eats");
+  o.DeclareProperty(eats);
+  rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+  SymbolId inv = dict->Intern("eats~");
+  SymbolId some_p = dict->Intern("some:eats");
+  SymbolId some_inv = dict->Intern("some:eats~");
+  EXPECT_TRUE(g.Contains(
+      rdf::Triple{eats, vocab.rdf_type, vocab.owl_object_property}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{eats, vocab.owl_inverse_of, inv}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{inv, vocab.owl_inverse_of, eats}));
+  EXPECT_TRUE(g.Contains(
+      rdf::Triple{some_p, vocab.rdf_type, vocab.owl_restriction}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{some_p, vocab.owl_on_property, eats}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{some_inv, vocab.owl_on_property, inv}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{some_p, vocab.owl_some_values_from,
+                                     vocab.owl_thing}));
+  EXPECT_TRUE(g.Contains(rdf::Triple{some_p, vocab.rdf_type,
+                                     vocab.owl_class}));
+  // 12 declaration triples per property.
+  EXPECT_EQ(g.size(), 12u);
+}
+
+TEST(Table1Test, RoundTripPreservesAxioms) {
+  auto dict = Dict();
+  RandomOntologyOptions options;
+  options.num_disjoint_axioms = 3;
+  options.seed = 7;
+  Ontology o = RandomOntology(options, dict.get());
+  rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+  auto decoded = GraphToOntology(g);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->classes().size(), o.classes().size());
+  EXPECT_EQ(decoded->properties().size(), o.properties().size());
+  // RDF graphs are sets: duplicate axioms collapse, so compare the
+  // canonical (set) rendering instead of counts.
+  auto canon = [&](const Ontology& ont) {
+    std::vector<std::string> lines;
+    std::string text = ont.ToString(*dict);
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      lines.push_back(text.substr(start, end - start));
+      start = end + 1;
+    }
+    std::sort(lines.begin(), lines.end());
+    lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+    return lines;
+  };
+  EXPECT_EQ(canon(*decoded), canon(o));
+}
+
+TEST(Table1Test, RoundTripOnChainOntology) {
+  auto dict = Dict();
+  Ontology o = ChainOntology(5, dict.get());
+  rdf::Graph g(dict);
+  OntologyToGraph(o, &g);
+  auto decoded = GraphToOntology(g);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->axioms().size(), o.axioms().size());
+}
+
+TEST(Table1Test, UnknownPredicateRejected) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("a", "mystery", "b");
+  EXPECT_FALSE(GraphToOntology(g).ok());
+}
+
+TEST(GeneratorTest, ChainOntologyShape) {
+  auto dict = Dict();
+  Ontology o = ChainOntology(4, dict.get());
+  // ClassAssertion + SubClassOf(a0, ∃p) + SubClassOf(∃p⁻, a1) + 3 chain
+  // axioms a1⊑a2⊑a3⊑a4.
+  EXPECT_EQ(o.axioms().size(), 6u);
+  EXPECT_TRUE(o.IsPositive());
+}
+
+TEST(GeneratorTest, HierarchyOntologySizes) {
+  auto dict = Dict();
+  Ontology o = HierarchyOntology(2, 3, 2, dict.get());
+  // 3 + 9 subclass axioms; 9 leaves x 2 individuals.
+  int subclass = 0, assertions = 0;
+  for (const Axiom& a : o.axioms()) {
+    if (a.kind == Axiom::Kind::kSubClassOf) ++subclass;
+    if (a.kind == Axiom::Kind::kClassAssertion) ++assertions;
+  }
+  EXPECT_EQ(subclass, 12);
+  EXPECT_EQ(assertions, 18);
+}
+
+TEST(GeneratorTest, RandomOntologyIsDeterministicPerSeed) {
+  auto dict1 = Dict();
+  auto dict2 = Dict();
+  RandomOntologyOptions options;
+  options.seed = 99;
+  Ontology a = RandomOntology(options, dict1.get());
+  Ontology b = RandomOntology(options, dict2.get());
+  EXPECT_EQ(a.ToString(*dict1), b.ToString(*dict2));
+}
+
+}  // namespace
+}  // namespace triq::owl

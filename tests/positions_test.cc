@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/positions.h"
+
+namespace triq::datalog {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+// Example 4.1 of the paper.
+constexpr std::string_view kExample41 = R"(
+  p(?X, ?Y), s(?Y, ?Z) -> exists ?W t(?Y, ?X, ?W) .
+  t(?X, ?Y, ?Z) -> exists ?W p(?W, ?Z) .
+  t(?X, ?Y, ?Z) -> s(?X, ?Y) .
+)";
+
+class Example41Test : public ::testing::Test {
+ protected:
+  Example41Test() : dict_(Dict()) {
+    auto program = ParseProgram(kExample41, dict_);
+    EXPECT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(program).value());
+    analysis_ = std::make_unique<PositionAnalysis>(*program_);
+  }
+
+  Position Pos(const char* pred, uint32_t i) {
+    return Position{dict_->Intern(pred), i};
+  }
+
+  std::shared_ptr<Dictionary> dict_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<PositionAnalysis> analysis_;
+};
+
+TEST_F(Example41Test, ExistentialPositionsAreAffected) {
+  // ∃?W in rule 1 -> t[3]; ∃?W in rule 2 -> p[1].
+  EXPECT_TRUE(analysis_->IsAffected(Pos("t", 2)));
+  EXPECT_TRUE(analysis_->IsAffected(Pos("p", 0)));
+}
+
+TEST_F(Example41Test, PropagatedPositionsAreAffected) {
+  // ?X of rule 1 occurs only at affected p[1], heads into t[2] -> t[2]
+  // (0-based index 1) is affected; similarly p[2] and s[2].
+  EXPECT_TRUE(analysis_->IsAffected(Pos("t", 1)));
+  EXPECT_TRUE(analysis_->IsAffected(Pos("p", 1)));
+  EXPECT_TRUE(analysis_->IsAffected(Pos("s", 1)));
+}
+
+TEST_F(Example41Test, T1IsNotAffected) {
+  // ?Y of rule 1 also occurs at s[1], which is non-affected, so t[1]
+  // (0-based index 0) stays non-affected — the paper's key subtlety.
+  EXPECT_FALSE(analysis_->IsAffected(Pos("t", 0)));
+  EXPECT_FALSE(analysis_->IsAffected(Pos("s", 0)));
+}
+
+TEST_F(Example41Test, ClassifiesRuleOneVariables) {
+  const Rule& rule = program_->rules()[0];  // p(X,Y), s(Y,Z) -> ∃W t(Y,X,W)
+  VariableClasses classes = analysis_->Classify(rule);
+  Term x = Term::Variable(dict_->Intern("?X"));
+  Term y = Term::Variable(dict_->Intern("?Y"));
+  Term z = Term::Variable(dict_->Intern("?Z"));
+  // ?X occurs only at affected p[1] -> harmful and (head) dangerous.
+  EXPECT_TRUE(classes.IsDangerous(x));
+  // ?Y occurs at s[1] (non-affected) -> harmless.
+  EXPECT_TRUE(classes.IsHarmless(y));
+  // ?Z occurs at s[2] (affected) -> harmful, but not in head.
+  EXPECT_TRUE(classes.IsHarmful(z));
+  EXPECT_FALSE(classes.IsDangerous(z));
+}
+
+TEST(PositionsTest, PlainDatalogHasNoAffectedPositions) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    edge(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  PositionAnalysis analysis(*program);
+  EXPECT_TRUE(analysis.affected().empty());
+  VariableClasses classes = analysis.Classify(program->rules()[1]);
+  EXPECT_TRUE(classes.harmful.empty());
+  EXPECT_TRUE(classes.dangerous.empty());
+  EXPECT_EQ(classes.harmless.size(), 3u);
+}
+
+TEST(PositionsTest, ExistentialFeedsRecursionAffectsEverything) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    start(?X) -> exists ?Y n(?X, ?Y) .
+    n(?X, ?Y) -> n(?Y, ?X) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  PositionAnalysis analysis(*program);
+  EXPECT_TRUE(analysis.IsAffected(Position{dict->Intern("n"), 1}));
+  // ?Y flips into position 0 via the swap rule.
+  EXPECT_TRUE(analysis.IsAffected(Position{dict->Intern("n"), 0}));
+}
+
+TEST(PositionsTest, ClassificationIgnoresNegatedOccurrences) {
+  auto dict = Dict();
+  // ?Y's only *positive* occurrence is at the affected position s[2];
+  // its occurrence under negation must not make it harmless.
+  auto program = ParseProgram(R"(
+    p(?X) -> exists ?Y s(?X, ?Y) .
+    s(?X, ?Y), not blocked(?Y) -> out(?Y) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  Program positive = program->PositiveVersion();
+  PositionAnalysis analysis(positive);
+  VariableClasses classes = analysis.Classify(program->rules()[1]);
+  Term y = Term::Variable(dict->Intern("?Y"));
+  EXPECT_TRUE(classes.IsDangerous(y));
+}
+
+}  // namespace
+}  // namespace triq::datalog

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "rdf/graph.h"
+#include "rdf/turtle.h"
+#include "rdf/vocabulary.h"
+
+namespace triq::rdf {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(GraphTest, AddAndContains) {
+  Graph g(Dict());
+  EXPECT_TRUE(g.Add("a", "p", "b"));
+  EXPECT_FALSE(g.Add("a", "p", "b"));  // duplicate
+  EXPECT_EQ(g.size(), 1u);
+  SymbolId a = g.dict().Lookup("a");
+  SymbolId p = g.dict().Lookup("p");
+  SymbolId b = g.dict().Lookup("b");
+  EXPECT_TRUE(g.Contains(Triple{a, p, b}));
+  EXPECT_FALSE(g.Contains(Triple{b, p, a}));
+}
+
+TEST(GraphTest, MatchBySubject) {
+  Graph g(Dict());
+  g.Add("a", "p", "b");
+  g.Add("a", "q", "c");
+  g.Add("b", "p", "c");
+  SymbolId a = g.dict().Lookup("a");
+  int count = 0;
+  g.Match(a, std::nullopt, std::nullopt, [&](const Triple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GraphTest, MatchByPredicateAndObject) {
+  Graph g(Dict());
+  g.Add("a", "p", "c");
+  g.Add("b", "p", "c");
+  g.Add("b", "q", "c");
+  SymbolId p = g.dict().Lookup("p");
+  SymbolId c = g.dict().Lookup("c");
+  int count = 0;
+  g.Match(std::nullopt, p, c, [&](const Triple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GraphTest, MatchAllWildcards) {
+  Graph g(Dict());
+  g.Add("a", "p", "b");
+  g.Add("b", "p", "c");
+  int count = 0;
+  g.Match(std::nullopt, std::nullopt, std::nullopt,
+          [&](const Triple&) { ++count; });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(GraphTest, MatchUnknownSymbolIsEmpty) {
+  Graph g(Dict());
+  g.Add("a", "p", "b");
+  SymbolId z = g.dict().Intern("zzz");
+  int count = 0;
+  g.Match(z, std::nullopt, std::nullopt, [&](const Triple&) { ++count; });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(GraphTest, ActiveDomainCollectsAllPositions) {
+  Graph g(Dict());
+  g.Add("a", "p", "b");
+  g.Add("b", "q", "a");
+  EXPECT_EQ(g.ActiveDomain().size(), 4u);  // a, b, p, q
+}
+
+TEST(TurtleTest, ParsesSimpleStatements) {
+  Graph g(Dict());
+  ASSERT_TRUE(ParseTurtle(R"(
+    dbUllman is_author_of "The Complete Book" .
+    dbUllman name "Jeffrey Ullman" .  # comment
+  )",
+                          &g)
+                  .ok());
+  EXPECT_EQ(g.size(), 2u);
+  SymbolId lit = g.dict().Lookup("\"The Complete Book\"");
+  EXPECT_NE(lit, kInvalidSymbol);
+}
+
+TEST(TurtleTest, RoundTripsThroughWriter) {
+  Graph g(Dict());
+  ASSERT_TRUE(ParseTurtle("a p b .\nb q c .", &g).ok());
+  std::string text = WriteTurtle(g);
+  Graph g2(Dict());
+  ASSERT_TRUE(ParseTurtle(text, &g2).ok());
+  EXPECT_EQ(g2.size(), g.size());
+}
+
+TEST(TurtleTest, RejectsWrongArity) {
+  Graph g(Dict());
+  EXPECT_FALSE(ParseTurtle("a p .", &g).ok());
+  EXPECT_FALSE(ParseTurtle("a p b c .", &g).ok());
+}
+
+TEST(TurtleTest, RejectsUnterminatedString) {
+  Graph g(Dict());
+  EXPECT_FALSE(ParseTurtle("a p \"oops .", &g).ok());
+}
+
+TEST(TurtleTest, QuotedDotDoesNotSplit) {
+  Graph g(Dict());
+  ASSERT_TRUE(ParseTurtle("a p \"J. R. R. Tolkien\" .", &g).ok());
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(VocabularyTest, InternsAllTerms) {
+  auto dict = Dict();
+  Vocabulary v(*dict);
+  EXPECT_EQ(dict->Text(v.rdf_type), "rdf:type");
+  EXPECT_EQ(dict->Text(v.owl_same_as), "owl:sameAs");
+  EXPECT_EQ(dict->Text(v.owl_some_values_from), "owl:someValuesFrom");
+  EXPECT_NE(v.owl_class, v.owl_object_property);
+}
+
+}  // namespace
+}  // namespace triq::rdf

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/program.h"
+
+namespace triq::datalog {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+Rule R(std::string_view text, Dictionary* dict) {
+  auto rule = ParseRule(text, dict);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return std::move(rule).value();
+}
+
+TEST(RuleTest, BodyPartition) {
+  auto dict = Dict();
+  Rule rule = R("p(?X), not q(?X), r(?X, ?Y) -> s(?Y)", dict.get());
+  EXPECT_EQ(rule.PositiveBody().size(), 2u);
+  EXPECT_EQ(rule.NegativeBody().size(), 1u);
+  EXPECT_TRUE(rule.NegativeBody()[0].negated);
+}
+
+TEST(RuleTest, VariableAccessors) {
+  auto dict = Dict();
+  Rule rule = R("p(?X, ?Y), q(?Y, ?Z) -> exists ?W s(?X, ?W)", dict.get());
+  EXPECT_EQ(rule.BodyVariables().size(), 3u);
+  EXPECT_EQ(rule.HeadVariables().size(), 2u);
+  ASSERT_EQ(rule.ExistentialVariables().size(), 1u);
+  EXPECT_EQ(dict->Text(rule.ExistentialVariables()[0].symbol()), "?W");
+  ASSERT_EQ(rule.FrontierVariables().size(), 1u);
+  EXPECT_EQ(dict->Text(rule.FrontierVariables()[0].symbol()), "?X");
+}
+
+TEST(RuleTest, ConstraintHasNoHead) {
+  auto dict = Dict();
+  Rule rule = R("p(?X), q(?X) -> false", dict.get());
+  EXPECT_TRUE(rule.IsConstraint());
+  EXPECT_TRUE(rule.HeadVariables().empty());
+  EXPECT_TRUE(rule.ExistentialVariables().empty());
+}
+
+TEST(RuleTest, DuplicateVariablesCountedOnce) {
+  auto dict = Dict();
+  Rule rule = R("p(?X, ?X), q(?X) -> s(?X, ?X)", dict.get());
+  EXPECT_EQ(rule.BodyVariables().size(), 1u);
+  EXPECT_EQ(rule.HeadVariables().size(), 1u);
+}
+
+TEST(RuleTest, MultiHeadSharedExistential) {
+  auto dict = Dict();
+  Rule rule =
+      R("c(?X, ?Y) -> exists ?Z a(?X, ?Z), a(?Y, ?Z)", dict.get());
+  EXPECT_EQ(rule.head.size(), 2u);
+  EXPECT_EQ(rule.ExistentialVariables().size(), 1u);
+  EXPECT_EQ(rule.FrontierVariables().size(), 2u);
+}
+
+TEST(ProgramTest, PredicatesAndHeadPredicates) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    e(?X, ?Y) -> tc(?X, ?Y) .
+    tc(?X, ?Y), bad(?Y) -> false .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->Predicates().size(), 3u);      // e, tc, bad
+  EXPECT_EQ(program->HeadPredicates().size(), 1u);  // tc
+}
+
+TEST(ProgramTest, WithoutConstraintsDropsBottoms) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    p(?X) -> q(?X) .
+    q(?X) -> false .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->WithoutConstraints().size(), 1u);
+}
+
+TEST(ProgramTest, PositiveVersionDropsNegationAndConstraints) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    p(?X), not q(?X) -> r(?X) .
+    r(?X) -> false .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  Program positive = program->PositiveVersion();
+  ASSERT_EQ(positive.size(), 1u);
+  EXPECT_EQ(positive.rules()[0].body.size(), 1u);
+}
+
+TEST(ProgramTest, AppendRequiresSharedDictionary) {
+  auto dict1 = Dict();
+  auto dict2 = Dict();
+  Program a(dict1), b(dict2);
+  EXPECT_FALSE(a.Append(b).ok());
+  Program c(dict1);
+  EXPECT_TRUE(a.Append(c).ok());
+}
+
+TEST(RuleTest, ValidateRejectsNullsInRules) {
+  Rule rule;
+  Atom body;
+  body.predicate = 5;
+  body.args = {Term::Null(0)};
+  rule.body.push_back(body);
+  Atom head;
+  head.predicate = 6;
+  head.args = {Term::Null(0)};
+  rule.head.push_back(head);
+  EXPECT_FALSE(rule.Validate().ok());
+}
+
+}  // namespace
+}  // namespace triq::datalog

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "datalog/parser.h"
+#include "datalog/stratify.h"
+
+namespace triq::datalog {
+namespace {
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+TEST(StratifyTest, PositiveProgramIsOneStratum) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    edge(?X, ?Y), tc(?Y, ?Z) -> tc(?X, ?Z) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(*program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 1);
+}
+
+TEST(StratifyTest, NegationForcesHigherStratum) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    node(?X), not reached(?X) -> unreached(?X) .
+    edge(?X, ?Y) -> reached(?Y) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(*program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 2);
+  EXPECT_LT(strat->StratumOf(dict->Intern("reached")),
+            strat->StratumOf(dict->Intern("unreached")));
+}
+
+TEST(StratifyTest, ChainOfNegationsStacksStrata) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    base(?X) -> a(?X) .
+    base(?X), not a(?X) -> b(?X) .
+    base(?X), not b(?X) -> c(?X) .
+    base(?X), not c(?X) -> d(?X) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(*program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->num_strata, 4);
+}
+
+TEST(StratifyTest, RecursionThroughNegationFails) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    node(?X), not q(?X) -> p(?X) .
+    node(?X), not p(?X) -> q(?X) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Stratify(*program).ok());
+}
+
+TEST(StratifyTest, SelfNegationFails) {
+  auto dict = Dict();
+  auto program = ParseProgram("p(?X), not p(?X) -> p(?X) .", dict);
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(Stratify(*program).ok());
+}
+
+TEST(StratifyTest, CliqueAuxProgramStratifies) {
+  auto dict = Dict();
+  // The not_min/not_max fragment of Example 4.3.
+  auto program = ParseProgram(R"(
+    succ0(?X, ?Y) -> less0(?X, ?Y) .
+    succ0(?X, ?Y), less0(?Y, ?Z) -> less0(?X, ?Z) .
+    less0(?X, ?Y) -> not_max(?X) .
+    less0(?X, ?Y) -> not_min(?Y) .
+    less0(?X, ?Y), not not_min(?X) -> zero0(?X) .
+    less0(?Y, ?X), not not_max(?X) -> max0(?X) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(*program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_GT(strat->StratumOf(dict->Intern("zero0")),
+            strat->StratumOf(dict->Intern("not_min")));
+}
+
+TEST(StratifyTest, MultiHeadRulesShareAStratum) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    in(?X) -> a(?X), b(?X) .
+    in(?X), not c(?X) -> a(?X) .
+    in(?X) -> c(?X) .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(*program);
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->StratumOf(dict->Intern("a")),
+            strat->StratumOf(dict->Intern("b")));
+}
+
+TEST(StratifyTest, RulesInStratumSelectsByHead) {
+  auto dict = Dict();
+  auto program = ParseProgram(R"(
+    base(?X) -> a(?X) .
+    base(?X), not a(?X) -> b(?X) .
+    b(?X) -> false .
+  )",
+                              dict);
+  ASSERT_TRUE(program.ok());
+  auto strat = Stratify(program->WithoutConstraints());
+  ASSERT_TRUE(strat.ok());
+  EXPECT_EQ(strat->RulesInStratum(*program, 0).size(), 1u);
+  EXPECT_EQ(strat->RulesInStratum(*program, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace triq::datalog

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+
+#include "datalog/classify.h"
+#include "rdf/graph.h"
+#include "sparql/eval.h"
+#include "sparql/parser.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace triq::translate {
+namespace {
+
+using sparql::GraphPattern;
+using sparql::MappingSet;
+
+std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+
+std::unique_ptr<GraphPattern> Parse(std::string_view text, Dictionary* dict) {
+  auto pattern = sparql::ParsePattern(text, dict);
+  EXPECT_TRUE(pattern.ok()) << pattern.status().ToString();
+  return std::move(pattern).value();
+}
+
+/// Checks Theorem 5.2 on one (pattern, graph) pair: the direct SPARQL
+/// evaluator and the chased Datalog translation produce the same set of
+/// mappings.
+void ExpectEquivalent(const GraphPattern& pattern, const rdf::Graph& graph,
+                      std::shared_ptr<Dictionary> dict) {
+  MappingSet direct = sparql::Evaluate(pattern, graph);
+  TranslationOptions options;
+  options.regime = Regime::kPlain;
+  auto translated = TranslatePattern(pattern, dict, options);
+  ASSERT_TRUE(translated.ok()) << translated.status().ToString();
+  auto mapped = EvaluateTranslated(*translated, graph);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  EXPECT_TRUE(direct == *mapped)
+      << "pattern: " << pattern.ToString(*dict) << "\ndirect:\n"
+      << direct.ToString(*dict) << "\ntranslated:\n" << mapped->ToString(*dict);
+}
+
+rdf::Graph AuthorsGraph(std::shared_ptr<Dictionary> dict) {
+  rdf::Graph g(std::move(dict));
+  g.Add("dbUllman", "is_author_of", "\"The Complete Book\"");
+  g.Add("dbUllman", "name", "\"Jeffrey Ullman\"");
+  g.Add("dbAho", "name", "\"Alfred Aho\"");
+  g.Add("dbAho", "phone", "\"555\"");
+  g.Add("\"555\"", "phone_company", "acme");
+  return g;
+}
+
+TEST(TranslateTest, BasicPatternMatchesTheorem52) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse("{ ?Y is_author_of ?Z . ?Y name ?X }", dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, BlankNodesProjectAway) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse("{ ?X name _:B }", dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, SelectProjection) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse("SELECT(?X, { ?Y is_author_of ?Z . ?Y name ?X })",
+                 dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, UnionPadsWithStar) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse("UNION({ ?X is_author_of ?Z }, { ?X phone ?W })",
+                 dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, OptionalPhones) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  // P3 of Example 5.1.
+  auto p = Parse("OPT({ ?X name ?Y }, { ?X phone ?Z })", dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, NestedOptAndJoin) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  // P4 of Example 5.1, including the cartesian-product phenomenon.
+  auto p = Parse(
+      "AND(OPT({ ?X name ?Y }, { ?X phone ?Z }),"
+      "    { ?Z phone_company ?W })",
+      dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, JoinOnPossiblyUnboundVariable) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("a", "name", "n1");
+  g.Add("a", "phone", "p1");
+  g.Add("b", "name", "n2");
+  g.Add("p1", "phone_company", "acme");
+  auto p = Parse(
+      "AND(OPT({ ?X name ?Y }, { ?X phone ?Z }),"
+      "    { ?Z phone_company ?W })",
+      dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, FilterBound) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse("FILTER(OPT({ ?X name ?Y }, { ?X phone ?Z }), bound(?Z))",
+                 dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, FilterNegationAndConnectives) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse(
+      "FILTER(OPT({ ?X name ?Y }, { ?X phone ?Z }),"
+      "       (! bound(?Z) || ?X = dbAho))",
+      dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, FilterEqVar) {
+  auto dict = Dict();
+  rdf::Graph g(dict);
+  g.Add("a", "p", "a");
+  g.Add("a", "p", "b");
+  g.Add("b", "q", "b");
+  auto p = Parse("FILTER({ ?X p ?Y }, ?X = ?Y)", dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, OptOfOpt) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse(
+      "OPT(OPT({ ?X name ?Y }, { ?X phone ?Z }),"
+      "    { ?Z phone_company ?W })",
+      dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, UnionOfIncompatibleSchemas) {
+  auto dict = Dict();
+  rdf::Graph g = AuthorsGraph(dict);
+  auto p = Parse(
+      "AND(UNION({ ?X name ?Y }, { ?X phone ?Z }), { ?X name ?N })",
+      dict.get());
+  ExpectEquivalent(*p, g, dict);
+}
+
+TEST(TranslateTest, TranslationIsTriqLite10) {
+  auto dict = Dict();
+  auto p = Parse(
+      "FILTER(OPT({ ?X name ?Y }, { ?X phone ?Z }), bound(?Z))", dict.get());
+  TranslationOptions options;
+  options.regime = Regime::kPlain;
+  auto translated = TranslatePattern(*p, dict, options);
+  ASSERT_TRUE(translated.ok());
+  // Corollary 5.4 / 6.2: the emitted program is within TriQ-Lite 1.0.
+  auto check = datalog::IsTriqLite10(translated->program);
+  EXPECT_TRUE(check) << check.reason;
+}
+
+TEST(TranslateTest, EntailmentRegimeTranslationIsTriqLite10) {
+  auto dict = Dict();
+  auto p = Parse("{ ?X eats _:B . _:B rdf:type plant_material }", dict.get());
+  for (Regime regime : {Regime::kActiveDomain, Regime::kAll}) {
+    TranslationOptions options;
+    options.regime = regime;
+    auto translated = TranslatePattern(*p, dict, options);
+    ASSERT_TRUE(translated.ok());
+    auto check = datalog::IsTriqLite10(translated->program);
+    EXPECT_TRUE(check) << check.reason;
+  }
+}
+
+TEST(TranslateTest, EmptyBasicPatternRejected) {
+  auto dict = Dict();
+  GraphPattern p;
+  p.kind = GraphPattern::Kind::kBasic;
+  TranslationOptions options;
+  EXPECT_FALSE(TranslatePattern(p, dict, options).ok());
+}
+
+// ---- Randomized equivalence sweep (property test for Theorem 5.2) ----
+
+class RandomPattern {
+ public:
+  RandomPattern(uint64_t seed, Dictionary* dict) : rng_(seed), dict_(dict) {}
+
+  std::unique_ptr<GraphPattern> Generate(int depth) {
+    if (depth == 0 || Chance(0.4)) return RandomBasic();
+    switch (rng_() % 5) {
+      case 0:
+        return GraphPattern::And(Generate(depth - 1), Generate(depth - 1));
+      case 1:
+        return GraphPattern::Union(Generate(depth - 1), Generate(depth - 1));
+      case 2:
+        return GraphPattern::Opt(Generate(depth - 1), Generate(depth - 1));
+      case 3: {
+        auto inner = Generate(depth - 1);
+        std::vector<SymbolId> vars = inner->Variables();
+        if (vars.empty()) return inner;
+        auto cond = RandomCondition(vars, 2);
+        return GraphPattern::Filter(std::move(inner), std::move(cond));
+      }
+      default: {
+        auto inner = Generate(depth - 1);
+        std::vector<SymbolId> vars = inner->Variables();
+        if (vars.empty()) return inner;
+        std::vector<SymbolId> proj;
+        for (SymbolId v : vars) {
+          if (Chance(0.6)) proj.push_back(v);
+        }
+        if (proj.empty()) proj.push_back(vars[0]);
+        return GraphPattern::Select(std::move(proj), std::move(inner));
+      }
+    }
+  }
+
+  rdf::Graph RandomGraph(std::shared_ptr<Dictionary> dict, int triples) {
+    rdf::Graph g(std::move(dict));
+    for (int i = 0; i < triples; ++i) {
+      g.Add(RandomConstant(), RandomPredicate(), RandomConstant());
+    }
+    return g;
+  }
+
+ private:
+  bool Chance(double p) {
+    return std::uniform_real_distribution<double>(0, 1)(rng_) < p;
+  }
+  std::string RandomConstant() {
+    return std::string(1, static_cast<char>('a' + rng_() % 4));
+  }
+  std::string RandomPredicate() {
+    return std::string(1, static_cast<char>('p' + rng_() % 3));
+  }
+  sparql::PatternTerm RandomTerm() {
+    uint64_t roll = rng_() % 10;
+    if (roll < 4) {
+      return sparql::PatternTerm::Variable(
+          dict_->Intern("?V" + std::to_string(rng_() % 4)));
+    }
+    if (roll < 5) {
+      return sparql::PatternTerm::Blank(
+          dict_->Intern("_:B" + std::to_string(rng_() % 2)));
+    }
+    return sparql::PatternTerm::Constant(dict_->Intern(RandomConstant()));
+  }
+  std::unique_ptr<GraphPattern> RandomBasic() {
+    std::vector<sparql::TriplePattern> triples;
+    int n = 1 + rng_() % 2;
+    for (int i = 0; i < n; ++i) {
+      sparql::TriplePattern tp;
+      tp.subject = RandomTerm();
+      tp.predicate = sparql::PatternTerm::Constant(
+          dict_->Intern(RandomPredicate()));
+      tp.object = RandomTerm();
+      triples.push_back(tp);
+    }
+    return GraphPattern::Basic(std::move(triples));
+  }
+  std::unique_ptr<sparql::Condition> RandomCondition(
+      const std::vector<SymbolId>& vars, int depth) {
+    if (depth == 0 || Chance(0.5)) {
+      SymbolId v = vars[rng_() % vars.size()];
+      switch (rng_() % 3) {
+        case 0:
+          return sparql::Condition::Bound(v);
+        case 1:
+          return sparql::Condition::EqConst(v,
+                                            dict_->Intern(RandomConstant()));
+        default:
+          return sparql::Condition::EqVar(v, vars[rng_() % vars.size()]);
+      }
+    }
+    switch (rng_() % 3) {
+      case 0:
+        return sparql::Condition::Not(RandomCondition(vars, depth - 1));
+      case 1:
+        return sparql::Condition::Or(RandomCondition(vars, depth - 1),
+                                     RandomCondition(vars, depth - 1));
+      default:
+        return sparql::Condition::And(RandomCondition(vars, depth - 1),
+                                      RandomCondition(vars, depth - 1));
+    }
+  }
+
+  std::mt19937_64 rng_;
+  Dictionary* dict_;
+};
+
+class TranslationEquivalenceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TranslationEquivalenceSweep, RandomPatternsAgree) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  auto dict = Dict();
+  RandomPattern gen(seed, dict.get());
+  rdf::Graph graph = gen.RandomGraph(dict, 12);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto pattern = gen.Generate(3);
+    ExpectEquivalent(*pattern, graph, dict);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TranslationEquivalenceSweep,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace triq::translate

@@ -1,0 +1,203 @@
+// triq_run — command-line query runner.
+//
+// Evaluate a Datalog∃,¬s,⊥ rule program over an RDF graph:
+//   triq_run --graph data.ttl --program query.rules --answer query
+//
+// Or a SPARQL pattern, optionally under an entailment regime:
+//   triq_run --graph data.ttl --pattern '{ ?X eats _:B }' --regime all
+//
+// Flags:
+//   --graph FILE      RDF graph in the Turtle subset (required)
+//   --program FILE    rule program (with --answer PRED)
+//   --answer PRED     answer predicate of the rule program
+//   --pattern TEXT    SPARQL graph pattern (alternative to --program)
+//   --regime MODE     plain | active | all        (default plain)
+//   --classify        print the language class of the program and exit
+//   --explain TUPLE   print a proof tree for answer tuple "a,b,c"
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chase/proof_tree.h"
+#include "common/strings.h"
+#include "core/triq.h"
+#include "datalog/parser.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace {
+
+struct Args {
+  std::string graph_file;
+  std::string program_file;
+  std::string answer_predicate;
+  std::string pattern;
+  std::string regime = "plain";
+  std::string explain;
+  bool classify = false;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "triq_run: " << message << "\n";
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+int RunRuleProgram(const Args& args, triq::rdf::Graph graph,
+                   std::shared_ptr<triq::Dictionary> dict) {
+  std::string program_text;
+  if (!ReadFile(args.program_file, &program_text)) {
+    return Fail("cannot read " + args.program_file);
+  }
+  auto program = triq::datalog::ParseProgram(program_text, dict);
+  if (!program.ok()) return Fail(program.status().ToString());
+
+  if (args.classify) {
+    auto query = triq::core::TriqQuery::Create(
+        std::move(*program), args.answer_predicate.empty()
+                                 ? "query"
+                                 : args.answer_predicate);
+    if (!query.ok()) return Fail(query.status().ToString());
+    std::cout << triq::core::LanguageName(query->Classify()) << "\n";
+    return 0;
+  }
+  if (args.answer_predicate.empty()) {
+    return Fail("--program needs --answer PRED");
+  }
+  auto query = triq::core::TriqQuery::Create(std::move(*program),
+                                             args.answer_predicate);
+  if (!query.ok()) return Fail(query.status().ToString());
+
+  triq::chase::Instance db = triq::chase::Instance::FromGraph(graph);
+  triq::chase::ChaseOptions options;
+  options.track_provenance = !args.explain.empty();
+  triq::chase::Instance working = triq::core::CloneInstance(db);
+  auto answers = query->EvaluateInPlace(&working, options);
+  if (!answers.ok()) return Fail(answers.status().ToString());
+  for (const triq::chase::Tuple& tuple : *answers) {
+    for (size_t i = 0; i < tuple.size(); ++i) {
+      if (i > 0) std::cout << '\t';
+      std::cout << dict->Text(tuple[i].symbol());
+    }
+    std::cout << '\n';
+  }
+  std::cerr << answers->size() << " answer(s)\n";
+
+  if (!args.explain.empty()) {
+    triq::datalog::Atom goal;
+    goal.predicate = dict->Intern(args.answer_predicate);
+    for (const std::string& part :
+         triq::SplitAndTrim(args.explain, ',')) {
+      goal.args.push_back(
+          triq::datalog::Term::Constant(dict->Intern(part)));
+    }
+    auto tree = ExtractProofTree(working, goal);
+    if (!tree.ok()) return Fail(tree.status().ToString());
+    std::cout << "\nproof of " << AtomToString(goal, *dict) << ":\n"
+              << ProofTreeToString(**tree, *dict);
+  }
+  return 0;
+}
+
+int RunPattern(const Args& args, triq::rdf::Graph graph,
+               std::shared_ptr<triq::Dictionary> dict) {
+  auto pattern = triq::sparql::ParsePattern(args.pattern, dict.get());
+  if (!pattern.ok()) return Fail(pattern.status().ToString());
+  triq::translate::TranslationOptions options;
+  if (args.regime == "plain") {
+    options.regime = triq::translate::Regime::kPlain;
+  } else if (args.regime == "active") {
+    options.regime = triq::translate::Regime::kActiveDomain;
+  } else if (args.regime == "all") {
+    options.regime = triq::translate::Regime::kAll;
+  } else {
+    return Fail("unknown --regime (use plain|active|all)");
+  }
+  auto translated = TranslatePattern(**pattern, dict, options);
+  if (!translated.ok()) return Fail(translated.status().ToString());
+  auto answers = EvaluateTranslated(*translated, graph);
+  if (!answers.ok()) return Fail(answers.status().ToString());
+  for (const triq::sparql::SparqlMapping& m : answers->mappings()) {
+    std::cout << m.ToString(*dict) << '\n';
+  }
+  std::cerr << answers->size() << " mapping(s)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--graph") {
+      const char* v = next();
+      if (!v) return Fail("--graph needs a value");
+      args.graph_file = v;
+    } else if (flag == "--program") {
+      const char* v = next();
+      if (!v) return Fail("--program needs a value");
+      args.program_file = v;
+    } else if (flag == "--answer") {
+      const char* v = next();
+      if (!v) return Fail("--answer needs a value");
+      args.answer_predicate = v;
+    } else if (flag == "--pattern") {
+      const char* v = next();
+      if (!v) return Fail("--pattern needs a value");
+      args.pattern = v;
+    } else if (flag == "--regime") {
+      const char* v = next();
+      if (!v) return Fail("--regime needs a value");
+      args.regime = v;
+    } else if (flag == "--explain") {
+      const char* v = next();
+      if (!v) return Fail("--explain needs a value");
+      args.explain = v;
+    } else if (flag == "--classify") {
+      args.classify = true;
+    } else if (flag == "--help" || flag == "-h") {
+      std::cout << "usage: triq_run --graph FILE"
+                   " (--program FILE --answer PRED | --pattern TEXT)"
+                   " [--regime plain|active|all] [--classify]"
+                   " [--explain a,b,c]\n";
+      return 0;
+    } else {
+      return Fail("unknown flag " + flag);
+    }
+  }
+  if (args.graph_file.empty()) return Fail("--graph is required (see --help)");
+  if (args.program_file.empty() == args.pattern.empty()) {
+    return Fail("give exactly one of --program / --pattern");
+  }
+
+  auto dict = std::make_shared<triq::Dictionary>();
+  triq::rdf::Graph graph(dict);
+  std::string graph_text;
+  if (!ReadFile(args.graph_file, &graph_text)) {
+    return Fail("cannot read " + args.graph_file);
+  }
+  triq::Status parsed = triq::rdf::ParseTurtle(graph_text, &graph);
+  if (!parsed.ok()) return Fail(parsed.ToString());
+  std::cerr << "loaded " << graph.size() << " triple(s)\n";
+
+  if (!args.program_file.empty()) {
+    return RunRuleProgram(args, std::move(graph), dict);
+  }
+  return RunPattern(args, std::move(graph), dict);
+}
