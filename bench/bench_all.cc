@@ -1,0 +1,211 @@
+// bench_all — the repo's perf-trajectory recorder.
+//
+// Runs a fixed set of representative workloads through bench/harness.h
+// and writes one BENCH_<suite>.json per suite so each PR's perf claims
+// are recorded in-repo and diffable across commits.
+//
+// Usage:
+//   bench_all [--quick] [--out DIR] [--suite NAME]
+//
+//   --quick       tiny warmup/repetition counts and small workload
+//                 sizes; used by the ctest smoke run and CI
+//   --out DIR     directory for the BENCH_*.json files (default ".";
+//                 created if missing)
+//   --suite NAME  run only the named suite (chase | vocab | transport)
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "harness.h"
+
+#include "chase/chase.h"
+#include "chase/instance.h"
+#include "common/dictionary.h"
+#include "core/triq.h"
+#include "core/workloads.h"
+#include "datalog/parser.h"
+#include "rdf/graph.h"
+#include "translate/vocab_rules.h"
+
+namespace {
+
+using triq::Dictionary;
+using triq::bench::Harness;
+using triq::bench::HarnessOptions;
+
+struct Config {
+  bool quick = false;
+  std::string out_dir = ".";
+  std::string only_suite;  // empty = all
+};
+
+// ---- suite: chase -----------------------------------------------------
+//
+// Transitive closure over chains (the Theorem 6.7 PTime scaling shape)
+// plus the Example 4.3 k-clique query on complete graphs.
+void SuiteChase(const Config& config, const HarnessOptions& options) {
+  Harness harness(options);
+
+  for (int n : config.quick ? std::vector<int>{64} : std::vector<int>{256, 1024}) {
+    // Setup (dictionary, program, chain database) happens once, outside
+    // the timed region. RunChase mutates its instance, so each timed
+    // repetition chases a fresh clone; the O(n) clone is inside the
+    // timing but is dominated by the O(n^2) chase.
+    auto dict = std::make_shared<Dictionary>();
+    auto program = triq::core::TransitiveClosureProgram(dict);
+    auto db = triq::core::ChainDatabase(n, dict);
+    harness.Run("chase/tc_chain/" + std::to_string(n),
+                [&](std::map<std::string, double>* counters) {
+                  triq::chase::Instance work = triq::core::CloneInstance(db);
+                  triq::chase::ChaseStats stats;
+                  triq::Status st =
+                      triq::chase::RunChase(program, &work, {}, &stats);
+                  if (!st.ok()) std::abort();
+                  (*counters)["facts_derived"] =
+                      static_cast<double>(stats.facts_derived);
+                });
+  }
+
+  for (int n : config.quick ? std::vector<int>{5} : std::vector<int>{6, 7}) {
+    int k = 3;
+    auto dict = std::make_shared<Dictionary>();
+    auto db = triq::core::CliqueDatabase(
+        n, triq::core::CompleteGraphEdges(n), k, dict);
+    auto query = triq::core::TriqQuery::Create(
+        triq::core::CliqueProgram(dict), "yes");
+    if (!query.ok()) std::abort();
+    harness.Run("chase/clique_k3_complete/" + std::to_string(n),
+                [&](std::map<std::string, double>* counters) {
+                  auto answers = query->Evaluate(db);
+                  if (!answers.ok()) std::abort();
+                  (*counters)["answers"] =
+                      static_cast<double>(answers->size());
+                });
+  }
+
+  auto st = WriteJsonFile(config.out_dir + "/BENCH_chase.json", "chase",
+                          options, harness.results());
+  if (!st.ok()) { std::cerr << st.ToString() << "\n"; std::exit(1); }
+}
+
+// ---- suite: vocab -----------------------------------------------------
+//
+// The Section 2 fixed-vocabulary libraries (owl:sameAs) over scaled
+// author graphs, mirroring bench_sec2_vocab's E12 experiment.
+void SuiteVocab(const Config& config, const HarnessOptions& options) {
+  Harness harness(options);
+
+  constexpr std::string_view kAuthorsQuery =
+      "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X) .";
+
+  for (int authors : config.quick ? std::vector<int>{8}
+                                  : std::vector<int>{16, 64}) {
+    // Graph construction, translation and parsing are setup; only
+    // Evaluate (which chases a copy of `db` internally) is timed.
+    auto dict = std::make_shared<Dictionary>();
+    triq::rdf::Graph g(dict);
+    for (int a = 0; a < authors; ++a) {
+      std::string base = "author" + std::to_string(a);
+      g.Add(base + "_0", "is_author_of", "book" + std::to_string(a));
+      g.Add(base + "_0", "owl:sameAs", base + "_1");
+      g.Add(base + "_1", "name", "\"Name " + std::to_string(a) + "\"");
+    }
+    auto program = triq::translate::SameAsRules(dict);
+    auto user = triq::datalog::ParseProgram(kAuthorsQuery, dict);
+    if (!user.ok() || !program.Append(*user).ok()) std::abort();
+    auto query = triq::core::TriqQuery::Create(std::move(program), "query");
+    if (!query.ok()) std::abort();
+    auto db = triq::chase::Instance::FromGraph(g);
+    harness.Run("vocab/sameas_authors/" + std::to_string(authors),
+                [&](std::map<std::string, double>* counters) {
+                  auto answers = query->Evaluate(db);
+                  if (!answers.ok()) std::abort();
+                  (*counters)["answers"] =
+                      static_cast<double>(answers->size());
+                  (*counters)["triples"] = static_cast<double>(g.size());
+                });
+  }
+
+  auto st = WriteJsonFile(config.out_dir + "/BENCH_vocab.json", "vocab",
+                          options, harness.results());
+  if (!st.ok()) { std::cerr << st.ToString() << "\n"; std::exit(1); }
+}
+
+// ---- suite: transport -------------------------------------------------
+//
+// The Section 2 recursive transport-service reachability query, which
+// SPARQL 1.1 property paths cannot express.
+void SuiteTransport(const Config& config, const HarnessOptions& options) {
+  Harness harness(options);
+
+  for (int cities : config.quick ? std::vector<int>{8}
+                                 : std::vector<int>{16, 64}) {
+    int depth = 3;
+    auto dict = std::make_shared<Dictionary>();
+    auto g = triq::core::TransportNetwork(cities, depth, dict);
+    auto query = triq::core::TriqQuery::Create(
+        triq::core::TransportProgram(dict), "query");
+    if (!query.ok()) std::abort();
+    auto db = triq::chase::Instance::FromGraph(g);
+    harness.Run("transport/chain_cities/" + std::to_string(cities),
+                [&](std::map<std::string, double>* counters) {
+                  auto answers = query->Evaluate(db);
+                  if (!answers.ok()) std::abort();
+                  (*counters)["answers"] =
+                      static_cast<double>(answers->size());
+                  (*counters)["triples"] = static_cast<double>(g.size());
+                });
+  }
+
+  auto st = WriteJsonFile(config.out_dir + "/BENCH_transport.json",
+                          "transport", options, harness.results());
+  if (!st.ok()) { std::cerr << st.ToString() << "\n"; std::exit(1); }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      config.quick = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      config.out_dir = argv[++i];
+    } else if (arg == "--suite" && i + 1 < argc) {
+      config.only_suite = argv[++i];
+    } else {
+      std::cerr << "usage: bench_all [--quick] [--out DIR] [--suite NAME]\n";
+      return 2;
+    }
+  }
+  ::mkdir(config.out_dir.c_str(), 0755);  // best-effort; EEXIST is fine
+
+  HarnessOptions options =
+      config.quick ? HarnessOptions::Quick() : HarnessOptions{};
+
+  bool ran = false;
+  if (config.only_suite.empty() || config.only_suite == "chase") {
+    SuiteChase(config, options);
+    ran = true;
+  }
+  if (config.only_suite.empty() || config.only_suite == "vocab") {
+    SuiteVocab(config, options);
+    ran = true;
+  }
+  if (config.only_suite.empty() || config.only_suite == "transport") {
+    SuiteTransport(config, options);
+    ran = true;
+  }
+  if (!ran) {
+    std::cerr << "unknown suite: " << config.only_suite
+              << " (expected chase | vocab | transport)\n";
+    return 2;
+  }
+  std::cerr << "wrote BENCH_*.json to " << config.out_dir << "\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+
+namespace triq::bench {
+
+SampleStats ComputeStats(std::vector<double> samples_ns) {
+  SampleStats stats;
+  if (samples_ns.empty()) return stats;
+  std::sort(samples_ns.begin(), samples_ns.end());
+  const size_t n = samples_ns.size();
+  stats.min_ns = samples_ns.front();
+  stats.max_ns = samples_ns.back();
+  stats.mean_ns =
+      std::accumulate(samples_ns.begin(), samples_ns.end(), 0.0) / n;
+  stats.median_ns = (n % 2 == 1)
+                        ? samples_ns[n / 2]
+                        : (samples_ns[n / 2 - 1] + samples_ns[n / 2]) / 2.0;
+  // Nearest-rank percentile: smallest sample with cumulative
+  // frequency >= 95%.
+  size_t rank = static_cast<size_t>(std::ceil(0.95 * n));
+  stats.p95_ns = samples_ns[rank == 0 ? 0 : rank - 1];
+  return stats;
+}
+
+BenchResult Harness::Run(const std::string& name, const BenchFn& fn) {
+  using Clock = std::chrono::steady_clock;
+  BenchResult result;
+  result.name = name;
+  result.warmup = options_.warmup;
+  result.repetitions = options_.repetitions;
+
+  for (int i = 0; i < options_.warmup; ++i) {
+    std::map<std::string, double> scratch;
+    fn(&scratch);
+  }
+  std::vector<double> samples_ns;
+  samples_ns.reserve(options_.repetitions);
+  for (int i = 0; i < options_.repetitions; ++i) {
+    result.counters.clear();
+    auto start = Clock::now();
+    fn(&result.counters);
+    auto stop = Clock::now();
+    samples_ns.push_back(
+        std::chrono::duration<double, std::nano>(stop - start).count());
+  }
+  result.stats = ComputeStats(std::move(samples_ns));
+
+  std::fprintf(stderr, "%-48s median %12.0f ns  p95 %12.0f ns\n",
+               result.name.c_str(), result.stats.median_ns,
+               result.stats.p95_ns);
+  results_.push_back(result);
+  return result;
+}
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Fixed-point rendering keeps the files diffable (no exponent jitter).
+std::string Num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ResultsToJson(const std::string& suite,
+                          const HarnessOptions& options,
+                          const std::vector<BenchResult>& results) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"suite\": \"" << Escape(suite) << "\",\n";
+  out << "  \"warmup\": " << options.warmup << ",\n";
+  out << "  \"repetitions\": " << options.repetitions << ",\n";
+  out << "  \"benchmarks\": [";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    out << (i ? "," : "") << "\n    {";
+    out << "\"name\": \"" << Escape(r.name) << "\", ";
+    out << "\"median_ns\": " << Num(r.stats.median_ns) << ", ";
+    out << "\"p95_ns\": " << Num(r.stats.p95_ns) << ", ";
+    out << "\"mean_ns\": " << Num(r.stats.mean_ns) << ", ";
+    out << "\"min_ns\": " << Num(r.stats.min_ns) << ", ";
+    out << "\"max_ns\": " << Num(r.stats.max_ns) << ", ";
+    out << "\"counters\": {";
+    size_t j = 0;
+    for (const auto& [key, value] : r.counters) {
+      out << (j++ ? ", " : "") << "\"" << Escape(key) << "\": " << Num(value);
+    }
+    out << "}}";
+  }
+  out << "\n  ]\n}\n";
+  return out.str();
+}
+
+Status WriteJsonFile(const std::string& path, const std::string& suite,
+                     const HarnessOptions& options,
+                     const std::vector<BenchResult>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << ResultsToJson(suite, options, results);
+  out.close();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+}  // namespace triq::bench

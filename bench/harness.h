@@ -1,0 +1,98 @@
+#ifndef TRIQ_BENCH_HARNESS_H_
+#define TRIQ_BENCH_HARNESS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace triq::bench {
+
+/// Knobs for a timed run. `--quick` drops both numbers so the whole
+/// suite finishes in seconds (used by the ctest smoke run and by CI).
+struct HarnessOptions {
+  int warmup = 2;        // untimed runs before sampling starts
+  int repetitions = 20;  // timed samples per benchmark
+
+  static HarnessOptions Quick() { return {1, 3}; }
+};
+
+/// Order statistics over one benchmark's wall-clock samples.
+struct SampleStats {
+  double min_ns = 0;
+  double max_ns = 0;
+  double mean_ns = 0;
+  double median_ns = 0;  // lower-median for even sample counts averaged
+  double p95_ns = 0;     // nearest-rank 95th percentile
+};
+
+/// Computes order statistics over `samples_ns`. Empty input yields all
+/// zeros. Exposed separately from the Harness so tests can pin the
+/// aggregation down with hand-picked samples.
+SampleStats ComputeStats(std::vector<double> samples_ns);
+
+/// One benchmark's recorded outcome: the raw samples, their summary,
+/// and any scalar counters the workload reported (answer counts, sizes).
+struct BenchResult {
+  std::string name;
+  int warmup = 0;
+  int repetitions = 0;
+  SampleStats stats;
+  std::map<std::string, double> counters;
+};
+
+/// Minimal timed-repetition runner. Usage:
+///
+///   Harness h(HarnessOptions::Quick());
+///   h.Run("chase/tc_chain/256", [&](std::map<std::string, double>* c) {
+///     auto result = query->Evaluate(db);
+///     (*c)["answers"] = result->size();
+///   });
+///   WriteJsonFile("BENCH_chase.json", "chase", h_options, h.results());
+///
+/// The callback runs `warmup + repetitions` times; only the last
+/// `repetitions` are timed. Counters keep the last run's values.
+class Harness {
+ public:
+  using BenchFn = std::function<void(std::map<std::string, double>*)>;
+
+  explicit Harness(HarnessOptions options = {}) : options_(options) {}
+
+  /// Runs one benchmark and appends it to results(). Returns a copy of
+  /// the recorded result (a reference into results() would dangle on
+  /// the next Run call).
+  BenchResult Run(const std::string& name, const BenchFn& fn);
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  HarnessOptions options_;
+  std::vector<BenchResult> results_;
+};
+
+/// Renders `results` as a pretty-printed JSON document:
+///
+///   {
+///     "suite": "<suite>",
+///     "warmup": N, "repetitions": M,
+///     "benchmarks": [
+///       {"name": "...", "median_ns": ..., "p95_ns": ...,
+///        "mean_ns": ..., "min_ns": ..., "max_ns": ...,
+///        "counters": {"answers": 12}},
+///       ...
+///     ]
+///   }
+std::string ResultsToJson(const std::string& suite,
+                          const HarnessOptions& options,
+                          const std::vector<BenchResult>& results);
+
+/// Writes ResultsToJson to `path` (overwriting).
+Status WriteJsonFile(const std::string& path, const std::string& suite,
+                     const HarnessOptions& options,
+                     const std::vector<BenchResult>& results);
+
+}  // namespace triq::bench
+
+#endif  // TRIQ_BENCH_HARNESS_H_

@@ -29,6 +29,11 @@ const Relation* Instance::Find(PredicateId predicate) const {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
+const Relation* Instance::Find(std::string_view predicate) const {
+  SymbolId id = dict_->Find(predicate);
+  return id == kInvalidSymbol ? nullptr : Find(id);
+}
+
 Relation& Instance::GetOrCreate(PredicateId predicate, uint32_t arity) {
   auto it = relations_.find(predicate);
   if (it != relations_.end()) return it->second;
@@ -100,7 +105,7 @@ uint32_t Instance::NullDepth(Term null) const {
 
 Result<rdf::Graph> Instance::ToGraph(std::string_view predicate) const {
   rdf::Graph out(dict_);
-  const Relation* rel = Find(dict_->Lookup(predicate));
+  const Relation* rel = Find(predicate);
   if (rel == nullptr) return out;  // empty predicate: empty graph
   if (rel->arity() != 3) {
     return Status::InvalidArgument(

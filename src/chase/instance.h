@@ -64,6 +64,12 @@ class Instance {
                const std::vector<std::string>& constants);
 
   const Relation* Find(PredicateId predicate) const;
+
+  /// Convenience overload: looks `predicate` up in the dictionary
+  /// without interning, so it works on a const Instance. Returns
+  /// nullptr when the name was never interned or has no relation.
+  const Relation* Find(std::string_view predicate) const;
+
   Relation& GetOrCreate(PredicateId predicate, uint32_t arity);
 
   bool Contains(PredicateId predicate, const Tuple& tuple) const;

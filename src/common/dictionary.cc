@@ -17,7 +17,7 @@ SymbolId Dictionary::Intern(std::string_view text) {
   return id;
 }
 
-SymbolId Dictionary::Lookup(std::string_view text) const {
+SymbolId Dictionary::Find(std::string_view text) const {
   auto it = ids_.find(std::string(text));
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }

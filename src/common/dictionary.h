@@ -30,8 +30,9 @@ class Dictionary {
   /// Interns `text`, returning its id (existing id if already present).
   SymbolId Intern(std::string_view text);
 
-  /// Returns the id of `text` or kInvalidSymbol if never interned.
-  SymbolId Lookup(std::string_view text) const;
+  /// Const lookup: returns the id of `text`, or kInvalidSymbol if it was
+  /// never interned. Never allocates a new id.
+  SymbolId Find(std::string_view text) const;
 
   /// Returns the text for `id`. `id` must be a valid interned id.
   const std::string& Text(SymbolId id) const;

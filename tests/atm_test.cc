@@ -3,11 +3,12 @@
 #include <memory>
 
 #include "core/atm.h"
+#include "test_util.h"
 
 namespace triq::core {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+using test::Dict;
 
 bool Accepts(const Atm& atm, const std::string& input, int steps) {
   auto dict = Dict();

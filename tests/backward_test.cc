@@ -8,18 +8,13 @@
 #include "owl/generator.h"
 #include "owl/rdf_mapping.h"
 #include "translate/owl2ql_program.h"
+#include "test_util.h"
 
 namespace triq::chase {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
-
-datalog::Program Parse(std::string_view text,
-                       std::shared_ptr<Dictionary> dict) {
-  auto program = datalog::ParseProgram(text, std::move(dict));
-  EXPECT_TRUE(program.ok()) << program.status().ToString();
-  return std::move(program).value();
-}
+using test::Dict;
+using test::Parse;
 
 datalog::Atom Ground(std::string_view pred,
                      const std::vector<std::string>& args,

@@ -1,0 +1,133 @@
+// Tests for the bench/harness.h runner: stats aggregation and the
+// JSON shape of the perf-trajectory files.
+#include "harness.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace triq::bench {
+namespace {
+
+TEST(ComputeStatsTest, EmptyInputIsAllZero) {
+  SampleStats stats = ComputeStats({});
+  EXPECT_EQ(stats.min_ns, 0);
+  EXPECT_EQ(stats.max_ns, 0);
+  EXPECT_EQ(stats.mean_ns, 0);
+  EXPECT_EQ(stats.median_ns, 0);
+  EXPECT_EQ(stats.p95_ns, 0);
+}
+
+TEST(ComputeStatsTest, SingleSample) {
+  SampleStats stats = ComputeStats({42.0});
+  EXPECT_DOUBLE_EQ(stats.min_ns, 42.0);
+  EXPECT_DOUBLE_EQ(stats.max_ns, 42.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ns, 42.0);
+  EXPECT_DOUBLE_EQ(stats.median_ns, 42.0);
+  EXPECT_DOUBLE_EQ(stats.p95_ns, 42.0);
+}
+
+TEST(ComputeStatsTest, OddCountMedianIsMiddleElement) {
+  // Unsorted on purpose: ComputeStats must sort.
+  SampleStats stats = ComputeStats({5.0, 1.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.median_ns, 3.0);
+  EXPECT_DOUBLE_EQ(stats.min_ns, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max_ns, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean_ns, 3.0);
+}
+
+TEST(ComputeStatsTest, EvenCountMedianAveragesMiddlePair) {
+  SampleStats stats = ComputeStats({4.0, 1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(stats.median_ns, 2.5);
+}
+
+TEST(ComputeStatsTest, P95IsNearestRank) {
+  // 20 samples 1..20: ceil(0.95 * 20) = 19 -> the 19th smallest.
+  std::vector<double> samples;
+  for (int i = 20; i >= 1; --i) samples.push_back(i);
+  SampleStats stats = ComputeStats(samples);
+  EXPECT_DOUBLE_EQ(stats.p95_ns, 19.0);
+
+  // 10 samples: ceil(0.95 * 10) = 10 -> the maximum.
+  samples.resize(10);
+  stats = ComputeStats(samples);
+  EXPECT_DOUBLE_EQ(stats.p95_ns, stats.max_ns);
+}
+
+TEST(HarnessTest, RunsWarmupPlusRepetitions) {
+  HarnessOptions options;
+  options.warmup = 2;
+  options.repetitions = 5;
+  Harness harness(options);
+  int calls = 0;
+  const BenchResult result =
+      harness.Run("counting", [&](std::map<std::string, double>* counters) {
+        ++calls;
+        (*counters)["calls"] = calls;
+      });
+  EXPECT_EQ(calls, 7);  // 2 warmup + 5 timed
+  EXPECT_EQ(result.repetitions, 5);
+  EXPECT_EQ(result.warmup, 2);
+  // Counters hold the LAST timed run's values.
+  EXPECT_DOUBLE_EQ(result.counters.at("calls"), 7.0);
+  EXPECT_GT(result.stats.median_ns, 0.0);
+  EXPECT_GE(result.stats.p95_ns, result.stats.median_ns);
+  EXPECT_GE(result.stats.max_ns, result.stats.p95_ns);
+  EXPECT_LE(result.stats.min_ns, result.stats.mean_ns);
+}
+
+TEST(HarnessTest, AccumulatesResultsInOrder) {
+  Harness harness(HarnessOptions::Quick());
+  harness.Run("first", [](std::map<std::string, double>*) {});
+  harness.Run("second", [](std::map<std::string, double>*) {});
+  ASSERT_EQ(harness.results().size(), 2u);
+  EXPECT_EQ(harness.results()[0].name, "first");
+  EXPECT_EQ(harness.results()[1].name, "second");
+}
+
+TEST(JsonTest, ShapeContainsSuiteStatsAndCounters) {
+  BenchResult result;
+  result.name = "chase/tc_chain/256";
+  result.warmup = 1;
+  result.repetitions = 3;
+  result.stats = ComputeStats({100.0, 200.0, 300.0});
+  result.counters["answers"] = 12.0;
+
+  std::string json =
+      ResultsToJson("chase", HarnessOptions::Quick(), {result});
+
+  EXPECT_NE(json.find("\"suite\": \"chase\""), std::string::npos);
+  EXPECT_NE(json.find("\"warmup\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"repetitions\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"chase/tc_chain/256\""), std::string::npos);
+  EXPECT_NE(json.find("\"median_ns\": 200.0"), std::string::npos);
+  EXPECT_NE(json.find("\"p95_ns\": 300.0"), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ns\": 200.0"), std::string::npos);
+  EXPECT_NE(json.find("\"min_ns\": 100.0"), std::string::npos);
+  EXPECT_NE(json.find("\"max_ns\": 300.0"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\": {\"answers\": 12.0}"), std::string::npos);
+}
+
+TEST(JsonTest, EscapesQuotesAndBackslashes) {
+  BenchResult result;
+  result.name = "weird\"name\\with\nnewline";
+  std::string json = ResultsToJson("s", HarnessOptions(), {result});
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nnewline"), std::string::npos);
+}
+
+TEST(JsonTest, EscapesControlCharacters) {
+  BenchResult result;
+  result.name = "cr\rbell\x01";
+  std::string json = ResultsToJson("s", HarnessOptions(), {result});
+  EXPECT_NE(json.find("cr\\u000dbell\\u0001"), std::string::npos);
+}
+
+TEST(JsonTest, EmptyResultsIsValidDocument) {
+  std::string json = ResultsToJson("empty", HarnessOptions(), {});
+  EXPECT_NE(json.find("\"benchmarks\": [\n  ]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace triq::bench

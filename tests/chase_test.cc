@@ -5,26 +5,15 @@
 #include "chase/chase.h"
 #include "chase/instance.h"
 #include "datalog/parser.h"
+#include "test_util.h"
 
 namespace triq::chase {
 namespace {
 
-using datalog::ParseProgram;
 using datalog::Program;
-
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
-
-Program Parse(std::string_view text, std::shared_ptr<Dictionary> dict) {
-  auto program = ParseProgram(text, std::move(dict));
-  EXPECT_TRUE(program.ok()) << program.status().ToString();
-  return std::move(program).value();
-}
-
-size_t CountFacts(const Instance& db, std::string_view pred) {
-  const Relation* rel =
-      db.Find(const_cast<Dictionary&>(db.dict()).Intern(pred));
-  return rel == nullptr ? 0 : rel->size();
-}
+using test::CountFacts;
+using test::Dict;
+using test::Parse;
 
 TEST(ChaseTest, TransitiveClosureOfAChain) {
   auto dict = Dict();

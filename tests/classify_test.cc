@@ -7,17 +7,13 @@
 #include "datalog/classify.h"
 #include "datalog/parser.h"
 #include "translate/owl2ql_program.h"
+#include "test_util.h"
 
 namespace triq::datalog {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
-
-Program Parse(std::string_view text, std::shared_ptr<Dictionary> dict) {
-  auto program = ParseProgram(text, std::move(dict));
-  EXPECT_TRUE(program.ok()) << program.status().ToString();
-  return std::move(program).value();
-}
+using test::Dict;
+using test::Parse;
 
 TEST(ClassifyTest, Example41IsWeaklyFrontierGuardedNotWeaklyGuarded) {
   auto dict = Dict();

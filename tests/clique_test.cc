@@ -4,11 +4,12 @@
 
 #include "core/triq.h"
 #include "core/workloads.h"
+#include "test_util.h"
 
 namespace triq::core {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+using test::Dict;
 
 /// Runs Example 4.3 end to end: does the graph contain a k-clique?
 bool HasClique(int num_nodes, const std::vector<std::pair<int, int>>& edges,

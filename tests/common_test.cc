@@ -27,13 +27,13 @@ TEST(DictionaryTest, DistinctStringsGetDistinctIds) {
 TEST(DictionaryTest, IdZeroIsReserved) {
   Dictionary dict;
   EXPECT_NE(dict.Intern("x"), kInvalidSymbol);
-  EXPECT_EQ(dict.Lookup("never-interned"), kInvalidSymbol);
+  EXPECT_EQ(dict.Find("never-interned"), kInvalidSymbol);
 }
 
 TEST(DictionaryTest, LookupFindsInterned) {
   Dictionary dict;
   SymbolId a = dict.Intern("rdf:type");
-  EXPECT_EQ(dict.Lookup("rdf:type"), a);
+  EXPECT_EQ(dict.Find("rdf:type"), a);
 }
 
 TEST(DictionaryTest, ManySymbolsRoundTrip) {

@@ -108,7 +108,7 @@ TEST(InstanceTest, ToGraphExportsTriplesWithBlankNulls) {
   auto graph = db.ToGraph("output");
   ASSERT_TRUE(graph.ok()) << graph.status().ToString();
   EXPECT_EQ(graph->size(), 2u);
-  EXPECT_NE(dict->Lookup("_:n0"), kInvalidSymbol);
+  EXPECT_NE(dict->Find("_:n0"), kInvalidSymbol);
 }
 
 TEST(InstanceTest, ToGraphRejectsWrongArity) {

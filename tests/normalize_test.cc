@@ -8,17 +8,13 @@
 #include "datalog/classify.h"
 #include "datalog/normalize.h"
 #include "datalog/parser.h"
+#include "test_util.h"
 
 namespace triq::datalog {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
-
-Program Parse(std::string_view text, std::shared_ptr<Dictionary> dict) {
-  auto program = ParseProgram(text, std::move(dict));
-  EXPECT_TRUE(program.ok()) << program.status().ToString();
-  return std::move(program).value();
-}
+using test::Dict;
+using test::Parse;
 
 /// Canonical rendering of the null-free facts over the predicates of
 /// `original` — the preserved quantity of all Section 6.3 transforms.

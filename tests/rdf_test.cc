@@ -16,9 +16,9 @@ TEST(GraphTest, AddAndContains) {
   EXPECT_TRUE(g.Add("a", "p", "b"));
   EXPECT_FALSE(g.Add("a", "p", "b"));  // duplicate
   EXPECT_EQ(g.size(), 1u);
-  SymbolId a = g.dict().Lookup("a");
-  SymbolId p = g.dict().Lookup("p");
-  SymbolId b = g.dict().Lookup("b");
+  SymbolId a = g.dict().Find("a");
+  SymbolId p = g.dict().Find("p");
+  SymbolId b = g.dict().Find("b");
   EXPECT_TRUE(g.Contains(Triple{a, p, b}));
   EXPECT_FALSE(g.Contains(Triple{b, p, a}));
 }
@@ -28,7 +28,7 @@ TEST(GraphTest, MatchBySubject) {
   g.Add("a", "p", "b");
   g.Add("a", "q", "c");
   g.Add("b", "p", "c");
-  SymbolId a = g.dict().Lookup("a");
+  SymbolId a = g.dict().Find("a");
   int count = 0;
   g.Match(a, std::nullopt, std::nullopt, [&](const Triple&) { ++count; });
   EXPECT_EQ(count, 2);
@@ -39,8 +39,8 @@ TEST(GraphTest, MatchByPredicateAndObject) {
   g.Add("a", "p", "c");
   g.Add("b", "p", "c");
   g.Add("b", "q", "c");
-  SymbolId p = g.dict().Lookup("p");
-  SymbolId c = g.dict().Lookup("c");
+  SymbolId p = g.dict().Find("p");
+  SymbolId c = g.dict().Find("c");
   int count = 0;
   g.Match(std::nullopt, p, c, [&](const Triple&) { ++count; });
   EXPECT_EQ(count, 2);
@@ -81,7 +81,7 @@ TEST(TurtleTest, ParsesSimpleStatements) {
                           &g)
                   .ok());
   EXPECT_EQ(g.size(), 2u);
-  SymbolId lit = g.dict().Lookup("\"The Complete Book\"");
+  SymbolId lit = g.dict().Find("\"The Complete Book\"");
   EXPECT_NE(lit, kInvalidSymbol);
 }
 

@@ -5,11 +5,12 @@
 #include "rdf/graph.h"
 #include "sparql/eval.h"
 #include "sparql/parser.h"
+#include "test_util.h"
 
 namespace triq::sparql {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
+using test::Dict;
 
 std::unique_ptr<GraphPattern> Parse(std::string_view text, Dictionary* dict) {
   auto pattern = ParsePattern(text, dict);

@@ -1,0 +1,52 @@
+// Shared helpers for the gtest suites. Previously copy-pasted into each
+// test file; include this instead and pull the names in with
+// using-declarations:
+//
+//   #include "test_util.h"
+//   ...
+//   using triq::test::CountFacts;
+//   using triq::test::Dict;
+//   using triq::test::Parse;
+#ifndef TRIQ_TESTS_TEST_UTIL_H_
+#define TRIQ_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <utility>
+
+#include "chase/instance.h"
+#include "chase/relation.h"
+#include "common/dictionary.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+
+namespace triq::test {
+
+/// A fresh dictionary for one test's graph/program/instance family.
+inline std::shared_ptr<Dictionary> Dict() {
+  return std::make_shared<Dictionary>();
+}
+
+/// Parses a rule program, failing the test (with the parser's message)
+/// on error. Returns an empty program in that case so the test can
+/// continue to its own assertions.
+inline datalog::Program Parse(std::string_view text,
+                              std::shared_ptr<Dictionary> dict) {
+  auto program = datalog::ParseProgram(text, dict);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  if (!program.ok()) return datalog::Program(std::move(dict));
+  return std::move(program).value();
+}
+
+/// Number of facts stored for `pred`, 0 if the predicate is unknown.
+inline size_t CountFacts(const chase::Instance& db, std::string_view pred) {
+  const chase::Relation* rel = db.Find(pred);
+  return rel == nullptr ? 0 : rel->size();
+}
+
+}  // namespace triq::test
+
+#endif  // TRIQ_TESTS_TEST_UTIL_H_

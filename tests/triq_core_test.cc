@@ -6,18 +6,13 @@
 #include "core/workloads.h"
 #include "datalog/parser.h"
 #include "translate/owl2ql_program.h"
+#include "test_util.h"
 
 namespace triq::core {
 namespace {
 
-std::shared_ptr<Dictionary> Dict() { return std::make_shared<Dictionary>(); }
-
-datalog::Program Parse(std::string_view text,
-                       std::shared_ptr<Dictionary> dict) {
-  auto program = datalog::ParseProgram(text, std::move(dict));
-  EXPECT_TRUE(program.ok()) << program.status().ToString();
-  return std::move(program).value();
-}
+using test::Dict;
+using test::Parse;
 
 TEST(TriqQueryTest, RejectsAnswerPredicateInBody) {
   auto dict = Dict();
