@@ -15,26 +15,39 @@ namespace {
 
 using triq::Dictionary;
 
-void RunTc(benchmark::State& state, bool seminaive) {
+void RunTc(benchmark::State& state, bool seminaive, bool partition = true) {
   int n = static_cast<int>(state.range(0));
   auto dict = std::make_shared<Dictionary>();
   auto program = triq::core::TransitiveClosureProgram(dict);
   triq::chase::Instance base = triq::core::ChainDatabase(n, dict);
   triq::chase::ChaseOptions options;
   options.seminaive = seminaive;
+  options.partition_deltas = partition;
   size_t rounds = 0;
+  size_t firings = 0;
   for (auto _ : state) {
     triq::chase::Instance db = triq::core::CloneInstance(base);
     triq::chase::ChaseStats stats;
     auto status = RunChase(program, &db, options, &stats);
     if (!status.ok()) state.SkipWithError("chase failed");
     rounds = stats.rounds;
+    firings = stats.rule_firings;
   }
   state.counters["rounds"] = static_cast<double>(rounds);
+  state.counters["firings"] = static_cast<double>(firings);
 }
 
 void BM_SeminaiveTc(benchmark::State& state) { RunTc(state, true); }
 BENCHMARK(BM_SeminaiveTc)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// Legacy delta filtering without old/delta/all partitioning: matches
+// joining two delta facts are enumerated once per pass, so `firings`
+// shows the double counting that partitioning removes.
+void BM_SeminaiveUnpartitionedTc(benchmark::State& state) {
+  RunTc(state, true, /*partition=*/false);
+}
+BENCHMARK(BM_SeminaiveUnpartitionedTc)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void BM_NaiveTc(benchmark::State& state) { RunTc(state, false); }

@@ -40,7 +40,7 @@ int main() {
 
   std::cout << "anonymized graph:\n";
   const triq::chase::Relation* out = db.Find(dict->Intern("output"));
-  for (const triq::chase::Tuple& t : out->tuples()) {
+  for (triq::chase::TupleView t : out->tuples()) {
     std::cout << "  (" << TermToString(t[0], *dict) << ", "
               << TermToString(t[1], *dict) << ", "
               << TermToString(t[2], *dict) << ")\n";

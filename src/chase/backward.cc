@@ -176,9 +176,9 @@ class Prover {
         if (postings == nullptr || p->size() < postings->size()) postings = p;
       }
       {
-        auto try_tuple = [&](const Tuple& tuple) -> bool {
+        auto try_tuple = [&](TupleView tuple) -> bool {
           std::unordered_map<uint32_t, Term> binding;
-          for (size_t i = 0; i < tuple.size(); ++i) {
+          for (uint32_t i = 0; i < tuple.size(); ++i) {
             Term g = goal.args[i];
             if (IsPlaceholder(g)) {
               auto it = binding.find(g.null_id());
@@ -201,7 +201,7 @@ class Prover {
             if (try_tuple(rel->tuple(idx))) return true;
           }
         } else if (!has_bound || postings == nullptr) {
-          for (const Tuple& tuple : rel->tuples()) {
+          for (TupleView tuple : rel->tuples()) {
             if (try_tuple(tuple)) return true;
           }
         }

@@ -52,18 +52,50 @@ class ChaseRun {
   }
 
  private:
+  using SizeSnapshot = std::unordered_map<PredicateId, size_t>;
+
+  bool Partitioned() const {
+    return options_.seminaive && options_.partition_deltas;
+  }
+
+  // Fills `mo.atom_end` with the old/delta/all windows for the pass
+  // whose delta atom is body index `delta`: atoms before it read
+  // [0, prev), atoms after it read [0, cur). `delta < 0` (round 0) caps
+  // every positive atom at `cur` so facts derived this round surface
+  // only in the next round's delta window.
+  void FillAtomEnds(const Rule& rule, int delta, const SizeSnapshot& prev,
+                    const SizeSnapshot& cur, MatchOptions* mo) const {
+    mo->atom_end.assign(rule.body.size(), kNoTupleLimit);
+    for (size_t j = 0; j < rule.body.size(); ++j) {
+      const Atom& atom = rule.body[j];
+      if (atom.negated) continue;  // lower stratum: static this stratum
+      if (static_cast<int>(j) == delta) continue;
+      const SizeSnapshot& cap =
+          delta >= 0 && static_cast<int>(j) < delta ? prev : cur;
+      mo->atom_end[j] = ValueOr(cap, atom.predicate, 0);
+    }
+  }
+
   Status SaturateStratum(const std::vector<size_t>& rule_indices) {
-    // Round 0: full evaluation of every rule.
-    std::unordered_map<PredicateId, size_t> prev_start = Snapshot();
+    // Round 0: full evaluation of every rule. When partitioning, cap
+    // every atom at the round-start sizes so round 0 enumerates each
+    // database match exactly once; anything derived here is picked up
+    // as round 1's delta.
+    SizeSnapshot prev_start = Snapshot();
     size_t before = instance_->TotalFacts();
     for (size_t r : rule_indices) {
-      TRIQ_RETURN_IF_ERROR(ApplyRule(r, MatchOptions{}));
+      MatchOptions mo;
+      if (Partitioned()) {
+        FillAtomEnds(program_.rules()[r], /*delta=*/-1, prev_start,
+                     prev_start, &mo);
+      }
+      TRIQ_RETURN_IF_ERROR(ApplyRule(r, mo));
     }
     if (stats_ != nullptr) ++stats_->rounds;
     bool changed = instance_->TotalFacts() != before;
 
     while (changed) {
-      std::unordered_map<PredicateId, size_t> cur_start = Snapshot();
+      SizeSnapshot cur_start = Snapshot();
       size_t round_before = instance_->TotalFacts();
       for (size_t r : rule_indices) {
         const Rule& rule = program_.rules()[r];
@@ -79,6 +111,11 @@ class ChaseRun {
             MatchOptions mo;
             mo.delta_body_index = static_cast<int>(b);
             mo.delta_begin = begin;
+            if (Partitioned()) {
+              mo.delta_end = end;
+              FillAtomEnds(rule, static_cast<int>(b), prev_start, cur_start,
+                           &mo);
+            }
             TRIQ_RETURN_IF_ERROR(ApplyRule(r, mo));
           }
         } else {
@@ -92,16 +129,16 @@ class ChaseRun {
     return Status::OK();
   }
 
-  std::unordered_map<PredicateId, size_t> Snapshot() const {
-    std::unordered_map<PredicateId, size_t> out;
+  SizeSnapshot Snapshot() const {
+    SizeSnapshot out;
     for (const auto& [pred, rel] : instance_->relations()) {
       out[pred] = rel.size();
     }
     return out;
   }
 
-  static size_t ValueOr(const std::unordered_map<PredicateId, size_t>& map,
-                        PredicateId key, size_t fallback) {
+  static size_t ValueOr(const SizeSnapshot& map, PredicateId key,
+                        size_t fallback) {
     auto it = map.find(key);
     return it == map.end() ? fallback : it->second;
   }
@@ -114,29 +151,46 @@ class ChaseRun {
     // Materialize the matches before firing: a rule may write into a
     // relation its own body reads (e.g. the triple -> triple rules of
     // Section 2), and inserting during the index scan would invalidate
-    // the matcher's posting-list iteration.
-    struct PendingMatch {
-      Binding binding;
-      std::vector<FactRef> facts;
-    };
-    std::vector<PendingMatch> pending;
+    // the matcher's posting-list iteration. Matches land in flat
+    // staging buffers (reused across calls) — one contiguous append per
+    // match instead of a Binding + vector<FactRef> deep copy each.
+    staged_entries_.clear();
+    staged_facts_.clear();
+    staged_ends_.clear();
     MatchOptions effective = match_options;
     effective.greedy_atom_order = options_.greedy_atom_order;
-    MatchBody(rule, *instance_, effective, [&](const Match& match) {
-      pending.push_back({*match.binding, *match.positive_facts});
-      return true;
-    });
+    TRIQ_RETURN_IF_ERROR(
+        MatchBody(rule, *instance_, effective, [&](const Match& match) {
+          staged_entries_.insert(staged_entries_.end(),
+                                 match.binding->entries().begin(),
+                                 match.binding->entries().end());
+          staged_facts_.insert(staged_facts_.end(),
+                               match.positive_facts->begin(),
+                               match.positive_facts->end());
+          staged_ends_.push_back(
+              {static_cast<uint32_t>(staged_entries_.size()),
+               static_cast<uint32_t>(staged_facts_.size())});
+          return true;
+        }));
 
-    for (const PendingMatch& match : pending) {
-      TRIQ_RETURN_IF_ERROR(
-          Fire(rule_index, rule, existentials, match.binding, match.facts));
+    size_t entry_begin = 0;
+    size_t fact_begin = 0;
+    for (const StagedEnd& staged : staged_ends_) {
+      scratch_binding_.Assign(staged_entries_.data() + entry_begin,
+                              staged.entries - entry_begin);
+      TRIQ_RETURN_IF_ERROR(Fire(rule_index, rule, existentials,
+                                scratch_binding_,
+                                staged_facts_.data() + fact_begin,
+                                staged.facts - fact_begin));
+      entry_begin = staged.entries;
+      fact_begin = staged.facts;
     }
     return Status::OK();
   }
 
   Status Fire(size_t rule_index, const Rule& rule,
               const std::vector<Term>& existentials, const Binding& binding,
-              const std::vector<FactRef>& positive_facts) {
+              const FactRef* positive_facts, size_t num_positive_facts) {
     if (stats_ != nullptr) ++stats_->rule_firings;
 
     Binding head_binding = binding;
@@ -173,15 +227,20 @@ class ChaseRun {
     }
 
     for (const Atom& head : rule.head) {
-      Tuple tuple;
-      tuple.reserve(head.args.size());
-      for (Term t : head.args) tuple.push_back(head_binding.Apply(t));
+      scratch_tuple_.clear();
+      for (Term t : head.args) scratch_tuple_.push_back(head_binding.Apply(t));
       FactRef ref;
-      if (instance_->AddFact(head.predicate, tuple, &ref)) {
+      TRIQ_ASSIGN_OR_RETURN(
+          bool inserted,
+          instance_->AddFactChecked(head.predicate, scratch_tuple_, &ref));
+      if (inserted) {
         if (stats_ != nullptr) ++stats_->facts_derived;
         if (options_.track_provenance) {
           instance_->RecordDerivation(
-              ref, Derivation{rule_index, positive_facts});
+              ref, Derivation{rule_index,
+                              std::vector<FactRef>(
+                                  positive_facts,
+                                  positive_facts + num_positive_facts)});
         }
       }
     }
@@ -206,10 +265,11 @@ class ChaseRun {
     for (const Rule& rule : program_.rules()) {
       if (!rule.IsConstraint()) continue;
       bool violated = false;
-      MatchBody(rule, *instance_, MatchOptions{}, [&](const Match&) {
-        violated = true;
-        return false;
-      });
+      TRIQ_RETURN_IF_ERROR(
+          MatchBody(rule, *instance_, MatchOptions{}, [&](const Match&) {
+            violated = true;
+            return false;
+          }));
       if (violated) {
         return Status::Inconsistent(
             "constraint violated: " + RuleToString(rule, program_.dict()));
@@ -223,6 +283,18 @@ class ChaseRun {
   const ChaseOptions& options_;
   ChaseStats* stats_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
+
+  // Flat staging for ApplyRule (see there). staged_ends_[i] holds the
+  // exclusive end offsets of match i in the two flat buffers.
+  struct StagedEnd {
+    uint32_t entries;
+    uint32_t facts;
+  };
+  std::vector<std::pair<Term, Term>> staged_entries_;
+  std::vector<FactRef> staged_facts_;
+  std::vector<StagedEnd> staged_ends_;
+  Binding scratch_binding_;
+  Tuple scratch_tuple_;
 };
 
 }  // namespace

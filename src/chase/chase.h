@@ -29,6 +29,16 @@ struct ChaseOptions {
   /// fixpoint used as an ablation baseline (bench E13).
   bool seminaive = true;
 
+  /// Strict old/delta/all partitioning of the semi-naive passes: in the
+  /// pass whose delta atom is body atom b, atoms before b read only
+  /// pre-round facts and atoms after b read facts up to the round-start
+  /// snapshot, so every match is enumerated in exactly one pass — rules
+  /// with repeated body predicates (tc(X,Y), tc(Y,Z)) stop re-deriving
+  /// the same match once per pass. Disable for the legacy delta-only
+  /// filtering (ablation / differential testing); ignored when
+  /// `seminaive` is false.
+  bool partition_deltas = true;
+
   /// Record rule/body-fact provenance for proof-tree extraction (Fig 1).
   bool track_provenance = false;
 

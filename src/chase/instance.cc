@@ -1,13 +1,26 @@
 #include "chase/instance.h"
 
 #include <algorithm>
+#include <cassert>
 #include <sstream>
 
 namespace triq::chase {
 
-bool Instance::AddFact(PredicateId predicate, const Tuple& tuple,
+bool Instance::AddFact(PredicateId predicate, TupleView tuple,
                        FactRef* ref_out) {
-  Relation& rel = GetOrCreate(predicate, static_cast<uint32_t>(tuple.size()));
+  Result<bool> inserted = AddFactChecked(predicate, tuple, ref_out);
+  return inserted.ok() && *inserted;  // arity mismatch: rejected, not inserted
+}
+
+Result<bool> Instance::AddFactChecked(PredicateId predicate, TupleView tuple,
+                                      FactRef* ref_out) {
+  Relation& rel = GetOrCreate(predicate, tuple.size());
+  if (rel.arity() != tuple.size()) {
+    return Status::InvalidArgument(
+        "fact for predicate " + dict_->Text(predicate) + " has width " +
+        std::to_string(tuple.size()) + " but its relation has arity " +
+        std::to_string(rel.arity()));
+  }
   uint32_t idx = 0;
   bool inserted = rel.Insert(tuple, &idx);
   if (ref_out != nullptr) *ref_out = FactRef{predicate, idx};
@@ -40,9 +53,10 @@ Relation& Instance::GetOrCreate(PredicateId predicate, uint32_t arity) {
   return relations_.emplace(predicate, Relation(arity)).first->second;
 }
 
-bool Instance::Contains(PredicateId predicate, const Tuple& tuple) const {
+bool Instance::Contains(PredicateId predicate, TupleView tuple) const {
   const Relation* rel = Find(predicate);
-  return rel != nullptr && rel->Contains(tuple);
+  return rel != nullptr && rel->arity() == tuple.size() &&
+         rel->Contains(tuple);
 }
 
 size_t Instance::TotalFacts() const {
@@ -51,11 +65,19 @@ size_t Instance::TotalFacts() const {
   return total;
 }
 
+Instance Instance::CloneFacts() const {
+  Instance out(dict_);
+  out.relations_ = relations_;
+  out.next_null_id_ = next_null_id_;
+  out.null_depths_ = null_depths_;
+  return out;
+}
+
 std::vector<datalog::Atom> Instance::AllFacts() const {
   std::vector<datalog::Atom> out;
   for (const auto& [pred, rel] : relations_) {
-    for (const Tuple& t : rel.tuples()) {
-      out.push_back(datalog::Atom{pred, t, false});
+    for (TupleView t : rel.tuples()) {
+      out.push_back(datalog::Atom{pred, t.ToTuple(), false});
     }
   }
   return out;
@@ -64,10 +86,10 @@ std::vector<datalog::Atom> Instance::AllFacts() const {
 std::vector<datalog::Atom> Instance::GroundFacts() const {
   std::vector<datalog::Atom> out;
   for (const auto& [pred, rel] : relations_) {
-    for (const Tuple& t : rel.tuples()) {
+    for (TupleView t : rel.tuples()) {
       bool ground = std::all_of(t.begin(), t.end(),
                                 [](Term x) { return x.IsConstant(); });
-      if (ground) out.push_back(datalog::Atom{pred, t, false});
+      if (ground) out.push_back(datalog::Atom{pred, t.ToTuple(), false});
     }
   }
   return out;
@@ -100,7 +122,9 @@ Term Instance::AllocateNull(uint32_t depth) {
 }
 
 uint32_t Instance::NullDepth(Term null) const {
-  return null_depths_[null.null_id()];
+  if (!null.IsNull()) return 0;
+  uint32_t id = null.null_id();
+  return id < null_depths_.size() ? null_depths_[id] : 0;
 }
 
 Result<rdf::Graph> Instance::ToGraph(std::string_view predicate) const {
@@ -115,20 +139,53 @@ Result<rdf::Graph> Instance::ToGraph(std::string_view predicate) const {
     if (t.IsConstant()) return t.symbol();
     return dict_->Intern("_:n" + std::to_string(t.null_id()));
   };
-  for (const Tuple& t : rel->tuples()) {
+  for (TupleView t : rel->tuples()) {
     out.Add(to_symbol(t[0]), to_symbol(t[1]), to_symbol(t[2]));
   }
   return out;
 }
 
+namespace {
+
+/// Parses the `_:n<k>` blank-node rendering ToGraph emits for labeled
+/// nulls; returns false for every other symbol.
+bool ParseExportedNull(const std::string& text, uint32_t* id_out) {
+  if (text.size() < 4 || text.compare(0, 3, "_:n") != 0) return false;
+  uint64_t id = 0;
+  for (size_t i = 3; i < text.size(); ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') return false;
+    id = id * 10 + static_cast<uint64_t>(c - '0');
+    if (id > 0x3fffffffULL) return false;  // beyond the Term payload
+  }
+  *id_out = static_cast<uint32_t>(id);
+  return true;
+}
+
+}  // namespace
+
 Instance Instance::FromGraph(const rdf::Graph& graph,
                              std::string_view predicate) {
   Instance instance(graph.dict_ptr());
   PredicateId pred = instance.dict().Intern(predicate);
+  // Distinct blank-node symbols map to freshly allocated nulls (depth 0:
+  // they are database-level) in first-occurrence order, so occurrences of
+  // one blank node share one null. Remapping — instead of trusting the
+  // parsed id — keeps a crafted `_:n<huge>` symbol from forcing a huge
+  // null registry.
+  std::unordered_map<SymbolId, Term> blank_nulls;
+  auto to_term = [&](SymbolId s) -> Term {
+    uint32_t null_id = 0;
+    if (!ParseExportedNull(instance.dict().Text(s), &null_id)) {
+      return Term::Constant(s);
+    }
+    auto [it, inserted] = blank_nulls.emplace(s, Term());
+    if (inserted) it->second = instance.AllocateNull(0);
+    return it->second;
+  };
   for (const rdf::Triple& t : graph.triples()) {
-    instance.AddFact(pred, Tuple{Term::Constant(t.subject),
-                                 Term::Constant(t.predicate),
-                                 Term::Constant(t.object)});
+    instance.AddFact(pred, Tuple{to_term(t.subject), to_term(t.predicate),
+                                 to_term(t.object)});
   }
   return instance;
 }

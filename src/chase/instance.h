@@ -55,8 +55,21 @@ class Instance {
   const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
 
   /// Adds a fact; creates the relation on first use. Returns true if new.
-  bool AddFact(PredicateId predicate, const Tuple& tuple,
+  /// A tuple whose width disagrees with an existing relation's arity is
+  /// rejected without inserting (returns false); use AddFactChecked when
+  /// the caller needs the error surfaced.
+  bool AddFact(PredicateId predicate, TupleView tuple,
                FactRef* ref_out = nullptr);
+  bool AddFact(PredicateId predicate, const Tuple& tuple,
+               FactRef* ref_out = nullptr) {
+    return AddFact(predicate, TupleView(tuple), ref_out);
+  }
+
+  /// Like AddFact, but an arity mismatch against the existing relation
+  /// returns InvalidArgument instead of being silently dropped. The
+  /// value is true iff the fact was newly inserted.
+  Result<bool> AddFactChecked(PredicateId predicate, TupleView tuple,
+                              FactRef* ref_out = nullptr);
 
   /// Convenience for tests: `AddFact("edge", {"a", "b"})` with strings
   /// interned as constants.
@@ -72,12 +85,21 @@ class Instance {
 
   Relation& GetOrCreate(PredicateId predicate, uint32_t arity);
 
-  bool Contains(PredicateId predicate, const Tuple& tuple) const;
+  bool Contains(PredicateId predicate, TupleView tuple) const;
+  bool Contains(PredicateId predicate, const Tuple& tuple) const {
+    return Contains(predicate, TupleView(tuple));
+  }
 
   size_t TotalFacts() const;
   const std::unordered_map<PredicateId, Relation>& relations() const {
     return relations_;
   }
+
+  /// A fact-level copy: same dictionary, relations and null registry,
+  /// no derivations. Relations are copied wholesale (flat storage makes
+  /// this a handful of memcpys per predicate), so cloning is far cheaper
+  /// than re-inserting every fact.
+  Instance CloneFacts() const;
 
   /// All facts, as ground atoms (diagnostics / small tests only).
   std::vector<datalog::Atom> AllFacts() const;
@@ -96,11 +118,19 @@ class Instance {
   /// the deepest null it was derived from, plus one; database constants
   /// have depth 0). The chase uses depths as a termination safety cap.
   Term AllocateNull(uint32_t depth);
+
+  /// Chase depth of `null`. Constants and unknown null ids (e.g. the
+  /// backward prover's placeholders) are database-level: depth 0.
   uint32_t NullDepth(Term null) const;
   uint32_t null_count() const { return next_null_id_; }
 
   /// Loads an RDF graph as the paper's τ_db(G): one ternary
-  /// triple(s, p, o) fact per RDF triple (Section 5.1).
+  /// triple(s, p, o) fact per RDF triple (Section 5.1). Blank-node
+  /// symbols of the form `_:n<k>` — the rendering ToGraph emits for
+  /// labeled nulls — re-enter as labeled nulls (one fresh null per
+  /// distinct blank node, allocated in first-occurrence order), so the
+  /// ToGraph/FromGraph round-trip preserves null identity instead of
+  /// corrupting nulls into constants.
   static Instance FromGraph(const rdf::Graph& graph,
                             std::string_view predicate = "triple");
 

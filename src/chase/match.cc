@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "datalog/atom.h"
+
 namespace triq::chase {
 
 namespace {
@@ -26,12 +28,17 @@ class Matcher {
         positive_.push_back(static_cast<int>(i));
       }
     }
-    facts_.resize(positive_.size());
+    // positive_ is built in body order, so slot order == body order and
+    // refs_ can be handed to the callback without re-sorting.
+    refs_.resize(positive_.size());
     used_.assign(positive_.size(), false);
     if (options.seed != nullptr) binding_ = *options.seed;
   }
 
-  void Run() { Recurse(0); }
+  Status Run() {
+    Recurse(0);
+    return status_;
+  }
 
  private:
   // Returns false to propagate early termination.
@@ -81,32 +88,50 @@ class Matcher {
     return best;
   }
 
+  // The tuple-index window this slot's atom is allowed to scan (see the
+  // MatchOptions contract).
+  std::pair<size_t, size_t> SlotWindow(int slot) const {
+    int body_index = positive_[slot];
+    if (body_index == options_.delta_body_index) {
+      return {options_.delta_begin, options_.delta_end};
+    }
+    size_t end = kNoTupleLimit;
+    if (static_cast<size_t>(body_index) < options_.atom_end.size()) {
+      end = options_.atom_end[body_index];
+    }
+    return {0, end};
+  }
+
   bool EnumerateCandidates(int slot, size_t depth) {
     const Atom& atom = rule_.body[positive_[slot]];
     const Relation* rel = instance_.Find(atom.predicate);
     if (rel == nullptr || rel->arity() != atom.args.size()) return true;
 
-    bool is_delta = positive_[slot] == options_.delta_body_index;
-    size_t min_index = is_delta ? options_.delta_begin : 0;
+    auto [begin, end] = SlotWindow(slot);
+    end = std::min(end, rel->size());
+    if (begin >= end) return true;
 
-    // Pick the bound position with the shortest posting list.
-    const std::vector<uint32_t>* postings = nullptr;
-    bool empty = false;
+    // Collect posting lists for the bound positions, keeping the two
+    // shortest: candidates come from their sorted intersection, which
+    // prunes far more than scanning one list and re-checking.
+    const std::vector<uint32_t>* shortest = nullptr;
+    const std::vector<uint32_t>* second = nullptr;
     for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
       Term val = binding_.Apply(atom.args[pos]);
       if (val.IsVariable()) continue;
       const std::vector<uint32_t>* p = rel->Postings(pos, val);
-      if (p == nullptr) {
-        empty = true;
-        break;
+      if (p == nullptr) return true;  // some bound position has no fact
+      if (shortest == nullptr || p->size() < shortest->size()) {
+        second = shortest;
+        shortest = p;
+      } else if (p != shortest &&
+                 (second == nullptr || p->size() < second->size())) {
+        second = p;
       }
-      if (postings == nullptr || p->size() < postings->size()) postings = p;
     }
-    if (empty) return true;
 
     auto try_tuple = [&](uint32_t idx) -> bool {
-      if (idx < min_index) return true;
-      const Tuple& tuple = rel->tuple(idx);
+      TupleView tuple = rel->tuple(idx);
       size_t mark = binding_.size();
       bool unified = true;
       for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
@@ -120,20 +145,39 @@ class Matcher {
       }
       bool keep_going = true;
       if (unified) {
-        facts_[depth] = {positive_[slot], FactRef{atom.predicate, idx}};
+        refs_[slot] = FactRef{atom.predicate, idx};
         keep_going = Recurse(depth + 1);
       }
       binding_.PopTo(mark);
       return keep_going;
     };
 
-    if (postings != nullptr) {
-      for (uint32_t idx : *postings) {
-        if (!try_tuple(idx)) return false;
+    if (shortest != nullptr) {
+      // Postings are appended in tuple-index order, so the window seek
+      // is a binary search instead of a skip-scan.
+      auto it = std::lower_bound(shortest->begin(), shortest->end(),
+                                 static_cast<uint32_t>(begin));
+      if (second == nullptr) {
+        for (; it != shortest->end() && *it < end; ++it) {
+          if (!try_tuple(*it)) return false;
+        }
+      } else {
+        auto jt = std::lower_bound(second->begin(), second->end(),
+                                   static_cast<uint32_t>(begin));
+        while (it != shortest->end() && jt != second->end() && *it < end) {
+          if (*it < *jt) {
+            ++it;
+          } else if (*jt < *it) {
+            ++jt;
+          } else {
+            if (!try_tuple(*it)) return false;
+            ++it;
+            ++jt;
+          }
+        }
       }
     } else {
-      for (uint32_t idx = static_cast<uint32_t>(min_index); idx < rel->size();
-           ++idx) {
+      for (uint32_t idx = static_cast<uint32_t>(begin); idx < end; ++idx) {
         if (!try_tuple(idx)) return false;
       }
     }
@@ -142,22 +186,24 @@ class Matcher {
 
   bool EmitIfNegativesHold() {
     for (const Atom* atom : negative_) {
-      Tuple tuple;
-      tuple.reserve(atom->args.size());
+      scratch_tuple_.clear();
       for (Term t : atom->args) {
         Term v = binding_.Apply(t);
-        if (v.IsVariable()) return true;  // unbound: treat as no match
-        tuple.push_back(v);
+        if (v.IsVariable()) {
+          // An unsafe rule slipped past Program validation; error out
+          // instead of silently treating the negation as satisfied.
+          status_ = Status::InvalidArgument(
+              "negated atom over predicate " +
+              instance_.dict().Text(atom->predicate) +
+              " has an unbound variable after matching the positive body; "
+              "the rule is unsafe");
+          return false;
+        }
+        scratch_tuple_.push_back(v);
       }
-      if (instance_.Contains(atom->predicate, tuple)) return true;
+      if (instance_.Contains(atom->predicate, scratch_tuple_)) return true;
     }
-    // Assemble positive fact refs in body order.
-    std::vector<FactRef> refs(positive_.size());
-    std::vector<std::pair<int, FactRef>> sorted(facts_);
-    std::sort(sorted.begin(), sorted.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (size_t i = 0; i < sorted.size(); ++i) refs[i] = sorted[i].second;
-    Match match{&binding_, &refs};
+    Match match{&binding_, &refs_};
     return fn_(match);
   }
 
@@ -166,19 +212,21 @@ class Matcher {
   const MatchOptions& options_;
   const std::function<bool(const Match&)>& fn_;
 
-  std::vector<int> positive_;            // body indices of positive atoms
+  std::vector<int> positive_;        // body indices of positive atoms
   std::vector<const Atom*> negative_;
   std::vector<bool> used_;
-  std::vector<std::pair<int, FactRef>> facts_;  // (body idx, matched fact)
+  std::vector<FactRef> refs_;        // matched fact per slot (= body order)
+  Tuple scratch_tuple_;              // reused for negated-atom probes
   Binding binding_;
+  Status status_ = Status::OK();
 };
 
 }  // namespace
 
-void MatchBody(const datalog::Rule& rule, const Instance& instance,
-               const MatchOptions& options,
-               const std::function<bool(const Match&)>& fn) {
-  Matcher(rule, instance, options, fn).Run();
+Status MatchBody(const datalog::Rule& rule, const Instance& instance,
+                 const MatchOptions& options,
+                 const std::function<bool(const Match&)>& fn) {
+  return Matcher(rule, instance, options, fn).Run();
 }
 
 bool HasMatch(const std::vector<datalog::Atom>& atoms,
@@ -189,7 +237,8 @@ bool HasMatch(const std::vector<datalog::Atom>& atoms,
   MatchOptions options;
   options.seed = &seed;
   bool found = false;
-  MatchBody(probe, instance, options, [&](const Match&) {
+  // The probe body is positive-only, so MatchBody cannot fail.
+  (void)MatchBody(probe, instance, options, [&](const Match&) {
     found = true;
     return false;  // stop at first witness
   });

@@ -1,11 +1,13 @@
 #ifndef TRIQ_CHASE_MATCH_H_
 #define TRIQ_CHASE_MATCH_H_
 
+#include <cstddef>
 #include <functional>
 #include <utility>
 #include <vector>
 
 #include "chase/instance.h"
+#include "common/status.h"
 #include "datalog/rule.h"
 
 namespace triq::chase {
@@ -30,6 +32,13 @@ class Binding {
     return entries_;
   }
 
+  /// Replaces the contents with `n` entries from `data`, reusing the
+  /// existing capacity (the chase's staging drain refills one scratch
+  /// Binding per match instead of allocating).
+  void Assign(const std::pair<Term, Term>* data, size_t n) {
+    entries_.assign(data, data + n);
+  }
+
   /// Applies the binding to a term: bound variables are replaced,
   /// everything else passes through.
   Term Apply(Term t) const {
@@ -49,12 +58,31 @@ struct Match {
   const std::vector<FactRef>* positive_facts;
 };
 
+/// Sentinel for "no upper bound" in the tuple-index windows below.
+inline constexpr size_t kNoTupleLimit = static_cast<size_t>(-1);
+
 /// Options for a body-matching pass.
+///
+/// Window contract (semi-naive old/delta/all partitioning): each
+/// positive body atom scans a half-open window of tuple indices in its
+/// predicate's relation.
+///  * The atom at `delta_body_index` scans [delta_begin, delta_end).
+///  * Every other positive atom `b` scans [0, atom_end[b]) when
+///    `atom_end` is non-empty, and the whole relation otherwise.
+/// The chase points atoms before the delta atom at the pre-round
+/// snapshot ("old") and atoms after it at the round-start snapshot
+/// ("all"), so a match joining several delta facts is enumerated in
+/// exactly one pass.
 struct MatchOptions {
-  /// If >= 0, the positive body atom at this body index must match a
-  /// fact with tuple index >= delta_begin (semi-naive delta constraint).
+  /// If >= 0, the positive body atom at this body index is the delta
+  /// atom and must match a fact with tuple index in
+  /// [delta_begin, delta_end).
   int delta_body_index = -1;
   size_t delta_begin = 0;
+  size_t delta_end = kNoTupleLimit;
+  /// Optional per-body-atom exclusive upper bounds on tuple indices
+  /// (body order, negated atoms ignored); empty = no bounds.
+  std::vector<size_t> atom_end;
   /// Pre-seeded bindings (used for head-satisfaction checks where the
   /// frontier is already fixed).
   const Binding* seed = nullptr;
@@ -66,10 +94,13 @@ struct MatchOptions {
 /// Enumerates all homomorphisms h with h(body+) ⊆ instance and
 /// h(body−) ∩ instance = ∅, invoking `fn` per match. `fn` returning
 /// false stops the enumeration. Atoms are joined index-nested-loop style
-/// with a greedy most-bound-first order.
-void MatchBody(const datalog::Rule& rule, const Instance& instance,
-               const MatchOptions& options,
-               const std::function<bool(const Match&)>& fn);
+/// with a greedy most-bound-first order. Returns InvalidArgument when a
+/// negated atom still has an unbound variable once the positive body is
+/// matched (an unsafe rule that bypassed Program validation) instead of
+/// silently dropping answers.
+Status MatchBody(const datalog::Rule& rule, const Instance& instance,
+                 const MatchOptions& options,
+                 const std::function<bool(const Match&)>& fn);
 
 /// Convenience: true iff the conjunction of (positive) `atoms` has at
 /// least one homomorphism into `instance` extending `seed`.

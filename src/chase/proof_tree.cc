@@ -9,8 +9,8 @@ namespace {
 std::unique_ptr<ProofTreeNode> Build(const Instance& instance, FactRef ref) {
   auto node = std::make_unique<ProofTreeNode>();
   const Relation* rel = instance.Find(ref.predicate);
-  node->fact = datalog::Atom{ref.predicate, rel->tuple(ref.tuple_index),
-                             false};
+  node->fact = datalog::Atom{ref.predicate,
+                             rel->tuple(ref.tuple_index).ToTuple(), false};
   const Derivation* derivation = instance.FindDerivation(ref);
   if (derivation == nullptr) return node;  // database fact: leaf
   node->rule_index = static_cast<int>(derivation->rule_index);

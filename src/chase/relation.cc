@@ -4,18 +4,71 @@
 
 namespace triq::chase {
 
-bool Relation::Insert(const Tuple& t, uint32_t* index_out) {
+namespace {
+
+// Initial open-addressing capacity; must be a power of two.
+constexpr size_t kInitialSlots = 16;
+
+}  // namespace
+
+uint32_t Relation::FindIndex(TupleView t) const {
   assert(t.size() == arity_);
-  auto [it, inserted] =
-      index_of_.emplace(t, static_cast<uint32_t>(tuples_.size()));
-  if (!inserted) {
-    if (index_out != nullptr) *index_out = it->second;
-    return false;
+  if (slots_.empty()) return kNotFound;
+  size_t mask = slots_.size() - 1;
+  size_t i = HashTerms(t.data()) & mask;
+  while (slots_[i] != 0) {
+    uint32_t idx = slots_[i] - 1;
+    if (TermsEqual(data_.data() + static_cast<size_t>(idx) * arity_,
+                   t.data())) {
+      return idx;
+    }
+    i = (i + 1) & mask;
   }
-  uint32_t idx = it->second;
-  tuples_.push_back(t);
+  return kNotFound;
+}
+
+void Relation::GrowSlots() {
+  size_t capacity = slots_.empty() ? kInitialSlots : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  size_t mask = capacity - 1;
+  for (uint32_t idx = 0; idx < count_; ++idx) {
+    size_t i = HashTerms(data_.data() + static_cast<size_t>(idx) * arity_) &
+               mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = idx + 1;
+  }
+}
+
+bool Relation::Insert(TupleView t, uint32_t* index_out) {
+  assert(t.size() == arity_);
+  // Keep the probe table below 7/8 load so lookups stay short.
+  if ((static_cast<size_t>(count_) + 1) * 8 > slots_.size() * 7) GrowSlots();
+  size_t mask = slots_.size() - 1;
+  size_t i = HashTerms(t.data()) & mask;
+  while (slots_[i] != 0) {
+    uint32_t idx = slots_[i] - 1;
+    if (TermsEqual(data_.data() + static_cast<size_t>(idx) * arity_,
+                   t.data())) {
+      if (index_out != nullptr) *index_out = idx;
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+  uint32_t idx = count_;
+  // `t` may view into data_ itself (re-inserting a stored tuple), so
+  // recompute the source pointer if the append reallocates.
+  const Term* src = t.data();
+  bool aliases = !data_.empty() && src >= data_.data() &&
+                 src < data_.data() + data_.size();
+  size_t offset = aliases ? static_cast<size_t>(src - data_.data()) : 0;
+  data_.resize(data_.size() + arity_);
+  if (aliases) src = data_.data() + offset;
+  std::copy(src, src + arity_, data_.end() - arity_);
+  slots_[i] = idx + 1;
+  ++count_;
   for (uint32_t pos = 0; pos < arity_; ++pos) {
-    indexes_[pos][t[pos]].push_back(idx);
+    indexes_[pos][data_[static_cast<size_t>(idx) * arity_ + pos]].push_back(
+        idx);
   }
   if (index_out != nullptr) *index_out = idx;
   return true;

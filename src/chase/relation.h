@@ -1,6 +1,7 @@
 #ifndef TRIQ_CHASE_RELATION_H_
 #define TRIQ_CHASE_RELATION_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +13,9 @@ namespace triq::chase {
 using datalog::Term;
 using datalog::TermHash;
 
-/// A tuple of ground terms (constants and labeled nulls).
+/// A tuple of ground terms (constants and labeled nulls). Used as the
+/// insertion/materialization type; stored facts live in the relation's
+/// flat term array and are read through TupleView.
 using Tuple = std::vector<Term>;
 
 struct TupleHash {
@@ -26,35 +29,135 @@ struct TupleHash {
   }
 };
 
-/// The extension of one predicate: an append-only, duplicate-free vector
-/// of tuples with per-position hash indexes (value -> posting list of
-/// tuple indices). Append-only storage gives the chase cheap delta
-/// tracking for semi-naive evaluation: the facts added since a snapshot
-/// are exactly the suffix starting at the snapshot size.
+/// A non-owning view of one stored tuple: `arity` consecutive terms in a
+/// relation's flat storage (or any Term array). Views are invalidated by
+/// the next insert into the owning relation.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const Term* data, uint32_t size) : data_(data), size_(size) {}
+  /* implicit */ TupleView(const Tuple& t)  // NOLINT
+      : data_(t.data()), size_(static_cast<uint32_t>(t.size())) {}
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Term* data() const { return data_; }
+  const Term* begin() const { return data_; }
+  const Term* end() const { return data_ + size_; }
+  Term operator[](uint32_t i) const { return data_[i]; }
+
+  /// Materializes an owning copy (Atom construction, answer sets).
+  Tuple ToTuple() const { return Tuple(begin(), end()); }
+
+  friend bool operator==(TupleView a, TupleView b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(TupleView a, TupleView b) { return !(a == b); }
+  friend bool operator==(TupleView a, const Tuple& b) {
+    return a == TupleView(b);
+  }
+  friend bool operator==(const Tuple& a, TupleView b) {
+    return TupleView(a) == b;
+  }
+
+ private:
+  const Term* data_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+/// The extension of one predicate: an append-only, duplicate-free fact
+/// store with per-position hash indexes (value -> posting list of tuple
+/// indices, ascending). Tuples are stored arity-strided in one flat
+/// `Term` array — no per-fact heap allocation — and deduplicated with an
+/// open-addressing table over that storage. Append-only storage gives
+/// the chase cheap delta tracking for semi-naive evaluation: the facts
+/// added since a snapshot are exactly the index suffix starting at the
+/// snapshot size, and the sorted posting lists let a scan seek straight
+/// to a delta window with std::lower_bound.
 class Relation {
  public:
   explicit Relation(uint32_t arity) : arity_(arity), indexes_(arity) {}
 
   uint32_t arity() const { return arity_; }
-  size_t size() const { return tuples_.size(); }
-  const Tuple& tuple(size_t i) const { return tuples_[i]; }
-  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return count_; }
+
+  TupleView tuple(size_t i) const {
+    return TupleView(data_.data() + i * arity_, arity_);
+  }
+
+  /// Iteration over all stored tuples as views. Index-based so 0-ary
+  /// relations (stride 0) still yield their single empty tuple.
+  class TupleIterator {
+   public:
+    TupleIterator(const Relation* rel, uint32_t index)
+        : rel_(rel), index_(index) {}
+    TupleView operator*() const { return rel_->tuple(index_); }
+    TupleIterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    friend bool operator==(TupleIterator a, TupleIterator b) {
+      return a.index_ == b.index_;
+    }
+    friend bool operator!=(TupleIterator a, TupleIterator b) {
+      return a.index_ != b.index_;
+    }
+
+   private:
+    const Relation* rel_;
+    uint32_t index_;
+  };
+  class TupleRange {
+   public:
+    TupleRange(const Relation* rel) : rel_(rel) {}
+    TupleIterator begin() const { return TupleIterator(rel_, 0); }
+    TupleIterator end() const { return TupleIterator(rel_, rel_->count_); }
+
+   private:
+    const Relation* rel_;
+  };
+  TupleRange tuples() const { return TupleRange(this); }
 
   /// Inserts `t`; returns true (and the new index via `index_out`) if the
   /// tuple is new, false if it was already present.
-  bool Insert(const Tuple& t, uint32_t* index_out = nullptr);
+  bool Insert(TupleView t, uint32_t* index_out = nullptr);
+  bool Insert(const Tuple& t, uint32_t* index_out = nullptr) {
+    return Insert(TupleView(t), index_out);
+  }
 
-  bool Contains(const Tuple& t) const { return index_of_.count(t) > 0; }
+  bool Contains(TupleView t) const { return FindIndex(t) != kNotFound; }
+  bool Contains(const Tuple& t) const { return Contains(TupleView(t)); }
 
-  /// Posting list of tuple indices whose `position`-th term equals
-  /// `value`; nullptr when empty.
+  /// Index of the stored tuple equal to `t`, or kNotFound.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+  uint32_t FindIndex(TupleView t) const;
+
+  /// Posting list of tuple indices (ascending) whose `position`-th term
+  /// equals `value`; nullptr when empty.
   const std::vector<uint32_t>* Postings(uint32_t position, Term value) const;
 
  private:
+  size_t HashTerms(const Term* t) const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < arity_; ++i) {
+      h ^= t[i].raw();
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h ^ (h >> 32));
+  }
+  bool TermsEqual(const Term* a, const Term* b) const {
+    for (uint32_t i = 0; i < arity_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
+  }
+  void GrowSlots();
+
   uint32_t arity_;
-  std::vector<Tuple> tuples_;
-  std::unordered_map<Tuple, uint32_t, TupleHash> index_of_;
-  // indexes_[pos]: value -> tuple indices.
+  uint32_t count_ = 0;       // number of stored tuples
+  std::vector<Term> data_;   // count_ * arity_ terms, arity-strided
+  std::vector<uint32_t> slots_;  // open addressing: tuple index + 1, 0 empty
+  // indexes_[pos]: value -> tuple indices, ascending by construction.
   std::vector<std::unordered_map<Term, std::vector<uint32_t>, TermHash>>
       indexes_;
 };

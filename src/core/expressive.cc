@@ -25,7 +25,7 @@ datalog::Program MustParse(std::string_view text,
 size_t GroundConnection(const chase::Instance& instance, chase::Term null) {
   std::unordered_set<SymbolId> constants;
   for (const auto& [pred, rel] : instance.relations()) {
-    for (const chase::Tuple& tuple : rel.tuples()) {
+    for (chase::TupleView tuple : rel.tuples()) {
       bool mentions_null = false;
       for (Term t : tuple) {
         if (t == null) {
@@ -46,7 +46,7 @@ size_t MaxGroundConnection(const chase::Instance& instance) {
   // Single pass: accumulate the constant set per null.
   std::unordered_map<uint32_t, std::unordered_set<SymbolId>> per_null;
   for (const auto& [pred, rel] : instance.relations()) {
-    for (const chase::Tuple& tuple : rel.tuples()) {
+    for (chase::TupleView tuple : rel.tuples()) {
       for (Term t : tuple) {
         if (!t.IsNull()) continue;
         auto& set = per_null[t.null_id()];

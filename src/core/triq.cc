@@ -58,11 +58,11 @@ Result<std::vector<chase::Tuple>> TriqQuery::EvaluateInPlace(
   std::vector<chase::Tuple> answers;
   const chase::Relation* rel = database->Find(answer_predicate_);
   if (rel != nullptr) {
-    for (const chase::Tuple& tuple : rel->tuples()) {
+    for (chase::TupleView tuple : rel->tuples()) {
       bool all_constants =
           std::all_of(tuple.begin(), tuple.end(),
                       [](chase::Term t) { return t.IsConstant(); });
-      if (all_constants) answers.push_back(tuple);
+      if (all_constants) answers.push_back(tuple.ToTuple());
     }
   }
   return answers;
@@ -82,17 +82,10 @@ Result<bool> TriqQuery::Holds(const chase::Instance& database,
 }
 
 chase::Instance CloneInstance(const chase::Instance& src) {
-  chase::Instance out(src.dict_ptr());
-  // Preserve null ids/depths so cloned facts keep their identity.
-  for (uint32_t i = 0; i < src.null_count(); ++i) {
-    out.AllocateNull(src.NullDepth(chase::Term::Null(i)));
-  }
-  for (const auto& [pred, rel] : src.relations()) {
-    for (const chase::Tuple& tuple : rel.tuples()) {
-      out.AddFact(pred, tuple);
-    }
-  }
-  return out;
+  // Flat relation storage makes the member-wise copy a handful of
+  // memcpys per predicate; null ids/depths are preserved so cloned
+  // facts keep their identity.
+  return src.CloneFacts();
 }
 
 }  // namespace triq::core

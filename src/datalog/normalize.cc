@@ -157,17 +157,6 @@ Program NormalizeWardedSplit(const Program& program) {
 
 namespace {
 
-chase::Instance CloneFacts(const chase::Instance& src) {
-  chase::Instance out(src.dict_ptr());
-  for (uint32_t i = 0; i < src.null_count(); ++i) {
-    out.AllocateNull(src.NullDepth(chase::Term::Null(i)));
-  }
-  for (const auto& [pred, rel] : src.relations()) {
-    for (const chase::Tuple& tuple : rel.tuples()) out.AddFact(pred, tuple);
-  }
-  return out;
-}
-
 // Enumerates dom^arity, calling fn for each tuple.
 void EnumerateTuples(const std::vector<Term>& domain, size_t arity,
                      const std::function<void(const chase::Tuple&)>& fn) {
@@ -197,7 +186,7 @@ Result<std::pair<Program, chase::Instance>> EliminateNegation(
   std::unordered_set<uint32_t> seen;
   std::vector<Term> domain;
   for (const auto& [pred, rel] : database.relations()) {
-    for (const chase::Tuple& tuple : rel.tuples()) {
+    for (chase::TupleView tuple : rel.tuples()) {
       for (Term t : tuple) {
         if (t.IsConstant() && seen.insert(t.raw()).second) {
           domain.push_back(t);
@@ -207,7 +196,7 @@ Result<std::pair<Program, chase::Instance>> EliminateNegation(
   }
 
   Program positive(program.dict_ptr());
-  chase::Instance augmented = CloneFacts(database);
+  chase::Instance augmented = database.CloneFacts();
   std::unordered_set<PredicateId> complemented;
 
   auto complement_name = [&](PredicateId pred) {
@@ -227,7 +216,7 @@ Result<std::pair<Program, chase::Instance>> EliminateNegation(
     if (!negated.empty()) {
       // Ground semantics of the program built so far (the lower strata,
       // already fully transformed) over the augmented database.
-      chase::Instance work = CloneFacts(augmented);
+      chase::Instance work = augmented.CloneFacts();
       TRIQ_RETURN_IF_ERROR(chase::RunChase(positive, &work));
       for (const auto& [pred, arity] : negated) {
         if (!complemented.insert(pred).second) continue;

@@ -471,10 +471,10 @@ sparql::MappingSet AnswersToMappings(const TranslatedQuery& query,
   sparql::MappingSet out;
   const chase::Relation* rel = instance.Find(query.answer_predicate);
   if (rel == nullptr) return out;
-  for (const chase::Tuple& tuple : rel->tuples()) {
+  for (chase::TupleView tuple : rel->tuples()) {
     sparql::SparqlMapping m;
     bool valid = true;
-    for (size_t i = 0; i < tuple.size(); ++i) {
+    for (uint32_t i = 0; i < tuple.size(); ++i) {
       if (tuple[i].IsNull()) {
         valid = false;  // nulls never reach answer schemas (C-guarded)
         break;

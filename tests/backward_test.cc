@@ -143,9 +143,9 @@ TEST(BackwardTest, AgreesWithChaseOnOwl2QlChain) {
   ASSERT_NE(types, nullptr);
   Instance db = Instance::FromGraph(g);
   int checked = 0;
-  for (const Tuple& tuple : types->tuples()) {
+  for (TupleView tuple : types->tuples()) {
     if (!tuple[0].IsConstant() || !tuple[1].IsConstant()) continue;
-    datalog::Atom goal{dict->Intern("type"), tuple, false};
+    datalog::Atom goal{dict->Intern("type"), tuple.ToTuple(), false};
     auto proved = BackwardProve(regime, db, goal);
     ASSERT_TRUE(proved.ok());
     EXPECT_TRUE(*proved) << AtomToString(goal, *dict);

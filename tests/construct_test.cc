@@ -109,7 +109,7 @@ TEST(ConstructTest, LocalBlanksCannotAnonymizeConsistently) {
   ASSERT_TRUE(RunChase(*program, &db).ok());
   const chase::Relation* rel = db.Find(dict->Intern("output"));
   std::set<uint32_t> nulls;
-  for (const chase::Tuple& t : rel->tuples()) nulls.insert(t[0].null_id());
+  for (chase::TupleView t : rel->tuples()) nulls.insert(t[0].null_id());
   EXPECT_EQ(nulls.size(), 1u);  // Datalog∃: one null for alice
 }
 

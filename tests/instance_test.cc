@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "chase/instance.h"
@@ -56,6 +57,74 @@ TEST(InstanceTest, AddFactCreatesRelations) {
   EXPECT_EQ(db.Find(dict->Intern("q")), nullptr);
 }
 
+TEST(RelationTest, TupleViewsReadFlatStorage) {
+  Relation rel(2);
+  rel.Insert({Term::Constant(1), Term::Constant(2)});
+  rel.Insert({Term::Constant(3), Term::Constant(4)});
+  EXPECT_EQ(rel.tuple(1)[0], Term::Constant(3));
+  EXPECT_EQ(rel.tuple(0), (Tuple{Term::Constant(1), Term::Constant(2)}));
+  size_t seen = 0;
+  for (TupleView t : rel.tuples()) {
+    EXPECT_EQ(t.size(), 2u);
+    ++seen;
+  }
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(rel.FindIndex(Tuple{Term::Constant(3), Term::Constant(4)}), 1u);
+  EXPECT_EQ(rel.FindIndex(Tuple{Term::Constant(3), Term::Constant(5)}),
+            Relation::kNotFound);
+}
+
+TEST(RelationTest, ZeroArityRelationHoldsOneEmptyTuple) {
+  Relation rel(0);
+  EXPECT_TRUE(rel.Insert(Tuple{}));
+  EXPECT_FALSE(rel.Insert(Tuple{}));
+  EXPECT_EQ(rel.size(), 1u);
+  EXPECT_TRUE(rel.Contains(Tuple{}));
+  size_t seen = 0;
+  for (TupleView t : rel.tuples()) {
+    EXPECT_TRUE(t.empty());
+    ++seen;
+  }
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(RelationTest, PostingsStayInTupleIndexOrder) {
+  Relation rel(2);
+  for (uint32_t i = 0; i < 100; ++i) {
+    rel.Insert({Term::Constant(1 + i % 3), Term::Constant(100 + i)});
+  }
+  for (uint32_t v = 1; v <= 3; ++v) {
+    const auto* postings = rel.Postings(0, Term::Constant(v));
+    ASSERT_NE(postings, nullptr);
+    EXPECT_TRUE(std::is_sorted(postings->begin(), postings->end()));
+  }
+}
+
+TEST(InstanceTest, AddFactRejectsArityMismatch) {
+  auto dict = Dict();
+  Instance db(dict);
+  ASSERT_TRUE(db.AddFact("p", {"a", "b"}));
+  // The unchecked entry point drops the wrong-width tuple instead of
+  // corrupting the relation's flat storage...
+  EXPECT_FALSE(db.AddFact("p", {"a"}));
+  EXPECT_FALSE(db.AddFact("p", {"a", "b", "c"}));
+  const Relation* rel = db.Find(dict->Intern("p"));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->arity(), 2u);
+  EXPECT_EQ(rel->size(), 1u);
+  // ...and the checked one surfaces the error.
+  PredicateId p = dict->Intern("p");
+  auto narrow = db.AddFactChecked(p, Tuple{Term::Constant(dict->Intern("a"))});
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.status().code(), StatusCode::kInvalidArgument);
+  auto fits = db.AddFactChecked(
+      p, Tuple{Term::Constant(dict->Intern("a")),
+               Term::Constant(dict->Intern("z"))});
+  ASSERT_TRUE(fits.ok());
+  EXPECT_TRUE(*fits);
+  EXPECT_EQ(db.TotalFacts(), 2u);
+}
+
 TEST(InstanceTest, NullAllocationTracksDepth) {
   auto dict = Dict();
   Instance db(dict);
@@ -65,6 +134,17 @@ TEST(InstanceTest, NullAllocationTracksDepth) {
   EXPECT_EQ(db.NullDepth(z0), 1u);
   EXPECT_EQ(db.NullDepth(z1), 5u);
   EXPECT_EQ(db.null_count(), 2u);
+}
+
+TEST(InstanceTest, NullDepthGuardsNonNullTerms) {
+  auto dict = Dict();
+  Instance db(dict);
+  Term z = db.AllocateNull(4);
+  EXPECT_EQ(db.NullDepth(z), 4u);
+  // Constants are database-level (depth 0), not an out-of-bounds read.
+  EXPECT_EQ(db.NullDepth(Term::Constant(dict->Intern("a"))), 0u);
+  // Unregistered null ids (e.g. backward-prover placeholders) too.
+  EXPECT_EQ(db.NullDepth(Term::Null(12345)), 0u);
 }
 
 TEST(InstanceTest, GroundFactsFilterNulls) {
@@ -138,6 +218,55 @@ TEST(InstanceTest, GraphRoundTrip) {
   for (const rdf::Triple& t : g.triples()) {
     EXPECT_TRUE(back->Contains(t));
   }
+}
+
+TEST(InstanceTest, GraphRoundTripPreservesNullIdentity) {
+  auto dict = Dict();
+  Instance db(dict);
+  Term z = db.AllocateNull(1);
+  db.AddFact(dict->Intern("triple"),
+             {z, Term::Constant(dict->Intern("likes")),
+              Term::Constant(dict->Intern("tea"))});
+  db.AddFact(dict->Intern("triple"),
+             {z, Term::Constant(dict->Intern("likes")),
+              Term::Constant(dict->Intern("jazz"))});
+  auto graph = db.ToGraph("triple");
+  ASSERT_TRUE(graph.ok());
+  Instance back = Instance::FromGraph(*graph);
+  const Relation* rel = back.Find(dict->Intern("triple"));
+  ASSERT_NE(rel, nullptr);
+  ASSERT_EQ(rel->size(), 2u);
+  // The exported `_:n<k>` blank nodes re-enter as the same labeled
+  // null, not as fresh constants.
+  EXPECT_TRUE(rel->tuple(0)[0].IsNull());
+  EXPECT_EQ(rel->tuple(0)[0], z);
+  EXPECT_EQ(rel->tuple(1)[0], z);
+  EXPECT_GE(back.null_count(), 1u);
+  // And a URI that merely looks null-ish but isn't `_:n<digits>` stays
+  // a constant.
+  rdf::Graph g2(dict);
+  g2.Add("_:n12x", "p", "o");
+  g2.Add("_:b0", "p", "o");
+  Instance other = Instance::FromGraph(g2);
+  const Relation* rel2 = other.Find(dict->Intern("triple"));
+  ASSERT_NE(rel2, nullptr);
+  for (TupleView t : rel2->tuples()) EXPECT_TRUE(t[0].IsConstant());
+}
+
+TEST(InstanceTest, CloneFactsCopiesRelationsAndNulls) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("p", {"a", "b"});
+  Term z = db.AllocateNull(3);
+  db.AddFact(dict->Intern("q"), {z});
+  Instance copy = db.CloneFacts();
+  EXPECT_EQ(copy.ToString(), db.ToString());
+  EXPECT_EQ(copy.null_count(), db.null_count());
+  EXPECT_EQ(copy.NullDepth(z), 3u);
+  // Independent storage: growing the copy leaves the original alone.
+  copy.AddFact("p", {"x", "y"});
+  EXPECT_EQ(copy.TotalFacts(), 3u);
+  EXPECT_EQ(db.TotalFacts(), 2u);
 }
 
 TEST(InstanceTest, DerivationRecordKeepsFirst) {

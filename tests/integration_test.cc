@@ -121,7 +121,7 @@ TEST(IntegrationTest, ProofTreeForEntailedTriple) {
   SymbolId author = dict->Intern("is_author_of");
   int found = -1;
   for (uint32_t i = 0; i < rel->size(); ++i) {
-    const chase::Tuple& t = rel->tuple(i);
+    chase::TupleView t = rel->tuple(i);
     if (t[0] == chase::Term::Constant(aho) &&
         t[1] == chase::Term::Constant(author) && t[2].IsNull()) {
       found = static_cast<int>(i);

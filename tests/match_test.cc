@@ -19,10 +19,11 @@ datalog::Rule ParseR(std::string_view text, Dictionary* dict) {
 size_t CountMatches(const datalog::Rule& rule, const Instance& db,
                     const MatchOptions& options = {}) {
   size_t count = 0;
-  MatchBody(rule, db, options, [&](const Match&) {
+  Status status = MatchBody(rule, db, options, [&](const Match&) {
     ++count;
     return true;
   });
+  EXPECT_TRUE(status.ok()) << status.ToString();
   return count;
 }
 
@@ -77,6 +78,77 @@ TEST(MatchTest, DeltaConstraintRestrictsOneAtom) {
   EXPECT_EQ(CountMatches(rule, db, options), 0u);
   options.delta_begin = 1;  // e(b,c) and e(c,d) as first atom
   EXPECT_EQ(CountMatches(rule, db, options), 1u);  // b-c-d
+}
+
+TEST(MatchTest, DeltaEndCapsTheDeltaWindow) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});  // index 0
+  db.AddFact("e", {"b", "c"});  // index 1
+  db.AddFact("e", {"c", "d"});  // index 2
+  datalog::Rule rule = ParseR("e(?X, ?Y) -> p(?X)", dict.get());
+  MatchOptions options;
+  options.delta_body_index = 0;
+  options.delta_begin = 1;
+  options.delta_end = 2;  // only e(b, c)
+  EXPECT_EQ(CountMatches(rule, db, options), 1u);
+}
+
+TEST(MatchTest, AtomEndWindowsPartitionRepeatedPredicates) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("e", {"a", "b"});  // index 0: "old"
+  db.AddFact("e", {"b", "c"});  // index 1: "delta"
+  db.AddFact("e", {"c", "d"});  // index 2: next round's delta
+  datalog::Rule rule = ParseR("e(?X, ?Y), e(?Y, ?Z) -> p(?X, ?Z)",
+                              dict.get());
+  // Pass with delta on atom 0: atom 1 may read everything up to the
+  // round snapshot (index < 2) -> no join partner for (b,c).
+  MatchOptions pass0;
+  pass0.delta_body_index = 0;
+  pass0.delta_begin = 1;
+  pass0.delta_end = 2;
+  pass0.atom_end = {kNoTupleLimit, 2};
+  EXPECT_EQ(CountMatches(rule, db, pass0), 0u);
+  // Pass with delta on atom 1: atom 0 reads only pre-round facts
+  // (index < 1), so exactly the match a-b-c remains.
+  MatchOptions pass1;
+  pass1.delta_body_index = 1;
+  pass1.delta_begin = 1;
+  pass1.delta_end = 2;
+  pass1.atom_end = {1, kNoTupleLimit};
+  EXPECT_EQ(CountMatches(rule, db, pass1), 1u);
+}
+
+TEST(MatchTest, UnsafeNegationSurfacesInvalidArgument) {
+  auto dict = Dict();
+  Instance db(dict);
+  db.AddFact("p", {"a"});
+  // Hand-built unsafe rule (?Y never bound by a positive atom); the
+  // parser/Program reject it, so build the Rule directly.
+  datalog::Rule rule;
+  datalog::Atom pos;
+  pos.predicate = dict->Intern("p");
+  pos.args = {Term::Variable(dict->Intern("?X"))};
+  datalog::Atom neg;
+  neg.predicate = dict->Intern("q");
+  neg.args = {Term::Variable(dict->Intern("?Y"))};
+  neg.negated = true;
+  datalog::Atom head;
+  head.predicate = dict->Intern("r");
+  head.args = {Term::Variable(dict->Intern("?X"))};
+  rule.body = {pos, neg};
+  rule.head = {head};
+  size_t emitted = 0;
+  Status status = MatchBody(rule, db, {}, [&](const Match&) {
+    ++emitted;
+    return true;
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status.ToString();
+  EXPECT_EQ(emitted, 0u);
+  // Program construction already rejects the unsafe rule up front.
+  datalog::Program program(dict);
+  EXPECT_EQ(program.AddRule(rule).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(MatchTest, SeedBindingRestrictsVariables) {

@@ -39,7 +39,7 @@ void ExpectSameGroundSemantics(const Program& original,
   chase::Instance d1(db.dict_ptr());
   chase::Instance d2(db.dict_ptr());
   for (const auto& [pred, rel] : db.relations()) {
-    for (const chase::Tuple& t : rel.tuples()) {
+    for (chase::TupleView t : rel.tuples()) {
       d1.AddFact(pred, t);
       d2.AddFact(pred, t);
     }

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Gate a bench run against a committed baseline JSON.
+
+Compares the median of one (or more) benchmarks in a freshly produced
+BENCH_<suite>.json against the baseline committed under bench/results/
+and fails when the median regressed by more than the allowed fraction.
+
+CI (Release job) runs:
+
+  python3 tools/check_bench_regression.py \
+      --baseline bench/results/BENCH_chase.json \
+      --current  bench-json/BENCH_chase.json \
+      --name     chase/tc_chain/256 \
+      --max-regression 0.25
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline BENCH_<suite>.json")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_<suite>.json")
+    parser.add_argument("--name", action="append", required=True,
+                        help="benchmark name to gate (repeatable)")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="allowed fractional slowdown (0.25 = +25%%)")
+    args = parser.parse_args()
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    failed = False
+    for name in args.name:
+        if name not in baseline:
+            print(f"FAIL {name}: missing from baseline {args.baseline}")
+            failed = True
+            continue
+        if name not in current:
+            print(f"FAIL {name}: missing from current run {args.current}")
+            failed = True
+            continue
+        base_ns = float(baseline[name]["median_ns"])
+        cur_ns = float(current[name]["median_ns"])
+        ratio = cur_ns / base_ns
+        limit = 1.0 + args.max_regression
+        verdict = "FAIL" if ratio > limit else "ok"
+        print(f"{verdict:4} {name}: baseline {base_ns / 1e6:.3f} ms, "
+              f"current {cur_ns / 1e6:.3f} ms, ratio {ratio:.3f} "
+              f"(limit {limit:.3f})")
+        failed = failed or ratio > limit
+        # Machine-independent gate: workload counters (facts derived,
+        # answer counts) are deterministic and must match exactly.
+        base_counters = baseline[name].get("counters", {})
+        cur_counters = current[name].get("counters", {})
+        for key in sorted(set(base_counters) & set(cur_counters)):
+            if base_counters[key] != cur_counters[key]:
+                print(f"FAIL {name}: counter {key} changed "
+                      f"{base_counters[key]} -> {cur_counters[key]}")
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
