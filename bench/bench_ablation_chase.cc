@@ -15,7 +15,9 @@ namespace {
 
 using triq::Dictionary;
 
-void RunTc(benchmark::State& state, bool seminaive, bool partition = true) {
+void RunTc(benchmark::State& state, bool seminaive, bool partition = true,
+           triq::chase::JoinStrategy join_strategy =
+               triq::chase::JoinStrategy::kAuto) {
   int n = static_cast<int>(state.range(0));
   auto dict = std::make_shared<Dictionary>();
   auto program = triq::core::TransitiveClosureProgram(dict);
@@ -23,6 +25,7 @@ void RunTc(benchmark::State& state, bool seminaive, bool partition = true) {
   triq::chase::ChaseOptions options;
   options.seminaive = seminaive;
   options.partition_deltas = partition;
+  options.join_strategy = join_strategy;
   size_t rounds = 0;
   size_t firings = 0;
   for (auto _ : state) {
@@ -52,6 +55,26 @@ BENCHMARK(BM_SeminaiveUnpartitionedTc)->Arg(64)->Arg(128)->Arg(256)
 
 void BM_NaiveTc(benchmark::State& state) { RunTc(state, false); }
 BENCHMARK(BM_NaiveTc)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Join-strategy ablation: merge join vs posting probes -----------
+//
+// The same partitioned semi-naive passes, with the access path forced:
+// kMerge drives the delta window in join-value order through a
+// galloping cursor on the other atom's sorted permutation; kHash is
+// the per-binding posting-probe baseline. Composes with the
+// partition_deltas axis above — together they form the ablation grid.
+
+void BM_MergeJoinTc(benchmark::State& state) {
+  RunTc(state, true, true, triq::chase::JoinStrategy::kMerge);
+}
+BENCHMARK(BM_MergeJoinTc)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_HashJoinTc(benchmark::State& state) {
+  RunTc(state, true, true, triq::chase::JoinStrategy::kHash);
+}
+BENCHMARK(BM_HashJoinTc)->Arg(64)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
 void RunExistential(benchmark::State& state,

@@ -161,21 +161,22 @@ class Prover {
     // (1) Database facts.
     const Relation* rel = db_.Find(goal.predicate);
     if (rel != nullptr && rel->arity() == goal.args.size()) {
-      // Seed the scan from the most selective bound position.
-      const std::vector<uint32_t>* postings = nullptr;
+      // Seed the scan from the most selective bound position's posting
+      // range (an Equal() slice of that column's sorted permutation).
+      SortedRange postings;
       bool has_bound = false;
+      bool impossible = false;
       for (uint32_t pos = 0; pos < goal.args.size(); ++pos) {
         if (IsPlaceholder(goal.args[pos])) continue;
-        has_bound = true;
-        const std::vector<uint32_t>* p = rel->Postings(pos, goal.args[pos]);
-        if (p == nullptr) {
-          postings = nullptr;
-          has_bound = true;
-          goto no_db_match;  // some bound position has no fact
+        SortedRange p = rel->Postings(pos, goal.args[pos]);
+        if (p.empty()) {
+          impossible = true;  // some bound position has no fact
+          break;
         }
-        if (postings == nullptr || p->size() < postings->size()) postings = p;
+        if (!has_bound || p.size() < postings.size()) postings = p;
+        has_bound = true;
       }
-      {
+      if (!impossible) {
         auto try_tuple = [&](TupleView tuple) -> bool {
           std::unordered_map<uint32_t, Term> binding;
           for (uint32_t i = 0; i < tuple.size(); ++i) {
@@ -196,18 +197,17 @@ class Prover {
           for (const Atom& a : rest) next.push_back(Substitute(a, binding));
           return ProveAll(std::move(next), depth + 1, limited);
         };
-        if (postings != nullptr) {
-          for (uint32_t idx : *postings) {
+        if (has_bound) {
+          for (uint32_t idx : postings) {
             if (try_tuple(rel->tuple(idx))) return true;
           }
-        } else if (!has_bound || postings == nullptr) {
+        } else {
           for (TupleView tuple : rel->tuples()) {
             if (try_tuple(tuple)) return true;
           }
         }
       }
     }
-  no_db_match:
     // (2) Rule heads.
     for (const Rule& rule : program_.rules()) {
       std::vector<Term> existentials = rule.ExistentialVariables();

@@ -41,6 +41,7 @@ class ChaseRun {
         stats_(stats) {}
 
   Status Run() {
+    total_facts_ = instance_->TotalFacts();
     TRIQ_ASSIGN_OR_RETURN(Stratification strat,
                           datalog::Stratify(program_.WithoutConstraints()));
     for (int s = 0; s < strat.num_strata; ++s) {
@@ -151,14 +152,60 @@ class ChaseRun {
     // Materialize the matches before firing: a rule may write into a
     // relation its own body reads (e.g. the triple -> triple rules of
     // Section 2), and inserting during the index scan would invalidate
-    // the matcher's posting-list iteration. Matches land in flat
-    // staging buffers (reused across calls) — one contiguous append per
-    // match instead of a Binding + vector<FactRef> deep copy each.
+    // the matcher's column and permutation views.
+    MatchOptions effective = match_options;
+    effective.greedy_atom_order = options_.greedy_atom_order;
+    effective.join_strategy = options_.join_strategy;
+
+    // Plain Datalog rules with no provenance to record need neither the
+    // homomorphism nor the matched body facts after the match — stage
+    // the materialized head tuples themselves (head arity terms per
+    // match, applied while the binding is hot) and bulk-insert after
+    // the pass.
+    if (existentials.empty() && !options_.track_provenance) {
+      staged_tuples_.clear();
+      size_t matches = 0;
+      TRIQ_RETURN_IF_ERROR(
+          MatchBody(rule, *instance_, effective, [&](const Match& match) {
+            ++matches;
+            for (const Atom& head : rule.head) {
+              for (Term t : head.args) {
+                staged_tuples_.push_back(match.binding->Apply(t));
+              }
+            }
+            return true;
+          }));
+      if (stats_ != nullptr) stats_->rule_firings += matches;
+      const Term* next = staged_tuples_.data();
+      for (size_t m = 0; m < matches; ++m) {
+        for (const Atom& head : rule.head) {
+          uint32_t arity = static_cast<uint32_t>(head.args.size());
+          TRIQ_ASSIGN_OR_RETURN(
+              bool inserted,
+              instance_->AddFactChecked(head.predicate,
+                                        TupleView(next, arity)));
+          next += arity;
+          if (inserted) {
+            ++total_facts_;
+            if (stats_ != nullptr) ++stats_->facts_derived;
+          }
+        }
+        if (total_facts_ > options_.max_facts) {
+          return Status::ResourceExhausted(
+              "chase exceeded max_facts = " +
+              std::to_string(options_.max_facts));
+        }
+      }
+      return Status::OK();
+    }
+
+    // General path (existential rules or provenance tracking): stage
+    // the full homomorphism plus the matched body facts in flat buffers
+    // (reused across calls) — one contiguous append per match instead
+    // of a Binding + vector<FactRef> deep copy each.
     staged_entries_.clear();
     staged_facts_.clear();
     staged_ends_.clear();
-    MatchOptions effective = match_options;
-    effective.greedy_atom_order = options_.greedy_atom_order;
     TRIQ_RETURN_IF_ERROR(
         MatchBody(rule, *instance_, effective, [&](const Match& match) {
           staged_entries_.insert(staged_entries_.end(),
@@ -234,6 +281,7 @@ class ChaseRun {
           bool inserted,
           instance_->AddFactChecked(head.predicate, scratch_tuple_, &ref));
       if (inserted) {
+        ++total_facts_;
         if (stats_ != nullptr) ++stats_->facts_derived;
         if (options_.track_provenance) {
           instance_->RecordDerivation(
@@ -244,7 +292,7 @@ class ChaseRun {
         }
       }
     }
-    if (instance_->TotalFacts() > options_.max_facts) {
+    if (total_facts_ > options_.max_facts) {
       return Status::ResourceExhausted(
           "chase exceeded max_facts = " + std::to_string(options_.max_facts));
     }
@@ -282,6 +330,7 @@ class ChaseRun {
   Instance* instance_;
   const ChaseOptions& options_;
   ChaseStats* stats_;
+  size_t total_facts_ = 0;  // running TotalFacts(), kept by Fire
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
 
   // Flat staging for ApplyRule (see there). staged_ends_[i] holds the
@@ -293,6 +342,7 @@ class ChaseRun {
   std::vector<std::pair<Term, Term>> staged_entries_;
   std::vector<FactRef> staged_facts_;
   std::vector<StagedEnd> staged_ends_;
+  std::vector<Term> staged_tuples_;  // fast path: materialized head tuples
   Binding scratch_binding_;
   Tuple scratch_tuple_;
 };

@@ -46,6 +46,15 @@ struct ChaseOptions {
   /// for the ablation baseline (bench E13).
   bool greedy_atom_order = true;
 
+  /// Access-path selection for every body-matching pass (see
+  /// JoinStrategy in match.h): kAuto lets the planner choose merge join
+  /// on sorted column permutations when two atoms share a join
+  /// variable, kHash forces the posting-probe baseline, kMerge forces
+  /// the merge path wherever it is structurally available. Orthogonal
+  /// to `partition_deltas` — the four combinations are the ablation
+  /// grid for the join executor.
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+
   /// Safety caps. Exceeding max_facts aborts with ResourceExhausted;
   /// exceeding max_null_depth stops deriving deeper nulls and marks
   /// `ChaseStats::truncated` (the ground semantics of terminating

@@ -38,8 +38,7 @@ bool Instance::AddFact(std::string_view predicate,
 }
 
 const Relation* Instance::Find(PredicateId predicate) const {
-  auto it = relations_.find(predicate);
-  return it == relations_.end() ? nullptr : &it->second;
+  return predicate < by_predicate_.size() ? by_predicate_[predicate] : nullptr;
 }
 
 const Relation* Instance::Find(std::string_view predicate) const {
@@ -48,9 +47,17 @@ const Relation* Instance::Find(std::string_view predicate) const {
 }
 
 Relation& Instance::GetOrCreate(PredicateId predicate, uint32_t arity) {
-  auto it = relations_.find(predicate);
-  if (it != relations_.end()) return it->second;
-  return relations_.emplace(predicate, Relation(arity)).first->second;
+  if (predicate < by_predicate_.size() &&
+      by_predicate_[predicate] != nullptr) {
+    return *by_predicate_[predicate];
+  }
+  Relation& rel =
+      relations_.emplace(predicate, Relation(arity)).first->second;
+  if (predicate >= by_predicate_.size()) {
+    by_predicate_.resize(predicate + 1, nullptr);
+  }
+  by_predicate_[predicate] = &rel;
+  return rel;
 }
 
 bool Instance::Contains(PredicateId predicate, TupleView tuple) const {
@@ -70,6 +77,8 @@ Instance Instance::CloneFacts() const {
   out.relations_ = relations_;
   out.next_null_id_ = next_null_id_;
   out.null_depths_ = null_depths_;
+  out.by_predicate_.assign(by_predicate_.size(), nullptr);
+  for (auto& [pred, rel] : out.relations_) out.by_predicate_[pred] = &rel;
   return out;
 }
 
@@ -168,6 +177,8 @@ Instance Instance::FromGraph(const rdf::Graph& graph,
                              std::string_view predicate) {
   Instance instance(graph.dict_ptr());
   PredicateId pred = instance.dict().Intern(predicate);
+  // Bulk load: size the columns and dedup table once up front.
+  instance.GetOrCreate(pred, 3).Reserve(static_cast<uint32_t>(graph.size()));
   // Distinct blank-node symbols map to freshly allocated nulls (depth 0:
   // they are database-level) in first-occurrence order, so occurrences of
   // one blank node share one null. Remapping — instead of trusting the

@@ -50,6 +50,14 @@ class Instance {
   explicit Instance(std::shared_ptr<Dictionary> dict)
       : dict_(std::move(dict)) {}
 
+  // Movable but not copyable: the dense predicate cache points into the
+  // relation map's (address-stable, move-invariant) nodes. Use
+  // CloneFacts() for an explicit fact-level copy.
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+  Instance(Instance&&) = default;
+  Instance& operator=(Instance&&) = default;
+
   Dictionary& dict() { return *dict_; }
   const Dictionary& dict() const { return *dict_; }
   const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
@@ -143,6 +151,10 @@ class Instance {
  private:
   std::shared_ptr<Dictionary> dict_;
   std::unordered_map<PredicateId, Relation> relations_;
+  // Dense Find() cache: predicate id -> relation pointer (the map's
+  // nodes are address-stable). Predicate ids are small dictionary ids,
+  // so the vector stays tiny; rebuilt wholesale by CloneFacts.
+  mutable std::vector<Relation*> by_predicate_;
   std::unordered_map<FactRef, Derivation, FactRefHash> derivations_;
   uint32_t next_null_id_ = 0;
   std::vector<uint32_t> null_depths_;

@@ -12,9 +12,27 @@ namespace {
 using datalog::Atom;
 using datalog::Rule;
 
-/// Backtracking index-nested-loop join over the positive body, with
-/// negated atoms checked once their variables are bound (rule safety
-/// guarantees this happens after all positive atoms).
+/// kAuto engages the merge path only when the driver window has at
+/// least this many tuples; below it, sorting the window costs more than
+/// the probes it saves.
+constexpr size_t kAutoMergeMinWindow = 32;
+
+/// Backtracking join over the positive body, with negated atoms checked
+/// once their variables are bound (rule safety guarantees this happens
+/// after all positive atoms).
+///
+/// The join order and each atom's access path are planned once up
+/// front: the greedy most-bound-first order depends only on *which*
+/// variables are bound at each depth — never on their values — so it is
+/// identical across all branches of the search. On top of the order the
+/// planner picks access paths (see JoinStrategy): when the first two
+/// atoms share a join variable, the driver's window is enumerated in
+/// value order of that variable (a sorted-range slice of its column)
+/// and the second atom is read through a monotone galloping cursor on
+/// its sorted permutation — a merge join on sorted posting lists.
+/// Deeper atoms, and both atoms under kHash, use per-binding posting
+/// probes: binary-searched Equal() ranges of the sorted permutations,
+/// intersecting the two shortest.
 class Matcher {
  public:
   Matcher(const Rule& rule, const Instance& instance,
@@ -31,8 +49,8 @@ class Matcher {
     // positive_ is built in body order, so slot order == body order and
     // refs_ can be handed to the callback without re-sorting.
     refs_.resize(positive_.size());
-    used_.assign(positive_.size(), false);
     if (options.seed != nullptr) binding_ = *options.seed;
+    PlanJoin();
   }
 
   Status Run() {
@@ -41,51 +59,123 @@ class Matcher {
   }
 
  private:
-  // Returns false to propagate early termination.
-  bool Recurse(size_t depth) {
-    if (depth == positive_.size()) return EmitIfNegativesHold();
-    int slot = PickNextAtom();
-    used_[slot] = true;
-    bool keep_going = EnumerateCandidates(slot, depth);
-    used_[slot] = false;
-    return keep_going;
+  /// One planned join step: the slot to enumerate at this depth and the
+  /// access path chosen for it.
+  struct DepthPlan {
+    int slot = -1;
+    /// Depth 0 only: enumerate the window ordered by the value of
+    /// column `driver_pos` (enables the cursor below).
+    bool sorted_driver = false;
+    uint32_t driver_pos = 0;
+    /// Depth 1 only: the driver feeds this atom nondecreasing values of
+    /// the shared variable; read it with a galloping cursor on the
+    /// sorted permutation of column `cursor_pos`.
+    bool merge_cursor = false;
+    uint32_t cursor_pos = 0;
+  };
+
+  /// Computes the join order (hoisting the greedy most-bound-first
+  /// heuristic out of the recursion) and assigns access paths.
+  void PlanJoin() {
+    plan_.resize(positive_.size());
+    std::vector<bool> used(positive_.size(), false);
+    std::vector<Term> seed_vars;
+    if (options_.seed != nullptr) {
+      for (const auto& [var, val] : options_.seed->entries()) {
+        seed_vars.push_back(var);
+      }
+    }
+    std::vector<Term> bound = seed_vars;  // variables bound so far
+    auto is_bound = [&](Term t) {
+      return !t.IsVariable() ||
+             std::find(bound.begin(), bound.end(), t) != bound.end();
+    };
+    for (size_t depth = 0; depth < positive_.size(); ++depth) {
+      int slot = PickNextAtom(used, is_bound);
+      plan_[depth].slot = slot;
+      used[slot] = true;
+      for (Term t : rule_.body[positive_[slot]].args) {
+        if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
+      }
+    }
+    if (options_.join_strategy == JoinStrategy::kHash || plan_.size() < 2) {
+      return;
+    }
+    // Merge join needs a driver that full-scans its window (no bound
+    // argument — probes would enumerate in tuple-index order) and a
+    // second atom sharing one of the driver's variables. The shared
+    // variable must be bound at its first occurrence in the driver, so
+    // its bind order follows the sorted column.
+    const Atom& a0 = rule_.body[positive_[plan_[0].slot]];
+    for (Term t : a0.args) {
+      if (!t.IsVariable() ||
+          std::find(seed_vars.begin(), seed_vars.end(), t) !=
+              seed_vars.end()) {
+        return;
+      }
+    }
+    const Atom& a1 = rule_.body[positive_[plan_[1].slot]];
+    for (uint32_t p = 0; p < a0.args.size(); ++p) {
+      Term var = a0.args[p];
+      bool first_occurrence = true;
+      for (uint32_t q = 0; q < p; ++q) {
+        if (a0.args[q] == var) first_occurrence = false;
+      }
+      if (!first_occurrence) continue;
+      for (uint32_t q = 0; q < a1.args.size(); ++q) {
+        if (a1.args[q] != var) continue;
+        plan_[0].sorted_driver = true;
+        plan_[0].driver_pos = p;
+        plan_[1].merge_cursor = true;
+        plan_[1].cursor_pos = q;
+        return;
+      }
+    }
   }
 
   // Greedy heuristic: prefer the delta atom first (it usually has the
   // smallest extension), then the unprocessed atom with the most bound
   // arguments, tie-broken by smaller relation.
-  int PickNextAtom() {
+  template <typename BoundFn>
+  int PickNextAtom(const std::vector<bool>& used,
+                   const BoundFn& is_bound) const {
     if (!options_.greedy_atom_order) {
       for (size_t i = 0; i < positive_.size(); ++i) {
-        if (!used_[i] && positive_[i] == options_.delta_body_index) {
+        if (!used[i] && positive_[i] == options_.delta_body_index) {
           return static_cast<int>(i);
         }
       }
       for (size_t i = 0; i < positive_.size(); ++i) {
-        if (!used_[i]) return static_cast<int>(i);
+        if (!used[i]) return static_cast<int>(i);
       }
     }
     int best = -1;
     size_t best_bound = 0;
     size_t best_size = std::numeric_limits<size_t>::max();
     for (size_t i = 0; i < positive_.size(); ++i) {
-      if (used_[i]) continue;
+      if (used[i]) continue;
       const Atom& atom = rule_.body[positive_[i]];
       if (positive_[i] == options_.delta_body_index) return static_cast<int>(i);
-      size_t bound = 0;
+      size_t num_bound = 0;
       for (Term t : atom.args) {
-        if (!t.IsVariable() || binding_.IsBound(t)) ++bound;
+        if (is_bound(t)) ++num_bound;
       }
       const Relation* rel = instance_.Find(atom.predicate);
       size_t size = rel == nullptr ? 0 : rel->size();
-      if (best == -1 || bound > best_bound ||
-          (bound == best_bound && size < best_size)) {
+      if (best == -1 || num_bound > best_bound ||
+          (num_bound == best_bound && size < best_size)) {
         best = static_cast<int>(i);
-        best_bound = bound;
+        best_bound = num_bound;
         best_size = size;
       }
     }
     return best;
+  }
+
+  // Returns false to propagate early termination.
+  bool Recurse(size_t depth) {
+    if (depth == positive_.size()) return EmitIfNegativesHold();
+    return EnumerateCandidates(depth);
   }
 
   // The tuple-index window this slot's atom is allowed to scan (see the
@@ -102,7 +192,9 @@ class Matcher {
     return {0, end};
   }
 
-  bool EnumerateCandidates(int slot, size_t depth) {
+  bool EnumerateCandidates(size_t depth) {
+    const DepthPlan& plan = plan_[depth];
+    int slot = plan.slot;
     const Atom& atom = rule_.body[positive_[slot]];
     const Relation* rel = instance_.Find(atom.predicate);
     if (rel == nullptr || rel->arity() != atom.args.size()) return true;
@@ -110,25 +202,6 @@ class Matcher {
     auto [begin, end] = SlotWindow(slot);
     end = std::min(end, rel->size());
     if (begin >= end) return true;
-
-    // Collect posting lists for the bound positions, keeping the two
-    // shortest: candidates come from their sorted intersection, which
-    // prunes far more than scanning one list and re-checking.
-    const std::vector<uint32_t>* shortest = nullptr;
-    const std::vector<uint32_t>* second = nullptr;
-    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
-      Term val = binding_.Apply(atom.args[pos]);
-      if (val.IsVariable()) continue;
-      const std::vector<uint32_t>* p = rel->Postings(pos, val);
-      if (p == nullptr) return true;  // some bound position has no fact
-      if (shortest == nullptr || p->size() < shortest->size()) {
-        second = shortest;
-        shortest = p;
-      } else if (p != shortest &&
-                 (second == nullptr || p->size() < second->size())) {
-        second = p;
-      }
-    }
 
     auto try_tuple = [&](uint32_t idx) -> bool {
       TupleView tuple = rel->tuple(idx);
@@ -152,19 +225,85 @@ class Matcher {
       return keep_going;
     };
 
-    if (shortest != nullptr) {
-      // Postings are appended in tuple-index order, so the window seek
-      // is a binary search instead of a skip-scan.
-      auto it = std::lower_bound(shortest->begin(), shortest->end(),
-                                 static_cast<uint32_t>(begin));
-      if (second == nullptr) {
-        for (; it != shortest->end() && *it < end; ++it) {
+    // Merge-cursor path: the driver is feeding us nondecreasing values
+    // of the shared variable, so one galloping cursor walks the sorted
+    // permutation forward instead of probing per binding.
+    if (plan.merge_cursor && merge_active_) {
+      Term v = binding_.Apply(atom.args[plan.cursor_pos]);
+      if (!v.IsVariable()) {
+        cursor_ = cursor_range_.SeekValue(cursor_, v);
+        for (const uint32_t* it = cursor_;
+             it != cursor_range_.end() && cursor_range_.ValueAt(it) == v;
+             ++it) {
+          uint32_t idx = *it;
+          if (idx < begin || idx >= end) continue;
+          if (!try_tuple(idx)) return false;
+        }
+        return true;
+      }
+      // The shared variable is unexpectedly unbound (defensive): fall
+      // through to the probe paths below.
+    }
+
+    // Fully ground atom: the dedup table answers the membership
+    // question in O(1); no posting range (or permutation sync) needed.
+    // Head-satisfaction probes with a fully bound frontier take this
+    // path even while the relation is growing between firings.
+    probe_tuple_.clear();
+    for (Term arg : atom.args) {
+      Term val = binding_.Apply(arg);
+      if (val.IsVariable()) {
+        probe_tuple_.clear();
+        break;
+      }
+      probe_tuple_.push_back(val);
+    }
+    if (probe_tuple_.size() == atom.args.size() && !atom.args.empty()) {
+      uint32_t idx = rel->FindIndex(probe_tuple_);
+      if (idx == Relation::kNotFound || idx < begin || idx >= end) {
+        return true;
+      }
+      return try_tuple(idx);
+    }
+
+    // Collect the posting ranges for the bound positions, keeping the
+    // two shortest: candidates come from their sorted intersection,
+    // which prunes far more than scanning one list and re-checking.
+    SortedRange shortest, second;
+    bool have_shortest = false, have_second = false;
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      Term val = binding_.Apply(atom.args[pos]);
+      if (val.IsVariable()) continue;
+      SortedRange p = rel->Postings(pos, val);
+      if (p.empty()) return true;  // some bound position has no fact
+      if (!have_shortest || p.size() < shortest.size()) {
+        if (have_shortest) {
+          second = shortest;
+          have_second = true;
+        }
+        shortest = p;
+        have_shortest = true;
+      } else if (!have_second || p.size() < second.size()) {
+        second = p;
+        have_second = true;
+      }
+    }
+
+    if (have_shortest) {
+      // Posting entries ascend by tuple index, so the window seek is a
+      // binary search instead of a skip-scan.
+      const uint32_t* it =
+          std::lower_bound(shortest.begin(), shortest.end(),
+                           static_cast<uint32_t>(begin));
+      if (!have_second) {
+        for (; it != shortest.end() && *it < end; ++it) {
           if (!try_tuple(*it)) return false;
         }
       } else {
-        auto jt = std::lower_bound(second->begin(), second->end(),
-                                   static_cast<uint32_t>(begin));
-        while (it != shortest->end() && jt != second->end() && *it < end) {
+        const uint32_t* jt =
+            std::lower_bound(second.begin(), second.end(),
+                             static_cast<uint32_t>(begin));
+        while (it != shortest.end() && jt != second.end() && *it < end) {
           if (*it < *jt) {
             ++it;
           } else if (*jt < *it) {
@@ -176,11 +315,44 @@ class Matcher {
           }
         }
       }
-    } else {
-      for (uint32_t idx = static_cast<uint32_t>(begin); idx < end; ++idx) {
+      return true;
+    }
+
+    // No bound position: full window scan. At depth 0 the planner may
+    // have asked for value order to drive a merge cursor at depth 1.
+    bool want_sorted =
+        depth == 0 && plan.sorted_driver &&
+        (options_.join_strategy == JoinStrategy::kMerge ||
+         end - begin >= kAutoMergeMinWindow);
+    if (want_sorted && !SetUpCursor()) want_sorted = false;
+    if (want_sorted) {
+      rel->SortWindow(plan.driver_pos, static_cast<uint32_t>(begin),
+                      static_cast<uint32_t>(end), &window_perm_);
+      merge_active_ = true;
+      for (uint32_t idx : window_perm_) {
         if (!try_tuple(idx)) return false;
       }
+      return true;
     }
+    for (uint32_t idx = static_cast<uint32_t>(begin); idx < end; ++idx) {
+      if (!try_tuple(idx)) return false;
+    }
+    return true;
+  }
+
+  /// Opens the depth-1 sorted permutation the merge cursor walks.
+  /// Returns false when the second atom has no usable relation (the
+  /// driver then scans in plain index order; depth 1 finds no
+  /// candidates either way).
+  bool SetUpCursor() {
+    const Atom& next = rule_.body[positive_[plan_[1].slot]];
+    const Relation* rel = instance_.Find(next.predicate);
+    if (rel == nullptr || rel->arity() != next.args.size() ||
+        rel->size() == 0) {
+      return false;
+    }
+    cursor_range_ = rel->Sorted(plan_[1].cursor_pos);
+    cursor_ = cursor_range_.begin();
     return true;
   }
 
@@ -214,9 +386,14 @@ class Matcher {
 
   std::vector<int> positive_;        // body indices of positive atoms
   std::vector<const Atom*> negative_;
-  std::vector<bool> used_;
+  std::vector<DepthPlan> plan_;      // depth -> slot + access path
   std::vector<FactRef> refs_;        // matched fact per slot (= body order)
   Tuple scratch_tuple_;              // reused for negated-atom probes
+  Tuple probe_tuple_;                // reused for fully-ground atom probes
+  std::vector<uint32_t> window_perm_;  // driver window in value order
+  SortedRange cursor_range_;         // depth-1 sorted permutation
+  const uint32_t* cursor_ = nullptr;
+  bool merge_active_ = false;
   Binding binding_;
   Status status_ = Status::OK();
 };

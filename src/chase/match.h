@@ -61,6 +61,23 @@ struct Match {
 /// Sentinel for "no upper bound" in the tuple-index windows below.
 inline constexpr size_t kNoTupleLimit = static_cast<size_t>(-1);
 
+/// How the join executor accesses each body atom's relation.
+///
+///  * kHash — per-binding posting probes only: every bound position is
+///    looked up with a binary search on the position's sorted
+///    permutation and candidates come from intersecting the two
+///    shortest posting ranges (the PR 2 execution path, kept as the
+///    ablation baseline and the fallback).
+///  * kMerge — merge join wherever it is structurally available: when
+///    the first two atoms in join order share a variable, the driver
+///    atom's window is enumerated in value order of that variable and
+///    the second atom is read through a monotone galloping cursor on
+///    its sorted permutation instead of per-binding probes.
+///  * kAuto — the planner picks: merge join when available and the
+///    driver window is large enough to amortize sorting it, posting
+///    probes otherwise.
+enum class JoinStrategy : uint8_t { kAuto, kHash, kMerge };
+
 /// Options for a body-matching pass.
 ///
 /// Window contract (semi-naive old/delta/all partitioning): each
@@ -89,6 +106,10 @@ struct MatchOptions {
   /// Greedy most-bound-first atom ordering; disable for the ablation
   /// baseline that joins atoms in written order (bench E13).
   bool greedy_atom_order = true;
+  /// Access-path selection for the join executor (see JoinStrategy).
+  /// Composes freely with the window contract above: merge-joined atoms
+  /// still respect their delta / atom_end windows.
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
 };
 
 /// Enumerates all homomorphisms h with h(body+) ⊆ instance and

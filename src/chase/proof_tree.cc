@@ -50,8 +50,9 @@ Result<std::unique_ptr<ProofTreeNode>> ExtractProofTree(
     const Instance& instance, const datalog::Atom& fact) {
   const Relation* rel = instance.Find(fact.predicate);
   if (rel == nullptr) return Status::NotFound("predicate has no facts");
-  for (uint32_t i = 0; i < rel->size(); ++i) {
-    if (rel->tuple(i) == fact.args) {
+  if (rel->arity() == fact.args.size()) {
+    uint32_t i = rel->FindIndex(TupleView(fact.args));
+    if (i != Relation::kNotFound) {
       return Build(instance, FactRef{fact.predicate, i});
     }
   }

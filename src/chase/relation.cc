@@ -8,21 +8,55 @@ namespace {
 
 // Initial open-addressing capacity; must be a power of two.
 constexpr size_t kInitialSlots = 16;
+// Initial column capacity (tuples per column).
+constexpr uint32_t kInitialCapacity = 16;
+
+// The one permutation order everything agrees on: column value, with
+// ascending tuple index as the tiebreak (Equal() slices double as
+// posting lists and the merge cursor assumes the same order).
+auto ByValueThenIndex(const Term* column) {
+  return [column](uint32_t a, uint32_t b) {
+    return column[a] != column[b] ? column[a] < column[b] : a < b;
+  };
+}
 
 }  // namespace
+
+const uint32_t* SortedRange::SeekValue(const uint32_t* from, Term v) const {
+  // Gallop: bracket the target with doubling steps from `from`, then
+  // binary-search the bracket. Monotone cursors touch O(log gap) entries
+  // per seek instead of O(log n).
+  const uint32_t* lo = from;
+  size_t step = 1;
+  while (lo + step < end_ && column_[lo[step]] < v) {
+    lo += step;
+    step *= 2;
+  }
+  const uint32_t* hi = lo + step < end_ ? lo + step : end_;
+  return std::lower_bound(lo, hi, v, [this](uint32_t e, Term value) {
+    return column_[e] < value;
+  });
+}
+
+SortedRange SortedRange::Equal(Term v) const {
+  const uint32_t* lo = std::lower_bound(
+      begin_, end_, v,
+      [this](uint32_t e, Term value) { return column_[e] < value; });
+  const uint32_t* hi = std::upper_bound(
+      lo, end_, v,
+      [this](Term value, uint32_t e) { return value < column_[e]; });
+  return SortedRange(lo, hi, column_);
+}
 
 uint32_t Relation::FindIndex(TupleView t) const {
   assert(t.size() == arity_);
   if (slots_.empty()) return kNotFound;
   size_t mask = slots_.size() - 1;
-  size_t i = HashTerms(t.data()) & mask;
-  while (slots_[i] != 0) {
-    uint32_t idx = slots_[i] - 1;
-    if (TermsEqual(data_.data() + static_cast<size_t>(idx) * arity_,
-                   t.data())) {
-      return idx;
-    }
-    i = (i + 1) & mask;
+  uint32_t h = static_cast<uint32_t>(HashView(t));
+  size_t i = h & mask;
+  for (uint32_t slot; (slot = slots_[i]) != 0; i = (i + 1) & mask) {
+    uint32_t idx = slot - 1;
+    if (hashes_[idx] == h && EqualsStored(idx, t)) return idx;
   }
   return kNotFound;
 }
@@ -32,11 +66,30 @@ void Relation::GrowSlots() {
   slots_.assign(capacity, 0);
   size_t mask = capacity - 1;
   for (uint32_t idx = 0; idx < count_; ++idx) {
-    size_t i = HashTerms(data_.data() + static_cast<size_t>(idx) * arity_) &
-               mask;
+    size_t i = hashes_[idx] & mask;
     while (slots_[i] != 0) i = (i + 1) & mask;
     slots_[i] = idx + 1;
   }
+}
+
+void Relation::GrowStore(uint32_t needed) {
+  if (needed <= capacity_) return;
+  uint32_t new_capacity = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+  while (new_capacity < needed) new_capacity *= 2;
+  std::vector<Term> fresh(static_cast<size_t>(arity_) * new_capacity);
+  for (uint32_t pos = 0; pos < arity_; ++pos) {
+    std::copy(ColumnData(pos), ColumnData(pos) + count_,
+              fresh.begin() + static_cast<size_t>(pos) * new_capacity);
+  }
+  store_.swap(fresh);
+  capacity_ = new_capacity;
+}
+
+void Relation::Reserve(uint32_t n) {
+  GrowStore(n);
+  hashes_.reserve(n);
+  // Same 7/8 load bound as Insert.
+  while (static_cast<size_t>(n) * 8 > slots_.size() * 7) GrowSlots();
 }
 
 bool Relation::Insert(TupleView t, uint32_t* index_out) {
@@ -44,41 +97,69 @@ bool Relation::Insert(TupleView t, uint32_t* index_out) {
   // Keep the probe table below 7/8 load so lookups stay short.
   if ((static_cast<size_t>(count_) + 1) * 8 > slots_.size() * 7) GrowSlots();
   size_t mask = slots_.size() - 1;
-  size_t i = HashTerms(t.data()) & mask;
-  while (slots_[i] != 0) {
-    uint32_t idx = slots_[i] - 1;
-    if (TermsEqual(data_.data() + static_cast<size_t>(idx) * arity_,
-                   t.data())) {
+  uint32_t h = static_cast<uint32_t>(HashView(t));
+  size_t i = h & mask;
+  for (uint32_t slot; (slot = slots_[i]) != 0; i = (i + 1) & mask) {
+    uint32_t idx = slot - 1;
+    if (hashes_[idx] == h && EqualsStored(idx, t)) {
       if (index_out != nullptr) *index_out = idx;
       return false;
     }
-    i = (i + 1) & mask;
+  }
+  // `t` may view into store_ itself (re-inserting a stored tuple), and
+  // growing the store moves every column; gather into a scratch tuple
+  // before the append.
+  insert_scratch_.clear();
+  for (uint32_t pos = 0; pos < arity_; ++pos) {
+    insert_scratch_.push_back(t[pos]);
   }
   uint32_t idx = count_;
-  // `t` may view into data_ itself (re-inserting a stored tuple), so
-  // recompute the source pointer if the append reallocates.
-  const Term* src = t.data();
-  bool aliases = !data_.empty() && src >= data_.data() &&
-                 src < data_.data() + data_.size();
-  size_t offset = aliases ? static_cast<size_t>(src - data_.data()) : 0;
-  data_.resize(data_.size() + arity_);
-  if (aliases) src = data_.data() + offset;
-  std::copy(src, src + arity_, data_.end() - arity_);
+  GrowStore(count_ + 1);
+  for (uint32_t pos = 0; pos < arity_; ++pos) {
+    store_[static_cast<size_t>(pos) * capacity_ + idx] = insert_scratch_[pos];
+  }
+  hashes_.push_back(h);
   slots_[i] = idx + 1;
   ++count_;
-  for (uint32_t pos = 0; pos < arity_; ++pos) {
-    indexes_[pos][data_[static_cast<size_t>(idx) * arity_ + pos]].push_back(
-        idx);
-  }
   if (index_out != nullptr) *index_out = idx;
   return true;
 }
 
-const std::vector<uint32_t>* Relation::Postings(uint32_t position,
-                                                Term value) const {
+void Relation::SyncSorted(uint32_t pos) const {
+  std::vector<uint32_t>& perm = sorted_[pos].perm;
+  uint32_t synced = static_cast<uint32_t>(perm.size());
+  if (synced == count_) return;
+  perm.resize(count_);
+  for (uint32_t idx = synced; idx < count_; ++idx) perm[idx] = idx;
+  auto by_value = ByValueThenIndex(ColumnData(pos));
+  std::sort(perm.begin() + synced, perm.end(), by_value);
+  if (synced > 0) {
+    std::inplace_merge(perm.begin(), perm.begin() + synced, perm.end(),
+                       by_value);
+  }
+}
+
+SortedRange Relation::Sorted(uint32_t position) const {
   assert(position < arity_);
-  auto it = indexes_[position].find(value);
-  return it == indexes_[position].end() ? nullptr : &it->second;
+  SyncSorted(position);
+  const std::vector<uint32_t>& perm = sorted_[position].perm;
+  return SortedRange(perm.data(), perm.data() + perm.size(),
+                     ColumnData(position));
+}
+
+SortedRange Relation::Postings(uint32_t position, Term value) const {
+  return Sorted(position).Equal(value);
+}
+
+void Relation::SortWindow(uint32_t position, uint32_t begin, uint32_t end,
+                          std::vector<uint32_t>* out) const {
+  assert(position < arity_);
+  if (end > count_) end = count_;
+  out->clear();
+  if (begin >= end) return;
+  out->reserve(end - begin);
+  for (uint32_t idx = begin; idx < end; ++idx) out->push_back(idx);
+  std::sort(out->begin(), out->end(), ByValueThenIndex(ColumnData(position)));
 }
 
 }  // namespace triq::chase

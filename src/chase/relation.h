@@ -3,7 +3,7 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <iterator>
 #include <vector>
 
 #include "datalog/term.h"
@@ -15,7 +15,7 @@ using datalog::TermHash;
 
 /// A tuple of ground terms (constants and labeled nulls). Used as the
 /// insertion/materialization type; stored facts live in the relation's
-/// flat term array and are read through TupleView.
+/// column-oriented storage and are read through TupleView.
 using Tuple = std::vector<Term>;
 
 struct TupleHash {
@@ -29,28 +29,65 @@ struct TupleHash {
   }
 };
 
-/// A non-owning view of one stored tuple: `arity` consecutive terms in a
-/// relation's flat storage (or any Term array). Views are invalidated by
-/// the next insert into the owning relation.
+/// A non-owning view of one stored tuple. Storage is column-oriented, so
+/// a stored tuple's terms are `stride` apart (one column stride between
+/// consecutive positions); a materialized Tuple has stride 1. Views are
+/// invalidated by the next insert into the owning relation.
 class TupleView {
  public:
   TupleView() = default;
-  TupleView(const Term* data, uint32_t size) : data_(data), size_(size) {}
+  TupleView(const Term* data, uint32_t size, uint32_t stride = 1)
+      : data_(data), size_(size), stride_(stride) {}
   /* implicit */ TupleView(const Tuple& t)  // NOLINT
       : data_(t.data()), size_(static_cast<uint32_t>(t.size())) {}
 
   uint32_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
-  const Term* data() const { return data_; }
-  const Term* begin() const { return data_; }
-  const Term* end() const { return data_ + size_; }
-  Term operator[](uint32_t i) const { return data_[i]; }
+  Term operator[](uint32_t i) const {
+    return data_[static_cast<size_t>(i) * stride_];
+  }
+
+  /// Strided element iterator (terms by value).
+  class Iterator {
+   public:
+    using iterator_category = std::input_iterator_tag;
+    using value_type = Term;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const Term*;
+    using reference = Term;
+
+    Iterator(const Term* p, uint32_t stride) : p_(p), stride_(stride) {}
+    Term operator*() const { return *p_; }
+    Iterator& operator++() {
+      p_ += stride_;
+      return *this;
+    }
+    friend bool operator==(Iterator a, Iterator b) { return a.p_ == b.p_; }
+    friend bool operator!=(Iterator a, Iterator b) { return a.p_ != b.p_; }
+
+   private:
+    const Term* p_;
+    uint32_t stride_;
+  };
+  Iterator begin() const { return Iterator(data_, stride_); }
+  Iterator end() const {
+    return Iterator(data_ + static_cast<size_t>(size_) * stride_, stride_);
+  }
 
   /// Materializes an owning copy (Atom construction, answer sets).
-  Tuple ToTuple() const { return Tuple(begin(), end()); }
+  Tuple ToTuple() const {
+    Tuple out;
+    out.reserve(size_);
+    for (uint32_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
 
   friend bool operator==(TupleView a, TupleView b) {
-    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+    if (a.size_ != b.size_) return false;
+    for (uint32_t i = 0; i < a.size_; ++i) {
+      if (a[i] != b[i]) return false;
+    }
+    return true;
   }
   friend bool operator!=(TupleView a, TupleView b) { return !(a == b); }
   friend bool operator==(TupleView a, const Tuple& b) {
@@ -63,30 +100,92 @@ class TupleView {
  private:
   const Term* data_ = nullptr;
   uint32_t size_ = 0;
+  uint32_t stride_ = 1;
+};
+
+/// A contiguous read-only scan over one column (all values a position
+/// takes, in tuple-index order). Invalidated by the next insert.
+class ColumnScan {
+ public:
+  ColumnScan() = default;
+  ColumnScan(const Term* data, size_t size) : data_(data), size_(size) {}
+
+  const Term* begin() const { return data_; }
+  const Term* end() const { return data_ + size_; }
+  size_t size() const { return size_; }
+  Term operator[](size_t i) const { return data_[i]; }
+
+ private:
+  const Term* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// A value-ordered view over one position: a slice of the position's
+/// sorted permutation index. Iterating yields tuple indices whose column
+/// values are nondecreasing; within one value, tuple indices ascend (the
+/// permutation's tiebreak), so an Equal() slice doubles as the old
+/// "posting list" — a sorted list of tuple indices for one value.
+/// Invalidated by the next insert into the owning relation.
+class SortedRange {
+ public:
+  SortedRange() = default;
+  SortedRange(const uint32_t* begin, const uint32_t* end, const Term* column)
+      : begin_(begin), end_(end), column_(column) {}
+
+  const uint32_t* begin() const { return begin_; }
+  const uint32_t* end() const { return end_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+
+  /// Column value of the entry at `it` (must be in [begin, end)).
+  Term ValueAt(const uint32_t* it) const { return column_[*it]; }
+
+  /// First entry in [from, end) whose value is >= v. Gallops forward
+  /// from `from`, so a monotone sequence of seeks costs O(n) total —
+  /// the merge-join cursor primitive.
+  const uint32_t* SeekValue(const uint32_t* from, Term v) const;
+
+  /// The sub-range of entries whose value equals `v` (binary search).
+  SortedRange Equal(Term v) const;
+
+ private:
+  const uint32_t* begin_ = nullptr;
+  const uint32_t* end_ = nullptr;
+  const Term* column_ = nullptr;
 };
 
 /// The extension of one predicate: an append-only, duplicate-free fact
-/// store with per-position hash indexes (value -> posting list of tuple
-/// indices, ascending). Tuples are stored arity-strided in one flat
-/// `Term` array — no per-fact heap allocation — and deduplicated with an
-/// open-addressing table over that storage. Append-only storage gives
-/// the chase cheap delta tracking for semi-naive evaluation: the facts
-/// added since a snapshot are exactly the index suffix starting at the
-/// snapshot size, and the sorted posting lists let a scan seek straight
-/// to a delta window with std::lower_bound.
+/// store in column-oriented layout (VLog-style) — one contiguous column
+/// of Terms per position, all columns packed capacity-strided into a
+/// single buffer. Duplicates are rejected with an open-addressing table
+/// over the columns. Each position can expose a sorted permutation index
+/// (tuple indices ordered by column value, tuple-index tiebreak), built
+/// lazily on first sorted access and extended incrementally by sorting
+/// the insertion tail and merging — scans, merge joins and posting-list
+/// probes all read these permutations. Append-only storage keeps the
+/// chase's delta tracking cheap: the facts added since a snapshot are
+/// exactly the tuple-index suffix starting at the snapshot size.
 class Relation {
  public:
-  explicit Relation(uint32_t arity) : arity_(arity), indexes_(arity) {}
+  explicit Relation(uint32_t arity) : arity_(arity), sorted_(arity) {}
 
   uint32_t arity() const { return arity_; }
   size_t size() const { return count_; }
 
+  /// Pre-sizes columns and the dedup table for `n` tuples (bulk loads).
+  void Reserve(uint32_t n);
+
   TupleView tuple(size_t i) const {
-    return TupleView(data_.data() + i * arity_, arity_);
+    return TupleView(store_.data() + i, arity_, capacity_);
+  }
+
+  /// The stored values of one position, in tuple-index order.
+  ColumnScan Column(uint32_t pos) const {
+    return ColumnScan(ColumnData(pos), count_);
   }
 
   /// Iteration over all stored tuples as views. Index-based so 0-ary
-  /// relations (stride 0) still yield their single empty tuple.
+  /// relations still yield their single empty tuple.
   class TupleIterator {
    public:
     TupleIterator(const Relation* rel, uint32_t index)
@@ -132,12 +231,32 @@ class Relation {
   static constexpr uint32_t kNotFound = UINT32_MAX;
   uint32_t FindIndex(TupleView t) const;
 
-  /// Posting list of tuple indices (ascending) whose `position`-th term
-  /// equals `value`; nullptr when empty.
-  const std::vector<uint32_t>* Postings(uint32_t position, Term value) const;
+  /// The whole sorted permutation of `position`: every stored tuple
+  /// index, ordered by (column value, tuple index). Syncs the index with
+  /// the insertion tail first, so the call is amortized; the returned
+  /// view is valid until the next insert.
+  SortedRange Sorted(uint32_t position) const;
+
+  /// Tuple indices (ascending) whose `position`-th term equals `value` —
+  /// the Equal() slice of Sorted(position). Empty range when no fact
+  /// matches.
+  SortedRange Postings(uint32_t position, Term value) const;
+
+  /// Writes the permutation of the tuple-index window [begin, end) into
+  /// `out`, ordered by (column value at `position`, tuple index). This is
+  /// the delta-window counterpart of Sorted(): semi-naive passes sort
+  /// just their delta slice instead of touching the global index.
+  void SortWindow(uint32_t position, uint32_t begin, uint32_t end,
+                  std::vector<uint32_t>* out) const;
 
  private:
-  size_t HashTerms(const Term* t) const {
+  const Term* ColumnData(uint32_t pos) const {
+    return store_.data() + static_cast<size_t>(pos) * capacity_;
+  }
+  Term Value(uint32_t pos, uint32_t idx) const {
+    return store_[static_cast<size_t>(pos) * capacity_ + idx];
+  }
+  size_t HashView(TupleView t) const {
     uint64_t h = 0xcbf29ce484222325ULL;
     for (uint32_t i = 0; i < arity_; ++i) {
       h ^= t[i].raw();
@@ -145,21 +264,34 @@ class Relation {
     }
     return static_cast<size_t>(h ^ (h >> 32));
   }
-  bool TermsEqual(const Term* a, const Term* b) const {
-    for (uint32_t i = 0; i < arity_; ++i) {
-      if (a[i] != b[i]) return false;
+  bool EqualsStored(uint32_t idx, TupleView t) const {
+    for (uint32_t pos = 0; pos < arity_; ++pos) {
+      if (Value(pos, idx) != t[pos]) return false;
     }
     return true;
   }
   void GrowSlots();
+  void GrowStore(uint32_t needed);
+  /// Extends sorted_[pos].perm to cover all count_ tuples (sort the new
+  /// tail, merge with the sorted prefix).
+  void SyncSorted(uint32_t pos) const;
 
   uint32_t arity_;
-  uint32_t count_ = 0;       // number of stored tuples
-  std::vector<Term> data_;   // count_ * arity_ terms, arity-strided
+  uint32_t count_ = 0;     // number of stored tuples
+  uint32_t capacity_ = 0;  // column stride in store_
+  // arity_ * capacity_ terms; column `pos` occupies
+  // [pos * capacity_, pos * capacity_ + count_).
+  std::vector<Term> store_;
   std::vector<uint32_t> slots_;  // open addressing: tuple index + 1, 0 empty
-  // indexes_[pos]: value -> tuple indices, ascending by construction.
-  std::vector<std::unordered_map<Term, std::vector<uint32_t>, TermHash>>
-      indexes_;
+  // Stored tuple hashes: rehashing and probe pre-filtering read these
+  // instead of gathering every tuple across the columns.
+  std::vector<uint32_t> hashes_;
+  // Per-position sorted permutation; perm.size() tuples are synced.
+  struct PositionIndex {
+    std::vector<uint32_t> perm;
+  };
+  mutable std::vector<PositionIndex> sorted_;
+  Tuple insert_scratch_;  // gather buffer: Insert sources may alias store_
 };
 
 }  // namespace triq::chase

@@ -9,16 +9,16 @@ Dictionary::Dictionary() {
 }
 
 SymbolId Dictionary::Intern(std::string_view text) {
-  auto it = ids_.find(std::string(text));
+  auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;
   SymbolId id = static_cast<SymbolId>(texts_.size());
   texts_.emplace_back(text);
-  ids_.emplace(texts_.back(), id);
+  ids_.emplace(std::string_view(texts_.back()), id);
   return id;
 }
 
 SymbolId Dictionary::Find(std::string_view text) const {
-  auto it = ids_.find(std::string(text));
+  auto it = ids_.find(text);
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }
 

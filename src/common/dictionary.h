@@ -2,10 +2,10 @@
 #define TRIQ_COMMON_DICTIONARY_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace triq {
 
@@ -16,6 +16,11 @@ inline constexpr SymbolId kInvalidSymbol = 0;
 
 /// Bidirectional string interner shared by the RDF store, the Datalog
 /// engine and the SPARQL evaluator, so URIs/constants compare as integers.
+///
+/// Lookups are heterogeneous: the id map is keyed by string_views into
+/// the interned text storage (a deque, so element addresses are stable),
+/// and Intern/Find hash the caller's string_view directly — no
+/// per-lookup std::string materialization.
 ///
 /// Not thread-safe; each engine instance owns one Dictionary.
 class Dictionary {
@@ -40,9 +45,13 @@ class Dictionary {
   /// Number of interned symbols (excluding the reserved id 0).
   size_t size() const { return texts_.size() - 1; }
 
+  /// Pre-sizes the id map for ~`n` symbols (bulk ingestion paths).
+  void Reserve(size_t n) { ids_.reserve(n + 1); }
+
  private:
-  std::vector<std::string> texts_;                       // id -> text
-  std::unordered_map<std::string, SymbolId> ids_;        // text -> id
+  std::deque<std::string> texts_;  // id -> text; addresses are stable
+  // text -> id; keys view into texts_ elements.
+  std::unordered_map<std::string_view, SymbolId> ids_;
 };
 
 }  // namespace triq

@@ -168,11 +168,34 @@ datalog::Program TransitiveClosureProgram(std::shared_ptr<Dictionary> dict) {
 }
 
 chase::Instance ChainDatabase(int n, std::shared_ptr<Dictionary> dict) {
+  dict->Reserve(dict->size() + static_cast<size_t>(n) + 2);
   chase::Instance db(std::move(dict));
   for (int i = 0; i < n; ++i) {
     db.AddFact("edge", {Node(i), Node(i + 1)});
   }
   return db;
+}
+
+std::string MultiChainTurtle(int chains, int chain_len) {
+  std::string out;
+  // "c<i>_n<j> e c<i>_n<j+1> .\n" — ~30 bytes per triple.
+  out.reserve(static_cast<size_t>(chains) * chain_len * 32);
+  for (int c = 0; c < chains; ++c) {
+    std::string prefix = "c" + std::to_string(c) + "_n";
+    for (int j = 0; j < chain_len; ++j) {
+      out += prefix + std::to_string(j) + " e " + prefix +
+             std::to_string(j + 1) + " .\n";
+    }
+  }
+  return out;
+}
+
+datalog::Program TripleReachProgram(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    triple(?X, e, ?Y) -> reach(?X, ?Y) .
+    reach(?X, ?Y), triple(?Y, e, ?Z) -> reach(?X, ?Z) .
+  )",
+                   std::move(dict));
 }
 
 }  // namespace triq::core

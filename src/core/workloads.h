@@ -61,6 +61,19 @@ datalog::Program TransitiveClosureProgram(std::shared_ptr<Dictionary> dict);
 /// edge(v0,v1), ..., edge(v_{n-1}, v_n).
 chase::Instance ChainDatabase(int n, std::shared_ptr<Dictionary> dict);
 
+/// ---- Large generated-graph workloads (streaming ingestion) -----------
+
+/// Turtle text for `chains` disjoint chains of `chain_len` e-labeled
+/// edges each (chains * chain_len triples; nodes c<i>_n<j>). The big
+/// bench-ladder inputs are generated with this and ingested through
+/// rdf::ParseTurtleStream instead of being built fact-by-fact.
+std::string MultiChainTurtle(int chains, int chain_len);
+
+/// Transitive closure over the triple schema: reach(X,Z) through
+/// triple(X, e, Y) hops — the τ_db(G) counterpart of
+/// TransitiveClosureProgram (answer predicate `reach`).
+datalog::Program TripleReachProgram(std::shared_ptr<Dictionary> dict);
+
 }  // namespace triq::core
 
 #endif  // TRIQ_CORE_WORKLOADS_H_

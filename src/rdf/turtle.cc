@@ -1,5 +1,6 @@
 #include "rdf/turtle.h"
 
+#include <cctype>
 #include <sstream>
 #include <vector>
 
@@ -39,62 +40,115 @@ Status TokenizeStatement(std::string_view body, size_t line_no,
   return Status::OK();
 }
 
+/// Incremental statement splitter shared by ParseTurtle and
+/// ParseTurtleStream: feed raw lines one at a time; statements are
+/// tokenized and added to the graph as soon as their terminating '.'
+/// (followed by whitespace) arrives. Only the unterminated statement
+/// tail is buffered, so memory stays proportional to one statement,
+/// not the whole input.
+class StreamingParser {
+ public:
+  explicit StreamingParser(Graph* graph) : graph_(graph) {}
+
+  /// Feeds one input line (without its trailing newline).
+  Status FeedLine(std::string_view raw) {
+    // Strip a '#' comment; quote state is tracked per line, matching
+    // the historical ParseTurtle behavior.
+    bool in_string = false;
+    for (char c : raw) {
+      if (c == '"') in_string = !in_string;
+      if (c == '#' && !in_string) break;
+      pending_.push_back(c);
+    }
+    pending_.push_back('\n');
+    return DrainStatements();
+  }
+
+  /// Flushes the final (possibly '.'-less) statement at end of input.
+  Status Finish() {
+    TRIQ_RETURN_IF_ERROR(
+        EmitStatement(std::string_view(pending_).substr(stmt_start_)));
+    pending_.clear();
+    stmt_start_ = scan_pos_ = 0;
+    return Status::OK();
+  }
+
+ private:
+  Status DrainStatements() {
+    for (; scan_pos_ < pending_.size(); ++scan_pos_) {
+      char c = pending_[scan_pos_];
+      if (c == '"') in_string_ = !in_string_;
+      if (c == '\n') ++line_no_;
+      // A '.' terminates a statement when outside a quoted literal and
+      // followed by whitespace (every fed line ends in '\n', so the
+      // look-ahead is always available).
+      if (c == '.' && !in_string_ && scan_pos_ + 1 < pending_.size() &&
+          std::isspace(static_cast<unsigned char>(pending_[scan_pos_ + 1]))) {
+        TRIQ_RETURN_IF_ERROR(EmitStatement(
+            std::string_view(pending_)
+                .substr(stmt_start_, scan_pos_ - stmt_start_)));
+        stmt_start_ = scan_pos_ + 1;
+      }
+    }
+    // Compact the consumed prefix once it dominates the buffer.
+    if (stmt_start_ > 4096 && stmt_start_ * 2 > pending_.size()) {
+      pending_.erase(0, stmt_start_);
+      scan_pos_ -= stmt_start_;
+      stmt_start_ = 0;
+    }
+    return Status::OK();
+  }
+
+  Status EmitStatement(std::string_view body) {
+    tokens_.clear();
+    TRIQ_RETURN_IF_ERROR(TokenizeStatement(body, line_no_, &tokens_));
+    if (tokens_.empty()) return Status::OK();
+    if (tokens_.size() != 3) {
+      return Status::InvalidArgument(
+          "statement near line " + std::to_string(line_no_) + " has " +
+          std::to_string(tokens_.size()) + " terms; expected 3");
+    }
+    graph_->Add(tokens_[0], tokens_[1], tokens_[2]);
+    return Status::OK();
+  }
+
+  Graph* graph_;
+  std::string pending_;     // cleaned, not-yet-consumed input
+  size_t scan_pos_ = 0;     // first unscanned offset in pending_
+  size_t stmt_start_ = 0;   // start of the current statement
+  bool in_string_ = false;  // quote state of the statement scan
+  size_t line_no_ = 1;
+  std::vector<std::string> tokens_;
+};
+
 }  // namespace
 
 Status ParseTurtle(std::string_view text, Graph* graph) {
-  // Strip comments line by line, then split statements on '.': a '.'
-  // terminates a statement when followed by whitespace/EOL.
-  std::string cleaned;
-  cleaned.reserve(text.size());
+  StreamingParser parser(graph);
   size_t line_start = 0;
   while (line_start <= text.size()) {
     size_t eol = text.find('\n', line_start);
     std::string_view line = eol == std::string_view::npos
                                 ? text.substr(line_start)
                                 : text.substr(line_start, eol - line_start);
-    bool in_string = false;
-    for (char c : line) {
-      if (c == '"') in_string = !in_string;
-      if (c == '#' && !in_string) break;
-      cleaned.push_back(c);
-    }
-    cleaned.push_back('\n');
+    TRIQ_RETURN_IF_ERROR(parser.FeedLine(line));
     if (eol == std::string_view::npos) break;
     line_start = eol + 1;
   }
+  return parser.Finish();
+}
 
-  size_t line_no = 1;
-  std::vector<std::string> tokens;
-  size_t stmt_start = 0;
-  bool in_string = false;
-  for (size_t i = 0; i <= cleaned.size(); ++i) {
-    bool end_of_stmt = false;
-    if (i == cleaned.size()) {
-      end_of_stmt = true;
-    } else {
-      char c = cleaned[i];
-      if (c == '"') in_string = !in_string;
-      if (c == '\n') ++line_no;
-      if (c == '.' && !in_string &&
-          (i + 1 == cleaned.size() ||
-           std::isspace(static_cast<unsigned char>(cleaned[i + 1])))) {
-        end_of_stmt = true;
-      }
-    }
-    if (!end_of_stmt) continue;
-    std::string_view body(cleaned.data() + stmt_start, i - stmt_start);
-    stmt_start = i + 1;
-    tokens.clear();
-    TRIQ_RETURN_IF_ERROR(TokenizeStatement(body, line_no, &tokens));
-    if (tokens.empty()) continue;
-    if (tokens.size() != 3) {
-      return Status::InvalidArgument(
-          "statement near line " + std::to_string(line_no) + " has " +
-          std::to_string(tokens.size()) + " terms; expected 3");
-    }
-    graph->Add(tokens[0], tokens[1], tokens[2]);
+Status ParseTurtleStream(std::istream& in, Graph* graph) {
+  StreamingParser parser(graph);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    TRIQ_RETURN_IF_ERROR(parser.FeedLine(line));
   }
-  return Status::OK();
+  if (in.bad()) {
+    return Status::InvalidArgument("I/O error while reading turtle stream");
+  }
+  return parser.Finish();
 }
 
 std::string WriteTurtle(const Graph& graph) {

@@ -1,6 +1,7 @@
 #ifndef TRIQ_RDF_TURTLE_H_
 #define TRIQ_RDF_TURTLE_H_
 
+#include <istream>
 #include <string>
 #include <string_view>
 
@@ -16,6 +17,12 @@ namespace triq::rdf {
 /// line comment. This is intentionally a small, dependency-free subset
 /// sufficient for the paper's examples and the test corpora.
 Status ParseTurtle(std::string_view text, Graph* graph);
+
+/// Streaming variant: reads `in` incrementally (line by line) and adds
+/// statements to `graph` as their terminating '.' arrives, so large
+/// inputs never need to be materialized as one in-memory string.
+/// Accepts exactly the same dialect as ParseTurtle.
+Status ParseTurtleStream(std::istream& in, Graph* graph);
 
 /// Serializes `graph` in the same format (one triple per line).
 std::string WriteTurtle(const Graph& graph);

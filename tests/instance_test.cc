@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <memory>
+#include <random>
+#include <utility>
+#include <vector>
 
 #include "chase/instance.h"
 #include "chase/relation.h"
@@ -28,23 +31,35 @@ TEST(RelationTest, PostingsPerPosition) {
   rel.Insert({Term::Constant(1), Term::Constant(2)});
   rel.Insert({Term::Constant(1), Term::Constant(3)});
   rel.Insert({Term::Constant(4), Term::Constant(2)});
-  const auto* by_first = rel.Postings(0, Term::Constant(1));
-  ASSERT_NE(by_first, nullptr);
-  EXPECT_EQ(by_first->size(), 2u);
-  const auto* by_second = rel.Postings(1, Term::Constant(2));
-  ASSERT_NE(by_second, nullptr);
-  EXPECT_EQ(by_second->size(), 2u);
-  EXPECT_EQ(rel.Postings(0, Term::Constant(42)), nullptr);
+  SortedRange by_first = rel.Postings(0, Term::Constant(1));
+  EXPECT_EQ(by_first.size(), 2u);
+  SortedRange by_second = rel.Postings(1, Term::Constant(2));
+  EXPECT_EQ(by_second.size(), 2u);
+  EXPECT_TRUE(rel.Postings(0, Term::Constant(42)).empty());
 }
 
 TEST(RelationTest, NullsAreIndexedLikeConstants) {
   Relation rel(1);
   rel.Insert({Term::Null(7)});
-  const auto* postings = rel.Postings(0, Term::Null(7));
-  ASSERT_NE(postings, nullptr);
-  EXPECT_EQ(postings->size(), 1u);
+  SortedRange postings = rel.Postings(0, Term::Null(7));
+  EXPECT_EQ(postings.size(), 1u);
   EXPECT_TRUE(rel.Contains({Term::Null(7)}));
   EXPECT_FALSE(rel.Contains({Term::Null(8)}));
+}
+
+TEST(RelationTest, ColumnScanReadsOnePositionContiguously) {
+  Relation rel(2);
+  rel.Insert({Term::Constant(5), Term::Constant(6)});
+  rel.Insert({Term::Constant(7), Term::Constant(8)});
+  ColumnScan first = rel.Column(0);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0], Term::Constant(5));
+  EXPECT_EQ(first[1], Term::Constant(7));
+  // The column really is contiguous memory.
+  EXPECT_EQ(first.begin() + 2, first.end());
+  ColumnScan second = rel.Column(1);
+  EXPECT_EQ(second[0], Term::Constant(6));
+  EXPECT_EQ(second[1], Term::Constant(8));
 }
 
 TEST(InstanceTest, AddFactCreatesRelations) {
@@ -94,10 +109,101 @@ TEST(RelationTest, PostingsStayInTupleIndexOrder) {
     rel.Insert({Term::Constant(1 + i % 3), Term::Constant(100 + i)});
   }
   for (uint32_t v = 1; v <= 3; ++v) {
-    const auto* postings = rel.Postings(0, Term::Constant(v));
-    ASSERT_NE(postings, nullptr);
-    EXPECT_TRUE(std::is_sorted(postings->begin(), postings->end()));
+    SortedRange postings = rel.Postings(0, Term::Constant(v));
+    ASSERT_FALSE(postings.empty());
+    EXPECT_TRUE(std::is_sorted(postings.begin(), postings.end()));
   }
+}
+
+// Checks the sorted-permutation contract for one position: a
+// permutation of every stored tuple index, ordered by column value with
+// ascending tuple index as the tiebreak.
+void ExpectSortedInvariants(const Relation& rel, uint32_t pos) {
+  SortedRange sorted = rel.Sorted(pos);
+  ASSERT_EQ(sorted.size(), rel.size());
+  std::vector<bool> seen(rel.size(), false);
+  const uint32_t* prev = nullptr;
+  for (const uint32_t* it = sorted.begin(); it != sorted.end(); ++it) {
+    ASSERT_LT(*it, rel.size());
+    EXPECT_FALSE(seen[*it]) << "duplicate tuple index in permutation";
+    seen[*it] = true;
+    if (prev != nullptr) {
+      Term a = sorted.ValueAt(prev);
+      Term b = sorted.ValueAt(it);
+      EXPECT_TRUE(a < b || (a == b && *prev < *it))
+          << "permutation out of (value, index) order";
+    }
+    prev = it;
+  }
+}
+
+TEST(RelationTest, SortedPermutationSurvivesInterleavedInserts) {
+  // Sorted access interleaved with inserts: every sync (sort the tail,
+  // merge with the prefix) must restore the full invariant.
+  Relation rel(2);
+  uint32_t next = 0;
+  std::mt19937 rng(42);
+  for (int round = 0; round < 8; ++round) {
+    int batch = 1 + static_cast<int>(rng() % 13);
+    for (int i = 0; i < batch; ++i) {
+      rel.Insert({Term::Constant(1 + rng() % 7), Term::Constant(next++)});
+    }
+    ExpectSortedInvariants(rel, 0);
+    if (round % 2 == 0) ExpectSortedInvariants(rel, 1);  // lagging sync
+  }
+  // Postings(=Equal slices) agree with a brute-force scan.
+  for (uint32_t v = 1; v <= 7; ++v) {
+    SortedRange postings = rel.Postings(0, Term::Constant(v));
+    std::vector<uint32_t> brute;
+    for (uint32_t i = 0; i < rel.size(); ++i) {
+      if (rel.tuple(i)[0] == Term::Constant(v)) brute.push_back(i);
+    }
+    EXPECT_EQ(std::vector<uint32_t>(postings.begin(), postings.end()), brute);
+  }
+}
+
+TEST(RelationTest, SortWindowSlicesDeltaWindows) {
+  Relation rel(2);
+  std::mt19937 rng(7);
+  for (int i = 0; i < 60; ++i) {
+    rel.Insert({Term::Constant(1 + rng() % 5), Term::Constant(100 + i)});
+  }
+  // Every window [begin, end) sorts to the brute-force (value, index)
+  // order of exactly that slice — the semi-naive delta contract.
+  std::vector<uint32_t> window;
+  for (auto [begin, end] : std::vector<std::pair<uint32_t, uint32_t>>{
+           {0, 60}, {10, 25}, {59, 60}, {30, 30}, {50, 999}}) {
+    rel.SortWindow(0, begin, end, &window);
+    uint32_t capped = std::min<uint32_t>(end, 60);
+    std::vector<uint32_t> brute;
+    for (uint32_t i = begin; i < capped; ++i) brute.push_back(i);
+    std::stable_sort(brute.begin(), brute.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return rel.tuple(a)[0] < rel.tuple(b)[0];
+                     });
+    EXPECT_EQ(window, brute) << "window [" << begin << ", " << end << ")";
+  }
+}
+
+TEST(RelationTest, SeekValueGallopsToLowerBound) {
+  // One value column with duplicates for the cursor to group.
+  Relation dup(2);
+  for (uint32_t i = 0; i < 40; ++i) {
+    dup.Insert({Term::Constant(2 * (i % 10)), Term::Constant(1000 + i)});
+  }
+  SortedRange sorted = dup.Sorted(0);
+  const uint32_t* cursor = sorted.begin();
+  for (uint32_t v = 0; v < 22; ++v) {  // monotone seeks incl. misses
+    cursor = sorted.SeekValue(cursor, Term::Constant(v));
+    const uint32_t* expected = sorted.begin();
+    while (expected != sorted.end() &&
+           sorted.ValueAt(expected) < Term::Constant(v)) {
+      ++expected;
+    }
+    EXPECT_EQ(cursor, expected) << "seek to " << v;
+  }
+  EXPECT_EQ(sorted.SeekValue(sorted.begin(), Term::Constant(999)),
+            sorted.end());
 }
 
 TEST(InstanceTest, AddFactRejectsArityMismatch) {

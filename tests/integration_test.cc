@@ -188,7 +188,7 @@ TEST(IntegrationTest, CliqueViaNegationEliminationPipeline) {
   ASSERT_TRUE(rewritten.ok());
   chase::Instance direct = core::CloneInstance(db);
   ASSERT_TRUE(RunChase(*aux, &direct).ok());
-  chase::Instance via = rewritten->second;
+  chase::Instance via = std::move(rewritten->second);
   ASSERT_TRUE(RunChase(rewritten->first, &via).ok());
   for (const char* pred : {"zero0", "max0"}) {
     EXPECT_EQ(direct.Find(dict->Intern(pred))->size(),

@@ -202,7 +202,7 @@ TEST(EliminateNegationTest, EquivalentOnStratifiedProgram) {
     direct.AddFact("succ0", {std::to_string(i), std::to_string(i + 1)});
   }
   ASSERT_TRUE(chase::RunChase(program, &direct).ok());
-  chase::Instance rewritten = augmented;
+  chase::Instance rewritten = augmented.CloneFacts();
   ASSERT_TRUE(chase::RunChase(positive, &rewritten).ok());
   EXPECT_EQ(GroundSignature(direct, program),
             GroundSignature(rewritten, program));
@@ -232,7 +232,7 @@ TEST(EliminateNegationTest, ZeroAryNegation) {
   auto result = EliminateNegation(program, db);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   auto& [positive, augmented] = *result;
-  chase::Instance out = augmented;
+  chase::Instance out = augmented.CloneFacts();
   ASSERT_TRUE(chase::RunChase(positive, &out).ok());
   EXPECT_NE(out.Find(dict->Intern("lonely")), nullptr);
 }

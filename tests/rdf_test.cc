@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
 
 #include "rdf/graph.h"
 #include "rdf/turtle.h"
@@ -109,6 +112,59 @@ TEST(TurtleTest, QuotedDotDoesNotSplit) {
   Graph g(Dict());
   ASSERT_TRUE(ParseTurtle("a p \"J. R. R. Tolkien\" .", &g).ok());
   EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(TurtleStreamTest, RoundTripsThroughWriter) {
+  Graph g(Dict());
+  for (int i = 0; i < 200; ++i) {
+    g.Add("s" + std::to_string(i), "p" + std::to_string(i % 7),
+          "o" + std::to_string((i * 3) % 11));
+  }
+  std::istringstream in(WriteTurtle(g));
+  Graph parsed(Dict());
+  ASSERT_TRUE(ParseTurtleStream(in, &parsed).ok());
+  ASSERT_EQ(parsed.size(), g.size());
+  // Same triples, same order (WriteTurtle emits insertion order).
+  EXPECT_EQ(WriteTurtle(parsed), WriteTurtle(g));
+}
+
+TEST(TurtleStreamTest, AgreesWithStringParserOnTrickyInput) {
+  constexpr std::string_view kText = R"(# leading comment
+    a p b . b q c .
+    c r "two words" .   # trailing comment
+    d s "J. R. R. Tolkien" .
+    e t
+    f .
+  )";
+  Graph from_string(Dict());
+  ASSERT_TRUE(ParseTurtle(kText, &from_string).ok());
+  std::istringstream in{std::string(kText)};
+  Graph from_stream(Dict());
+  ASSERT_TRUE(ParseTurtleStream(in, &from_stream).ok());
+  EXPECT_EQ(from_stream.size(), from_string.size());
+  EXPECT_EQ(WriteTurtle(from_stream), WriteTurtle(from_string));
+}
+
+TEST(TurtleStreamTest, StatementsSpanChunksAndLines) {
+  // Statements split across lines arrive through separate FeedLine
+  // calls; the splitter must buffer the tail until the '.' shows up.
+  std::istringstream in("a\np\nb\n.\nc q d .");
+  Graph g(Dict());
+  ASSERT_TRUE(ParseTurtleStream(in, &g).ok());
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_EQ(WriteTurtle(g), "a p b .\nc q d .\n");
+}
+
+TEST(TurtleStreamTest, SurfacesErrorsWithLineNumbers) {
+  std::istringstream wrong_arity("a p b .\nc q .\n");
+  Graph g(Dict());
+  Status status = ParseTurtleStream(wrong_arity, &g);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("line 2"), std::string::npos)
+      << status.ToString();
+  std::istringstream unterminated("a p \"oops .\n");
+  Graph g2(Dict());
+  EXPECT_FALSE(ParseTurtleStream(unterminated, &g2).ok());
 }
 
 TEST(VocabularyTest, InternsAllTerms) {
