@@ -5,10 +5,14 @@
 // are recorded in-repo and diffable across commits.
 //
 // Usage:
-//   bench_all [--quick] [--out DIR] [--suite NAME]
+//   bench_all [--quick] [--large] [--out DIR] [--suite NAME]
 //
 //   --quick       tiny warmup/repetition counts and small workload
 //                 sizes; used by the ctest smoke run and CI
+//   --large       with --quick: additionally run the tc_chain/4096
+//                 single- and 4-thread workloads so the Release CI job
+//                 can gate them (no effect on full runs, which always
+//                 include the thread sweep)
 //   --out DIR     directory for the BENCH_*.json files (default ".";
 //                 created if missing)
 //   --suite NAME  run only the named suite (chase | vocab | transport)
@@ -25,6 +29,7 @@
 #include <sstream>
 
 #include "chase/chase.h"
+#include "chase/fact_dump.h"
 #include "chase/instance.h"
 #include "common/dictionary.h"
 #include "core/triq.h"
@@ -42,6 +47,7 @@ using triq::bench::HarnessOptions;
 
 struct Config {
   bool quick = false;
+  bool large = false;
   std::string out_dir = ".";
   std::string only_suite;  // empty = all
 };
@@ -56,9 +62,23 @@ void SuiteChase(const Config& config, const HarnessOptions& options) {
   // Quick mode keeps tc_chain/256 and /1024 so the CI regression gate
   // (tools/check_bench_regression.py) can compare them against the
   // committed baseline JSON — 1024 is the tight perf gate (big enough
-  // that run-to-run noise stays small relative to the median).
-  for (int n : config.quick ? std::vector<int>{64, 256, 1024}
-                            : std::vector<int>{256, 1024, 4096}) {
+  // that run-to-run noise stays small relative to the median). A
+  // (size, threads) pair with threads > 1 runs the parallel sharded
+  // executor and is named chase/tc_chain/<n>/t<threads>; the full run
+  // sweeps threads on 4096 so the single- vs multi-thread medians are
+  // diffable from one BENCH_chase.json.
+  std::vector<std::pair<int, size_t>> tc_runs;
+  if (config.quick) {
+    tc_runs = {{64, 1}, {256, 1}, {1024, 1}};
+    if (config.large) {
+      tc_runs.push_back({4096, 1});
+      tc_runs.push_back({4096, 4});
+    }
+  } else {
+    tc_runs = {{256, 1}, {1024, 1}, {4096, 1},
+               {4096, 2}, {4096, 4}, {4096, 8}};
+  }
+  for (auto [n, threads] : tc_runs) {
     // Setup (dictionary, program, chain database) happens once, outside
     // the timed region. RunChase mutates its instance, so each timed
     // repetition chases a fresh clone; the O(n) clone is inside the
@@ -66,16 +86,19 @@ void SuiteChase(const Config& config, const HarnessOptions& options) {
     auto dict = std::make_shared<Dictionary>();
     auto program = triq::core::TransitiveClosureProgram(dict);
     auto db = triq::core::ChainDatabase(n, dict);
-    harness.Run("chase/tc_chain/" + std::to_string(n),
-                [&](std::map<std::string, double>* counters) {
-                  triq::chase::Instance work = triq::core::CloneInstance(db);
-                  triq::chase::ChaseStats stats;
-                  triq::Status st =
-                      triq::chase::RunChase(program, &work, {}, &stats);
-                  if (!st.ok()) std::abort();
-                  (*counters)["facts_derived"] =
-                      static_cast<double>(stats.facts_derived);
-                });
+    std::string name = "chase/tc_chain/" + std::to_string(n);
+    if (threads > 1) name += "/t" + std::to_string(threads);
+    triq::chase::ChaseOptions chase_options;
+    chase_options.num_threads = threads;
+    harness.Run(name, [&](std::map<std::string, double>* counters) {
+      triq::chase::Instance work = triq::core::CloneInstance(db);
+      triq::chase::ChaseStats stats;
+      triq::Status st =
+          triq::chase::RunChase(program, &work, chase_options, &stats);
+      if (!st.ok()) std::abort();
+      (*counters)["facts_derived"] =
+          static_cast<double>(stats.facts_derived);
+    });
   }
 
   // Quick mode includes clique/7 because CI gates it against the
@@ -98,22 +121,49 @@ void SuiteChase(const Config& config, const HarnessOptions& options) {
                 });
   }
 
-  // 10^5-triple generated graph, ingested through the streaming Turtle
-  // parser (full mode only: ~10 chase rounds over 100k ternary facts).
-  // 2000 disjoint 50-edge chains keep the closure bounded
-  // (2000 * C(51,2) = 2.55M reach facts) while the triple relation is
-  // big enough to exercise the columnar merge join at ROADMAP scale.
+  // 10^5-triple generated graph (full mode only: ~10 chase rounds over
+  // 100k ternary facts). 2000 disjoint 50-edge chains keep the closure
+  // bounded (2000 * C(51,2) = 2.55M reach facts) while the triple
+  // relation is big enough to exercise the columnar merge join at
+  // ROADMAP scale. Setup goes through the binary fact-dump cache: the
+  // first run parses the generated Turtle once and saves
+  // <out>/tc_chains_100000.facts; later runs bulk-load that instead of
+  // re-parsing text (tools/turtle_to_facts produces the same dumps for
+  // on-disk corpora).
   if (!config.quick) {
     constexpr int kChains = 2000;
     constexpr int kChainLen = 50;
+    const std::string cache =
+        config.out_dir + "/tc_chains_100000.facts";
     auto dict = std::make_shared<Dictionary>();
     dict->Reserve(static_cast<size_t>(kChains) * (kChainLen + 1) + 8);
-    triq::rdf::Graph g(dict);
-    std::istringstream turtle(
-        triq::core::MultiChainTurtle(kChains, kChainLen));
-    if (!triq::rdf::ParseTurtleStream(turtle, &g).ok()) std::abort();
+    auto loaded = triq::chase::LoadFacts(cache, dict);
+    // A cached dump from different generator parameters must not be
+    // timed silently: regenerate unless the triple count matches.
+    if (loaded.ok()) {
+      const triq::chase::Relation* cached = loaded->Find("triple");
+      if (cached == nullptr ||
+          cached->size() !=
+              static_cast<size_t>(kChains) * kChainLen) {
+        loaded = triq::Status::InvalidArgument("stale cache");
+      }
+    }
+    triq::chase::Instance db =
+        loaded.ok() ? std::move(loaded).value() : [&] {
+          triq::rdf::Graph g(dict);
+          std::istringstream turtle(
+              triq::core::MultiChainTurtle(kChains, kChainLen));
+          if (!triq::rdf::ParseTurtleStream(turtle, &g).ok()) std::abort();
+          auto instance = triq::chase::Instance::FromGraph(g);
+          if (!triq::chase::SaveFacts(instance, cache).ok()) {
+            std::cerr << "warning: could not write " << cache << "\n";
+          }
+          return instance;
+        }();
+    const triq::chase::Relation* triples = db.Find("triple");
+    const double num_triples =
+        triples == nullptr ? 0 : static_cast<double>(triples->size());
     auto program = triq::core::TripleReachProgram(dict);
-    auto db = triq::chase::Instance::FromGraph(g);
     harness.Run("chase/tc_chains_turtle/100000",
                 [&](std::map<std::string, double>* counters) {
                   triq::chase::Instance work = db.CloneFacts();
@@ -123,7 +173,17 @@ void SuiteChase(const Config& config, const HarnessOptions& options) {
                   if (!st.ok()) std::abort();
                   (*counters)["facts_derived"] =
                       static_cast<double>(stats.facts_derived);
-                  (*counters)["triples"] = static_cast<double>(g.size());
+                  (*counters)["triples"] = num_triples;
+                });
+    // Binary ingestion ladder: how fast the 100k-triple dump re-loads
+    // (the Turtle-parse path it replaces is timed by rdf bench suites).
+    harness.Run("chase/load_facts/100000",
+                [&](std::map<std::string, double>* counters) {
+                  auto fresh = triq::chase::LoadFacts(
+                      cache, std::make_shared<Dictionary>());
+                  if (!fresh.ok()) std::abort();
+                  (*counters)["facts"] =
+                      static_cast<double>(fresh->TotalFacts());
                 });
   }
 
@@ -214,12 +274,15 @@ int main(int argc, char** argv) {
     std::string arg = argv[i];
     if (arg == "--quick") {
       config.quick = true;
+    } else if (arg == "--large") {
+      config.large = true;
     } else if (arg == "--out" && i + 1 < argc) {
       config.out_dir = argv[++i];
     } else if (arg == "--suite" && i + 1 < argc) {
       config.only_suite = argv[++i];
     } else {
-      std::cerr << "usage: bench_all [--quick] [--out DIR] [--suite NAME]\n";
+      std::cerr << "usage: bench_all [--quick] [--large] [--out DIR]"
+                   " [--suite NAME]\n";
       return 2;
     }
   }

@@ -1,8 +1,12 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace triq::chase {
 
@@ -42,6 +46,9 @@ class ChaseRun {
 
   Status Run() {
     total_facts_ = instance_->TotalFacts();
+    if (options_.num_threads > 1) {
+      pool_ = std::make_unique<common::ThreadPool>(options_.num_threads - 1);
+    }
     TRIQ_ASSIGN_OR_RETURN(Stratification strat,
                           datalog::Stratify(program_.WithoutConstraints()));
     for (int s = 0; s < strat.num_strata; ++s) {
@@ -54,6 +61,20 @@ class ChaseRun {
 
  private:
   using SizeSnapshot = std::unordered_map<PredicateId, size_t>;
+
+  /// Exclusive end offsets of one staged match in the flat general-path
+  /// buffers (homomorphism entries + matched body facts).
+  struct StagedEnd {
+    uint32_t entries;
+    uint32_t facts;
+  };
+
+  /// Sharding thresholds: a pass fans out only when its depth-0 visit
+  /// order has at least two shards of kMinDriverPerShard tuples;
+  /// kShardsPerThread-fold oversubscription lets the work-stealing pool
+  /// rebalance shards whose join fan-out is skewed.
+  static constexpr size_t kMinDriverPerShard = 64;
+  static constexpr size_t kShardsPerThread = 4;
 
   bool Partitioned() const {
     return options_.seminaive && options_.partition_deltas;
@@ -157,77 +178,252 @@ class ChaseRun {
     effective.greedy_atom_order = options_.greedy_atom_order;
     effective.join_strategy = options_.join_strategy;
 
-    // Plain Datalog rules with no provenance to record need neither the
-    // homomorphism nor the matched body facts after the match — stage
-    // the materialized head tuples themselves (head arity terms per
-    // match, applied while the binding is hot) and bulk-insert after
-    // the pass.
-    if (existentials.empty() && !options_.track_provenance) {
-      staged_tuples_.clear();
-      size_t matches = 0;
-      TRIQ_RETURN_IF_ERROR(
-          MatchBody(rule, *instance_, effective, [&](const Match& match) {
-            ++matches;
-            for (const Atom& head : rule.head) {
-              for (Term t : head.args) {
-                staged_tuples_.push_back(match.binding->Apply(t));
-              }
-            }
-            return true;
-          }));
-      if (stats_ != nullptr) stats_->rule_firings += matches;
-      const Term* next = staged_tuples_.data();
-      for (size_t m = 0; m < matches; ++m) {
-        for (const Atom& head : rule.head) {
-          uint32_t arity = static_cast<uint32_t>(head.args.size());
-          TRIQ_ASSIGN_OR_RETURN(
-              bool inserted,
-              instance_->AddFactChecked(head.predicate,
-                                        TupleView(next, arity)));
-          next += arity;
-          if (inserted) {
-            ++total_facts_;
-            if (stats_ != nullptr) ++stats_->facts_derived;
-          }
-        }
-        if (total_facts_ > options_.max_facts) {
-          return Status::ResourceExhausted(
-              "chase exceeded max_facts = " +
-              std::to_string(options_.max_facts));
-        }
-      }
-      return Status::OK();
+    if (pool_ != nullptr) {
+      TRIQ_ASSIGN_OR_RETURN(
+          bool sharded,
+          TryApplyRuleSharded(rule_index, rule, existentials, effective));
+      if (sharded) return Status::OK();
     }
 
-    // General path (existential rules or provenance tracking): stage
-    // the full homomorphism plus the matched body facts in flat buffers
-    // (reused across calls) — one contiguous append per match instead
-    // of a Binding + vector<FactRef> deep copy each.
-    staged_entries_.clear();
-    staged_facts_.clear();
-    staged_ends_.clear();
+    // Sequential pass: stage every match (see StageMatch), then drain.
+    // The buffers are members so their capacity persists across passes.
+    const bool fast = existentials.empty() && !options_.track_provenance;
+    ResetStage(&seq_stage_);
     TRIQ_RETURN_IF_ERROR(
         MatchBody(rule, *instance_, effective, [&](const Match& match) {
-          staged_entries_.insert(staged_entries_.end(),
-                                 match.binding->entries().begin(),
-                                 match.binding->entries().end());
-          staged_facts_.insert(staged_facts_.end(),
-                               match.positive_facts->begin(),
-                               match.positive_facts->end());
-          staged_ends_.push_back(
-              {static_cast<uint32_t>(staged_entries_.size()),
-               static_cast<uint32_t>(staged_facts_.size())});
+          StageMatch(rule, match, fast, /*hash_arity=*/-1, &seq_stage_);
           return true;
         }));
+    if (fast) {
+      if (stats_ != nullptr) stats_->rule_firings += seq_stage_.matches;
+      return DrainFastTuples(rule, seq_stage_.tuples.data(),
+                             seq_stage_.matches);
+    }
+    return DrainStagedMatches(rule_index, rule, existentials,
+                              seq_stage_.entries, seq_stage_.facts,
+                              seq_stage_.ends);
+  }
 
+  /// One staging buffer set: everything a match produces is appended
+  /// here and committed after the pass. The sequential executor owns
+  /// one (seq_stage_); the sharded executor gives each shard its own,
+  /// filled thread-locally and merge-committed in shard order.
+  struct ShardStage {
+    Status status = Status::OK();
+    size_t matches = 0;
+    std::vector<Term> tuples;  // fast path: materialized head tuples
+    // Batch path (single-head fast rules): per-tuple dedup hashes,
+    // precomputed off the commit thread.
+    std::vector<uint32_t> hashes;
+    // General path: flat homomorphism + matched-fact staging.
+    std::vector<std::pair<Term, Term>> entries;
+    std::vector<FactRef> facts;
+    std::vector<StagedEnd> ends;
+  };
+
+  static void ResetStage(ShardStage* stage) {
+    stage->status = Status::OK();
+    stage->matches = 0;
+    stage->tuples.clear();
+    stage->hashes.clear();
+    stage->entries.clear();
+    stage->facts.clear();
+    stage->ends.clear();
+  }
+
+  /// Appends one match's staging to `stage`. Fast path (plain Datalog,
+  /// no provenance): the materialized head tuples themselves —
+  /// head-arity terms per match, applied while the binding is hot —
+  /// plus their dedup hashes when `hash_arity` >= 0 (the batch-commit
+  /// path). General path: the full homomorphism and the matched body
+  /// facts in flat buffers, one offset record per match. The ONE place
+  /// that defines the staging layout, shared by the sequential pass and
+  /// every shard worker, so the two can never diverge.
+  static void StageMatch(const Rule& rule, const Match& match, bool fast,
+                         int hash_arity, ShardStage* stage) {
+    ++stage->matches;
+    if (fast) {
+      for (const Atom& head : rule.head) {
+        for (Term t : head.args) {
+          stage->tuples.push_back(match.binding->Apply(t));
+        }
+      }
+      if (hash_arity >= 0) {
+        stage->hashes.push_back(Relation::Hash32(
+            stage->tuples.data() + stage->tuples.size() - hash_arity,
+            static_cast<uint32_t>(hash_arity)));
+      }
+    } else {
+      stage->entries.insert(stage->entries.end(),
+                            match.binding->entries().begin(),
+                            match.binding->entries().end());
+      stage->facts.insert(stage->facts.end(),
+                          match.positive_facts->begin(),
+                          match.positive_facts->end());
+      stage->ends.push_back({static_cast<uint32_t>(stage->entries.size()),
+                             static_cast<uint32_t>(stage->facts.size())});
+    }
+  }
+
+  /// Sharded execution of one match pass: plans the depth-0 visit order,
+  /// splits it into contiguous shards, matches each shard on the pool
+  /// into per-shard staging, then commits shard-by-shard in order.
+  /// Because the concatenated shard streams equal the unsharded match
+  /// stream (the DriverPlan contract) and commits replay on this thread,
+  /// the result is bit-identical to the sequential pass. Returns false
+  /// (without matching) when the pass is too small to shard.
+  Result<bool> TryApplyRuleSharded(size_t rule_index, const Rule& rule,
+                                   const std::vector<Term>& existentials,
+                                   const MatchOptions& effective) {
+    DriverPlan plan = PlanMatchDriver(rule, *instance_, effective);
+    if (plan.body_index < 0) return false;
+    size_t total = plan.order.size();
+    size_t max_shards = (pool_->num_workers() + 1) * kShardsPerThread;
+    size_t num_shards = std::min(max_shards, total / kMinDriverPerShard);
+    if (num_shards < 2) return false;
+
+    // Freeze exactly the lazy sorted indexes this pass's join plan can
+    // probe; from here to the end of the fan-out, matching is read-only
+    // on the instance. (Freezing whole relations instead would eagerly
+    // maintain permutations the join never reads — a full-relation
+    // merge per pass on linear rules.)
+    for (const auto& [pred, pos] : plan.probe_index_pairs) {
+      const Relation* rel = instance_->Find(pred);
+      if (rel != nullptr && pos < rel->arity()) rel->FreezeIndex(pos);
+    }
+
+    const bool fast = existentials.empty() && !options_.track_provenance;
+    // Single-head fast rules take the fully parallel commit: workers
+    // precompute dedup hashes and BatchInserter runs the probe phases
+    // across the pool.
+    const bool batch = fast && rule.head.size() == 1;
+    const uint32_t head_arity =
+        batch ? static_cast<uint32_t>(rule.head[0].args.size()) : 0;
+    // Reuse the member stage pool across passes (reset, not
+    // reconstructed) so shard staging keeps its buffer capacity, like
+    // the sequential path's seq_stage_.
+    if (shard_stages_.size() < num_shards) shard_stages_.resize(num_shards);
+    std::vector<ShardStage>& stages = shard_stages_;
+    for (size_t s = 0; s < num_shards; ++s) ResetStage(&stages[s]);
+    pool_->ParallelFor(num_shards, [&](size_t s) {
+      ShardStage& stage = stages[s];
+      size_t begin = total * s / num_shards;
+      size_t end = total * (s + 1) / num_shards;
+      MatchOptions mo = effective;
+      mo.driver_order = plan.order.data() + begin;
+      mo.driver_order_size = end - begin;
+      mo.driver_sorted = plan.sorted;
+      mo.driver_body_index = plan.body_index;
+      stage.status =
+          MatchBody(rule, *instance_, mo, [&](const Match& match) {
+            StageMatch(rule, match, fast,
+                       batch ? static_cast<int>(head_arity) : -1, &stage);
+            return true;
+          });
+    });
+    // The pool may be longer than this pass's shard count: only the
+    // first num_shards entries were reset and filled.
+    for (size_t s = 0; s < num_shards; ++s) {
+      TRIQ_RETURN_IF_ERROR(stages[s].status);
+    }
+    if (stats_ != nullptr) ++stats_->sharded_passes;
+
+    size_t staged_matches = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      staged_matches += stages[s].matches;
+    }
+    if (fast && stats_ != nullptr) stats_->rule_firings += staged_matches;
+
+    // Deterministic merge-commit, shard order = single-threaded order.
+    if (batch && total_facts_ + staged_matches <= options_.max_facts) {
+      return CommitBatch(rule.head[0], head_arity, stages.data(), num_shards);
+    }
+    for (size_t s = 0; s < num_shards; ++s) {
+      const ShardStage& stage = stages[s];
+      if (fast) {
+        TRIQ_RETURN_IF_ERROR(
+            DrainFastTuples(rule, stage.tuples.data(), stage.matches));
+      } else {
+        TRIQ_RETURN_IF_ERROR(DrainStagedMatches(rule_index, rule,
+                                                existentials, stage.entries,
+                                                stage.facts, stage.ends));
+      }
+    }
+    return true;
+  }
+
+  /// Parallel merge-commit of a single-head pass's staged tuples: the
+  /// hash-partitioned dedup probes fan out over the pool; the ordered
+  /// append (which fixes the tuple indexes to exactly the sequential
+  /// ones) stays on this thread. Only called when even an all-new batch
+  /// cannot exceed max_facts, so the cap needs no per-tuple check.
+  Result<bool> CommitBatch(const Atom& head, uint32_t head_arity,
+                           const ShardStage* stages, size_t num_shards) {
+    Relation& rel = instance_->GetOrCreate(head.predicate, head_arity);
+    if (rel.arity() != head_arity) {
+      return Status::InvalidArgument(
+          "fact for predicate " + instance_->dict().Text(head.predicate) +
+          " has width " + std::to_string(head_arity) +
+          " but its relation has arity " + std::to_string(rel.arity()));
+    }
+    BatchInserter batch(&rel);
+    for (size_t s = 0; s < num_shards; ++s) {
+      batch.AddShard(stages[s].tuples.data(), stages[s].hashes.data(),
+                     static_cast<uint32_t>(stages[s].matches));
+    }
+    batch.Prepare();
+    pool_->ParallelFor(Relation::kDedupPartitions,
+                       [&](size_t p) { batch.ScanPartition(p); });
+    uint32_t winners = batch.CommitWinners();
+    pool_->ParallelFor(Relation::kDedupPartitions,
+                       [&](size_t p) { batch.FinalizeSlots(p); });
+    total_facts_ += winners;
+    if (stats_ != nullptr) stats_->facts_derived += winners;
+    return true;
+  }
+
+  /// Inserts `matches` staged head-tuple groups laid out back-to-back
+  /// at `next` (the fast-path commit, shared by the sequential and
+  /// sharded executors).
+  Status DrainFastTuples(const Rule& rule, const Term* next,
+                         size_t matches) {
+    for (size_t m = 0; m < matches; ++m) {
+      for (const Atom& head : rule.head) {
+        uint32_t arity = static_cast<uint32_t>(head.args.size());
+        TRIQ_ASSIGN_OR_RETURN(
+            bool inserted,
+            instance_->AddFactChecked(head.predicate,
+                                      TupleView(next, arity)));
+        next += arity;
+        if (inserted) {
+          ++total_facts_;
+          if (stats_ != nullptr) ++stats_->facts_derived;
+        }
+      }
+      if (total_facts_ > options_.max_facts) {
+        return Status::ResourceExhausted(
+            "chase exceeded max_facts = " +
+            std::to_string(options_.max_facts));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Fires every staged match of the general path in staging order (the
+  /// general-path commit, shared by the sequential and sharded
+  /// executors).
+  Status DrainStagedMatches(size_t rule_index, const Rule& rule,
+                            const std::vector<Term>& existentials,
+                            const std::vector<std::pair<Term, Term>>& entries,
+                            const std::vector<FactRef>& facts,
+                            const std::vector<StagedEnd>& ends) {
     size_t entry_begin = 0;
     size_t fact_begin = 0;
-    for (const StagedEnd& staged : staged_ends_) {
-      scratch_binding_.Assign(staged_entries_.data() + entry_begin,
+    for (const StagedEnd& staged : ends) {
+      scratch_binding_.Assign(entries.data() + entry_begin,
                               staged.entries - entry_begin);
       TRIQ_RETURN_IF_ERROR(Fire(rule_index, rule, existentials,
-                                scratch_binding_,
-                                staged_facts_.data() + fact_begin,
+                                scratch_binding_, facts.data() + fact_begin,
                                 staged.facts - fact_begin));
       entry_begin = staged.entries;
       fact_begin = staged.facts;
@@ -331,18 +527,15 @@ class ChaseRun {
   const ChaseOptions& options_;
   ChaseStats* stats_;
   size_t total_facts_ = 0;  // running TotalFacts(), kept by Fire
+  // Workers for the sharded executor; null when num_threads <= 1.
+  std::unique_ptr<common::ThreadPool> pool_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;
 
-  // Flat staging for ApplyRule (see there). staged_ends_[i] holds the
-  // exclusive end offsets of match i in the two flat buffers.
-  struct StagedEnd {
-    uint32_t entries;
-    uint32_t facts;
-  };
-  std::vector<std::pair<Term, Term>> staged_entries_;
-  std::vector<FactRef> staged_facts_;
-  std::vector<StagedEnd> staged_ends_;
-  std::vector<Term> staged_tuples_;  // fast path: materialized head tuples
+  // Staging for the sequential ApplyRule path; the sharded path stages
+  // per shard from the pool below. Members so buffer capacity persists
+  // across passes.
+  ShardStage seq_stage_;
+  std::vector<ShardStage> shard_stages_;
   Binding scratch_binding_;
   Tuple scratch_tuple_;
 };

@@ -55,6 +55,21 @@ struct ChaseOptions {
   /// grid for the join executor.
   JoinStrategy join_strategy = JoinStrategy::kAuto;
 
+  /// Number of threads the chase may use for its match passes. 1 (the
+  /// default) is the unsharded single-threaded executor; N > 1 spawns a
+  /// work-stealing pool of N-1 workers (the calling thread participates)
+  /// and splits every large-enough pass's depth-0 window into
+  /// tuple-index-range shards matched concurrently into thread-local
+  /// staging buffers, then merge-committed in shard order.
+  ///
+  /// Determinism guarantee: the concatenated shard match stream equals
+  /// the single-threaded stream (see DriverPlan in match.h), and commits
+  /// replay it in that order on the scheduling thread — so the resulting
+  /// instance (tuple order, null identities) and every ChaseStats
+  /// counter except the diagnostic `sharded_passes` are bit-identical
+  /// for every value of num_threads.
+  size_t num_threads = 1;
+
   /// Safety caps. Exceeding max_facts aborts with ResourceExhausted;
   /// exceeding max_null_depth stops deriving deeper nulls and marks
   /// `ChaseStats::truncated` (the ground semantics of terminating
@@ -68,6 +83,9 @@ struct ChaseStats {
   size_t rule_firings = 0;
   size_t facts_derived = 0;
   size_t nulls_created = 0;
+  /// Match passes that ran sharded across the thread pool (0 when
+  /// num_threads <= 1 or every pass was below the sharding threshold).
+  size_t sharded_passes = 0;
   bool truncated = false;
 };
 

@@ -1,0 +1,211 @@
+#include "chase/fact_dump.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <vector>
+
+namespace triq::chase {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'R', 'I', 'Q', 'F', 'C', 'T', '\n'};
+constexpr uint32_t kVersion = 1;
+
+void PutU32(std::ostream& out, uint32_t v) {
+  char bytes[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+                   static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out.write(bytes, 4);
+}
+
+bool GetU32(std::istream& in, uint32_t* v) {
+  unsigned char bytes[4];
+  if (!in.read(reinterpret_cast<char*>(bytes), 4)) return false;
+  *v = static_cast<uint32_t>(bytes[0]) | (static_cast<uint32_t>(bytes[1]) << 8) |
+       (static_cast<uint32_t>(bytes[2]) << 16) |
+       (static_cast<uint32_t>(bytes[3]) << 24);
+  return true;
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::InvalidArgument("fact dump " + path + ": " + what);
+}
+
+}  // namespace
+
+Status SaveFacts(const Instance& instance, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  const Dictionary& dict = instance.dict();
+  out.write(kMagic, sizeof(kMagic));
+  PutU32(out, kVersion);
+
+  // Dictionary ids are dense (1..size), so the file reuses them as-is.
+  uint32_t num_symbols = static_cast<uint32_t>(dict.size());
+  PutU32(out, num_symbols);
+  for (uint32_t id = 1; id <= num_symbols; ++id) {
+    const std::string& text = dict.Text(id);
+    PutU32(out, static_cast<uint32_t>(text.size()));
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  }
+
+  PutU32(out, instance.null_count());
+  for (uint32_t id = 0; id < instance.null_count(); ++id) {
+    PutU32(out, instance.NullDepth(Term::Null(id)));
+  }
+
+  // Relations in ascending predicate id: deterministic bytes for
+  // identical instances.
+  std::map<PredicateId, const Relation*> ordered;
+  for (const auto& [pred, rel] : instance.relations()) {
+    ordered.emplace(pred, &rel);
+  }
+  PutU32(out, static_cast<uint32_t>(ordered.size()));
+  for (const auto& [pred, rel] : ordered) {
+    PutU32(out, pred);
+    PutU32(out, rel->arity());
+    PutU32(out, static_cast<uint32_t>(rel->size()));
+    for (uint32_t pos = 0; pos < rel->arity(); ++pos) {
+      for (Term t : rel->Column(pos)) {
+        if (t.IsVariable()) {
+          return Status::Internal("stored fact contains a variable");
+        }
+        PutU32(out, t.raw());
+      }
+    }
+  }
+  out.flush();
+  if (!out) return Status::InvalidArgument("short write to " + path);
+  return Status::OK();
+}
+
+Result<Instance> LoadFacts(const std::string& path,
+                           std::shared_ptr<Dictionary> dict) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  // Untrusted counts below are validated against the bytes actually
+  // left in the file before anything is allocated: a corrupt count
+  // must come back as InvalidArgument, not as a multi-GB bad_alloc.
+  in.seekg(0, std::ios::end);
+  const uint64_t file_size = static_cast<uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  auto remaining = [&]() -> uint64_t {
+    uint64_t at = static_cast<uint64_t>(in.tellg());
+    return at > file_size ? 0 : file_size - at;
+  };
+  char magic[sizeof(kMagic)];
+  if (!in.read(magic, sizeof(magic)) ||
+      !std::equal(magic, magic + sizeof(magic), kMagic)) {
+    return Corrupt(path, "bad magic");
+  }
+  uint32_t version = 0;
+  if (!GetU32(in, &version) || version != kVersion) {
+    return Corrupt(path, "unsupported version");
+  }
+
+  uint32_t num_symbols = 0;
+  if (!GetU32(in, &num_symbols)) return Corrupt(path, "truncated header");
+  // Every symbol needs at least its 4-byte length field.
+  if (uint64_t{num_symbols} * 4 > remaining()) {
+    return Corrupt(path, "symbol count exceeds file size");
+  }
+  // File symbol id -> target dictionary id (index 0 = reserved).
+  std::vector<SymbolId> symbol_map(static_cast<size_t>(num_symbols) + 1,
+                                   kInvalidSymbol);
+  dict->Reserve(dict->size() + num_symbols);
+  std::string text;
+  for (uint32_t i = 1; i <= num_symbols; ++i) {
+    uint32_t len = 0;
+    if (!GetU32(in, &len)) return Corrupt(path, "truncated symbol table");
+    if (len > remaining()) {
+      return Corrupt(path, "symbol length exceeds file size");
+    }
+    text.resize(len);
+    if (len > 0 && !in.read(text.data(), len)) {
+      return Corrupt(path, "truncated symbol text");
+    }
+    symbol_map[i] = dict->Intern(text);
+  }
+
+  Instance instance(std::move(dict));
+  uint32_t num_nulls = 0;
+  if (!GetU32(in, &num_nulls)) return Corrupt(path, "truncated null table");
+  if (uint64_t{num_nulls} * 4 > remaining()) {
+    return Corrupt(path, "null count exceeds file size");
+  }
+  std::vector<Term> null_map;
+  null_map.reserve(num_nulls);
+  for (uint32_t i = 0; i < num_nulls; ++i) {
+    uint32_t depth = 0;
+    if (!GetU32(in, &depth)) return Corrupt(path, "truncated null depths");
+    null_map.push_back(instance.AllocateNull(depth));
+  }
+
+  // Decodes one file term word (Term bit packing over FILE-local ids)
+  // into a target-dictionary Term. Returns false for variables and
+  // out-of-range ids.
+  auto remap = [&](uint32_t bits, Term* out_term) -> bool {
+    uint32_t tag = bits >> 30;
+    uint32_t payload = bits & 0x3fffffffu;
+    if (tag == static_cast<uint32_t>(datalog::TermKind::kConstant)) {
+      if (payload == kInvalidSymbol || payload >= symbol_map.size()) {
+        return false;
+      }
+      *out_term = Term::Constant(symbol_map[payload]);
+      return true;
+    }
+    if (tag == static_cast<uint32_t>(datalog::TermKind::kNull)) {
+      if (payload >= null_map.size()) return false;
+      *out_term = null_map[payload];
+      return true;
+    }
+    return false;  // variables are not storable
+  };
+
+  uint32_t num_relations = 0;
+  if (!GetU32(in, &num_relations)) {
+    return Corrupt(path, "truncated relation count");
+  }
+  std::vector<uint32_t> column;
+  for (uint32_t r = 0; r < num_relations; ++r) {
+    uint32_t pred_file = 0, arity = 0, count = 0;
+    if (!GetU32(in, &pred_file) || !GetU32(in, &arity) ||
+        !GetU32(in, &count)) {
+      return Corrupt(path, "truncated relation header");
+    }
+    if (pred_file == kInvalidSymbol || pred_file >= symbol_map.size()) {
+      return Corrupt(path, "relation predicate out of range");
+    }
+    if (uint64_t{arity} * count > remaining() / 4) {
+      return Corrupt(path, "relation size exceeds file size");
+    }
+    PredicateId pred = symbol_map[pred_file];
+    Relation& rel = instance.GetOrCreate(pred, arity);
+    if (rel.arity() != arity) {
+      return Corrupt(path, "relation arity clashes with an earlier one");
+    }
+    rel.Reserve(count);
+    // Columns arrive column-major; gather row-wise through a staging
+    // buffer so Insert sees whole tuples.
+    column.assign(static_cast<size_t>(arity) * count, 0);
+    for (size_t i = 0; i < column.size(); ++i) {
+      if (!GetU32(in, &column[i])) return Corrupt(path, "truncated columns");
+    }
+    Tuple tuple(arity);
+    for (uint32_t idx = 0; idx < count; ++idx) {
+      for (uint32_t pos = 0; pos < arity; ++pos) {
+        if (!remap(column[static_cast<size_t>(pos) * count + idx],
+                   &tuple[pos])) {
+          return Corrupt(path, "term out of range");
+        }
+      }
+      rel.Insert(tuple);
+    }
+  }
+  return instance;
+}
+
+}  // namespace triq::chase

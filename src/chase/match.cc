@@ -58,6 +58,109 @@ class Matcher {
     return status_;
   }
 
+  /// Mirrors the depth-0 access-path choice of EnumerateCandidates and
+  /// materializes the exact tuple visit order, so the parallel chase can
+  /// slice it into shards (see DriverPlan in match.h). Must stay in
+  /// lockstep with the depth-0 branches below: any divergence breaks the
+  /// "concatenated shards == unsharded stream" contract.
+  DriverPlan MakeDriverPlan() {
+    DriverPlan out;
+    if (plan_.empty()) return out;
+    const DepthPlan& plan = plan_[0];
+    int slot = plan.slot;
+    const Atom& atom = rule_.body[positive_[slot]];
+    out.body_index = positive_[slot];
+    const Relation* rel = instance_.Find(atom.predicate);
+    if (rel == nullptr || rel->arity() != atom.args.size()) return out;
+    auto [begin, end] = SlotWindow(slot);
+    end = std::min(end, rel->size());
+    if (begin >= end) return out;
+
+    // Bound positions under the seed binding: the unsharded matcher
+    // visits a posting intersection in ascending tuple-index order, so
+    // the shortest window-clamped posting list is an ascending superset
+    // with the same relative order (shards re-unify every position).
+    SortedRange shortest;
+    bool have_bound = false;
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      Term val = binding_.Apply(atom.args[pos]);
+      if (val.IsVariable()) continue;
+      SortedRange p = rel->Postings(pos, val);
+      if (p.empty()) return out;  // some bound position has no fact
+      if (!have_bound || p.size() < shortest.size()) shortest = p;
+      have_bound = true;
+    }
+    if (have_bound) {
+      const uint32_t* it = std::lower_bound(
+          shortest.begin(), shortest.end(), static_cast<uint32_t>(begin));
+      for (; it != shortest.end() && *it < end; ++it) out.order.push_back(*it);
+      CollectProbePairs(&out);
+      return out;
+    }
+
+    bool want_sorted = plan.sorted_driver &&
+                       (options_.join_strategy == JoinStrategy::kMerge ||
+                        end - begin >= kAutoMergeMinWindow) &&
+                       SetUpCursor();
+    if (want_sorted) {
+      rel->SortWindow(plan.driver_pos, static_cast<uint32_t>(begin),
+                      static_cast<uint32_t>(end), &out.order);
+      out.sorted = true;
+    } else {
+      out.order.reserve(end - begin);
+      for (uint32_t idx = static_cast<uint32_t>(begin); idx < end; ++idx) {
+        out.order.push_back(idx);
+      }
+    }
+    CollectProbePairs(&out);
+    return out;
+  }
+
+  /// Replays the join plan's boundness progression (value-independent,
+  /// exactly as PlanJoin saw it) and records every (predicate, position)
+  /// whose sorted permutation a depth >= 1 step may read: posting probes
+  /// on positions bound by then, and the depth-1 merge cursor. Atoms
+  /// fully bound at their depth resolve through the dedup table
+  /// (FindIndex), which needs no permutation — unless the merge cursor
+  /// reads them anyway.
+  void CollectProbePairs(DriverPlan* out) const {
+    std::vector<Term> bound;
+    if (options_.seed != nullptr) {
+      for (const auto& [var, val] : options_.seed->entries()) {
+        bound.push_back(var);
+      }
+    }
+    auto is_bound = [&](Term t) {
+      return !t.IsVariable() ||
+             std::find(bound.begin(), bound.end(), t) != bound.end();
+    };
+    for (Term t : rule_.body[positive_[plan_[0].slot]].args) {
+      if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
+    }
+    for (size_t depth = 1; depth < plan_.size(); ++depth) {
+      const Atom& atom = rule_.body[positive_[plan_[depth].slot]];
+      size_t num_bound = 0;
+      for (Term t : atom.args) {
+        if (is_bound(t)) ++num_bound;
+      }
+      bool fully_ground = num_bound == atom.args.size() && !atom.args.empty();
+      if (!fully_ground) {
+        for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+          if (is_bound(atom.args[pos])) {
+            out->probe_index_pairs.emplace_back(atom.predicate, pos);
+          }
+        }
+      }
+      if (plan_[depth].merge_cursor) {
+        out->probe_index_pairs.emplace_back(atom.predicate,
+                                            plan_[depth].cursor_pos);
+      }
+      for (Term t : atom.args) {
+        if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
+      }
+    }
+  }
+
  private:
   /// One planned join step: the slot to enumerate at this depth and the
   /// access path chosen for it.
@@ -199,10 +302,6 @@ class Matcher {
     const Relation* rel = instance_.Find(atom.predicate);
     if (rel == nullptr || rel->arity() != atom.args.size()) return true;
 
-    auto [begin, end] = SlotWindow(slot);
-    end = std::min(end, rel->size());
-    if (begin >= end) return true;
-
     auto try_tuple = [&](uint32_t idx) -> bool {
       TupleView tuple = rel->tuple(idx);
       size_t mark = binding_.size();
@@ -224,6 +323,32 @@ class Matcher {
       binding_.PopTo(mark);
       return keep_going;
     };
+
+    // Injected depth-0 shard (parallel chase): enumerate exactly the
+    // given indices — a slice of PlanMatchDriver's window-clamped order.
+    // Bound positions are re-checked by try_tuple's unification, and no
+    // lazy index is built, so shard matchers are safe concurrent readers
+    // of a frozen instance.
+    if (depth == 0 && options_.driver_order != nullptr) {
+      if (positive_[slot] != options_.driver_body_index) {
+        status_ = Status::Internal(
+            "sharded match pass planned body atom " +
+            std::to_string(options_.driver_body_index) +
+            " as the driver but the join plan enumerates atom " +
+            std::to_string(positive_[slot]) + " first");
+        return false;
+      }
+      merge_active_ = options_.driver_sorted && plan_.size() > 1 &&
+                      plan_[1].merge_cursor && SetUpCursor();
+      for (size_t i = 0; i < options_.driver_order_size; ++i) {
+        if (!try_tuple(options_.driver_order[i])) return false;
+      }
+      return true;
+    }
+
+    auto [begin, end] = SlotWindow(slot);
+    end = std::min(end, rel->size());
+    if (begin >= end) return true;
 
     // Merge-cursor path: the driver is feeding us nondecreasing values
     // of the shared variable, so one galloping cursor walks the sorted
@@ -404,6 +529,13 @@ Status MatchBody(const datalog::Rule& rule, const Instance& instance,
                  const MatchOptions& options,
                  const std::function<bool(const Match&)>& fn) {
   return Matcher(rule, instance, options, fn).Run();
+}
+
+DriverPlan PlanMatchDriver(const datalog::Rule& rule,
+                           const Instance& instance,
+                           const MatchOptions& options) {
+  std::function<bool(const Match&)> noop = [](const Match&) { return true; };
+  return Matcher(rule, instance, options, noop).MakeDriverPlan();
 }
 
 bool HasMatch(const std::vector<datalog::Atom>& atoms,

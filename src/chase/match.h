@@ -110,7 +110,65 @@ struct MatchOptions {
   /// Composes freely with the window contract above: merge-joined atoms
   /// still respect their delta / atom_end windows.
   JoinStrategy join_strategy = JoinStrategy::kAuto;
+
+  /// Depth-0 shard injection (the parallel chase scheduler, chase.cc).
+  /// When `driver_order` is non-null, the join's first atom enumerates
+  /// exactly driver_order[0 .. driver_order_size) — tuple indices of its
+  /// relation, typically one contiguous slice of PlanMatchDriver's
+  /// `order` — instead of choosing its own depth-0 access path.
+  /// `driver_sorted` marks the order as value order of the planned
+  /// driver column (SortWindow order), which re-enables the depth-1
+  /// merge cursor exactly as in an unsharded run. `driver_body_index`
+  /// pins the body atom the shard was planned for; MatchBody returns
+  /// Internal on a plan mismatch instead of enumerating the wrong atom.
+  /// Shard matchers never mutate the instance's lazy indexes, so any
+  /// number of them may run concurrently over an instance whose read
+  /// relations were frozen (Relation::FreezeIndexes).
+  const uint32_t* driver_order = nullptr;
+  size_t driver_order_size = 0;
+  bool driver_sorted = false;
+  int driver_body_index = -1;
 };
+
+/// The depth-0 enumeration of a MatchBody pass, exposed so the parallel
+/// chase can split it into shards: which body atom the join plan
+/// enumerates first, and the exact tuple visit order a single-threaded
+/// MatchBody with the same options would use.
+///
+/// Sharding contract: running MatchBody once per contiguous slice of
+/// `order` (MatchOptions::driver_* pointing at the slice) and
+/// concatenating the match streams in slice order reproduces the
+/// unsharded match stream exactly — same matches, same order.
+struct DriverPlan {
+  /// Body index of the depth-0 atom; -1 when the body has no positive
+  /// atoms (fall back to an unsharded MatchBody).
+  int body_index = -1;
+  /// True when `order` is in value order of the driver column (the
+  /// merge-join driver); false for ascending tuple-index order.
+  bool sorted = false;
+  /// Depth-0 tuple visit order, already window-clamped. May be a
+  /// superset of the matching tuples (shards re-check bound positions
+  /// by unification); empty when the pass can have no matches.
+  std::vector<uint32_t> order;
+  /// The (predicate, position) pairs whose sorted permutation indexes
+  /// the planned join may read below depth 0 (posting probes on
+  /// statically-bound positions, plus the depth-1 merge cursor). The
+  /// scheduler must freeze exactly these (Relation::FreezeIndex) before
+  /// concurrent fan-out; everything else the matchers touch is
+  /// insert-stable storage. Deliberately NOT every position of every
+  /// body relation: blanket freezing would eagerly build and maintain
+  /// permutations the join never reads — on linear rules like
+  /// tc(X,Z) :- edge(X,Y), tc(Y,Z) that is an O(|tc|) merge per pass
+  /// for indexes only the driver's delta window ever needed.
+  std::vector<std::pair<datalog::PredicateId, uint32_t>> probe_index_pairs;
+};
+
+/// Plans the depth-0 enumeration for (rule, instance, options). Runs on
+/// the scheduling thread and may build lazy sorted indexes; call before
+/// freezing and fan-out.
+DriverPlan PlanMatchDriver(const datalog::Rule& rule,
+                           const Instance& instance,
+                           const MatchOptions& options);
 
 /// Enumerates all homomorphisms h with h(body+) ⊆ instance and
 /// h(body−) ∩ instance = ∅, invoking `fn` per match. `fn` returning

@@ -6,10 +6,16 @@ namespace triq::chase {
 
 namespace {
 
-// Initial open-addressing capacity; must be a power of two.
-constexpr size_t kInitialSlots = 16;
+// Initial open-addressing capacity PER PARTITION; must be a power of
+// two (total initial table = kDedupPartitions * this).
+constexpr uint32_t kInitialSubSlots = 16;
 // Initial column capacity (tuples per column).
 constexpr uint32_t kInitialCapacity = 16;
+
+// Keep every partition's sub-table below 7/8 load.
+inline bool Overloaded(uint32_t entries, uint32_t sub_size) {
+  return (static_cast<uint64_t>(entries) + 1) * 8 > uint64_t{sub_size} * 7;
+}
 
 // The one permutation order everything agrees on: column value, with
 // ascending tuple index as the tiebreak (Equal() slices double as
@@ -51,10 +57,12 @@ SortedRange SortedRange::Equal(Term v) const {
 uint32_t Relation::FindIndex(TupleView t) const {
   assert(t.size() == arity_);
   if (slots_.empty()) return kNotFound;
-  size_t mask = slots_.size() - 1;
-  uint32_t h = static_cast<uint32_t>(HashView(t));
-  size_t i = h & mask;
-  for (uint32_t slot; (slot = slots_[i]) != 0; i = (i + 1) & mask) {
+  uint32_t h = HashView(t);
+  uint32_t mask = sub_size() - 1;
+  size_t base = static_cast<size_t>(PartitionOf(h)) * sub_size();
+  size_t i = base + (h & mask);
+  for (uint32_t slot; (slot = slots_[i]) != 0;
+       i = base + ((i - base + 1) & mask)) {
     uint32_t idx = slot - 1;
     if (hashes_[idx] == h && EqualsStored(idx, t)) return idx;
   }
@@ -62,13 +70,18 @@ uint32_t Relation::FindIndex(TupleView t) const {
 }
 
 void Relation::GrowSlots() {
-  size_t capacity = slots_.empty() ? kInitialSlots : slots_.size() * 2;
-  slots_.assign(capacity, 0);
-  size_t mask = capacity - 1;
+  uint32_t sub = slots_.empty() ? kInitialSubSlots : sub_size() * 2;
+  slots_.assign(static_cast<size_t>(sub) * kDedupPartitions, 0);
+  std::fill(part_counts_.begin(), part_counts_.end(), 0);
+  uint32_t mask = sub - 1;
   for (uint32_t idx = 0; idx < count_; ++idx) {
-    size_t i = hashes_[idx] & mask;
-    while (slots_[i] != 0) i = (i + 1) & mask;
+    uint32_t h = hashes_[idx];
+    uint32_t p = PartitionOf(h);
+    size_t base = static_cast<size_t>(p) * sub;
+    size_t i = base + (h & mask);
+    while (slots_[i] != 0) i = base + ((i - base + 1) & mask);
     slots_[i] = idx + 1;
+    ++part_counts_[p];
   }
 }
 
@@ -88,18 +101,26 @@ void Relation::GrowStore(uint32_t needed) {
 void Relation::Reserve(uint32_t n) {
   GrowStore(n);
   hashes_.reserve(n);
-  // Same 7/8 load bound as Insert.
-  while (static_cast<size_t>(n) * 8 > slots_.size() * 7) GrowSlots();
+  // Assume an even spread over the partitions (Insert rebalances if one
+  // runs hot), with the same 7/8 per-partition load bound.
+  while (slots_.empty() ||
+         Overloaded(n / kDedupPartitions + 1, sub_size())) {
+    GrowSlots();
+  }
 }
 
 bool Relation::Insert(TupleView t, uint32_t* index_out) {
   assert(t.size() == arity_);
-  // Keep the probe table below 7/8 load so lookups stay short.
-  if ((static_cast<size_t>(count_) + 1) * 8 > slots_.size() * 7) GrowSlots();
-  size_t mask = slots_.size() - 1;
-  uint32_t h = static_cast<uint32_t>(HashView(t));
-  size_t i = h & mask;
-  for (uint32_t slot; (slot = slots_[i]) != 0; i = (i + 1) & mask) {
+  if (slots_.empty()) GrowSlots();
+  uint32_t h = HashView(t);
+  uint32_t p = PartitionOf(h);
+  // Keep the probe sub-table below 7/8 load so lookups stay short.
+  if (Overloaded(part_counts_[p], sub_size())) GrowSlots();
+  uint32_t mask = sub_size() - 1;
+  size_t base = static_cast<size_t>(p) * sub_size();
+  size_t i = base + (h & mask);
+  for (uint32_t slot; (slot = slots_[i]) != 0;
+       i = base + ((i - base + 1) & mask)) {
     uint32_t idx = slot - 1;
     if (hashes_[idx] == h && EqualsStored(idx, t)) {
       if (index_out != nullptr) *index_out = idx;
@@ -120,19 +141,37 @@ bool Relation::Insert(TupleView t, uint32_t* index_out) {
   }
   hashes_.push_back(h);
   slots_[i] = idx + 1;
+  ++part_counts_[p];
   ++count_;
   if (index_out != nullptr) *index_out = idx;
   return true;
 }
 
 void Relation::SyncSorted(uint32_t pos) const {
-  std::vector<uint32_t>& perm = sorted_[pos].perm;
+  PositionIndex& index = sorted_[pos];
+  std::vector<uint32_t>& perm = index.perm;
   uint32_t synced = static_cast<uint32_t>(perm.size());
   if (synced == count_) return;
   perm.resize(count_);
-  for (uint32_t idx = synced; idx < count_; ++idx) perm[idx] = idx;
   auto by_value = ByValueThenIndex(ColumnData(pos));
-  std::sort(perm.begin() + synced, perm.end(), by_value);
+  // Promote a memoized window run that starts exactly at the unsynced
+  // tail (the common chase shape: the round's delta slice was already
+  // sorted for the merge-join driver): splice it in pre-sorted and only
+  // sort whatever the window doesn't cover.
+  uint32_t promoted = synced;
+  if (index.window_begin == synced && index.window_end > synced &&
+      index.window_end <= count_ &&
+      index.window_perm.size() == index.window_end - index.window_begin) {
+    std::copy(index.window_perm.begin(), index.window_perm.end(),
+              perm.begin() + synced);
+    promoted = index.window_end;
+  }
+  for (uint32_t idx = promoted; idx < count_; ++idx) perm[idx] = idx;
+  std::sort(perm.begin() + promoted, perm.end(), by_value);
+  if (promoted > synced && promoted < count_) {
+    std::inplace_merge(perm.begin() + synced, perm.begin() + promoted,
+                       perm.end(), by_value);
+  }
   if (synced > 0) {
     std::inplace_merge(perm.begin(), perm.begin() + synced, perm.end(),
                        by_value);
@@ -151,15 +190,169 @@ SortedRange Relation::Postings(uint32_t position, Term value) const {
   return Sorted(position).Equal(value);
 }
 
+void Relation::FreezeIndexes() const {
+  for (uint32_t pos = 0; pos < arity_; ++pos) SyncSorted(pos);
+}
+
 void Relation::SortWindow(uint32_t position, uint32_t begin, uint32_t end,
                           std::vector<uint32_t>* out) const {
   assert(position < arity_);
   if (end > count_) end = count_;
   out->clear();
   if (begin >= end) return;
+  PositionIndex& index = sorted_[position];
+  if (index.window_begin == begin && index.window_end == end &&
+      index.window_perm.size() == end - begin) {
+    *out = index.window_perm;
+    return;
+  }
   out->reserve(end - begin);
   for (uint32_t idx = begin; idx < end; ++idx) out->push_back(idx);
   std::sort(out->begin(), out->end(), ByValueThenIndex(ColumnData(position)));
+  index.window_perm = *out;
+  index.window_begin = begin;
+  index.window_end = end;
+}
+
+// ---- BatchInserter ----------------------------------------------------
+
+void BatchInserter::AddShard(const Term* tuples, const uint32_t* hashes,
+                             uint32_t n) {
+  shards_.push_back(Shard{tuples, hashes, n, total_});
+  total_ += n;
+}
+
+void BatchInserter::Prepare() {
+  Relation& rel = *rel_;
+  assert(static_cast<uint64_t>(rel.count_) + total_ < kStagedTag);
+  // Size the column store once for the all-new worst case. The hash
+  // array must grow geometrically here — an exact-fit reserve() every
+  // pass would reallocate (and copy) the whole array each time.
+  rel.GrowStore(rel.count_ + total_);
+  if (rel.hashes_.capacity() < rel.count_ + total_) {
+    rel.hashes_.reserve(std::max<size_t>(rel.count_ + total_,
+                                         rel.hashes_.capacity() * 2));
+  }
+  // Size every sub-table for its exact staged influx (upper bound: all
+  // staged tuples new), so ScanPartition never needs to grow or rehash.
+  uint32_t staged_per_partition[Relation::kDedupPartitions] = {0};
+  for (const Shard& shard : shards_) {
+    for (uint32_t j = 0; j < shard.n; ++j) {
+      ++staged_per_partition[Relation::PartitionOf(shard.hashes[j])];
+    }
+  }
+  auto needs_grow = [&]() {
+    if (rel.slots_.empty()) return true;
+    for (uint32_t p = 0; p < Relation::kDedupPartitions; ++p) {
+      if (Overloaded(rel.part_counts_[p] + staged_per_partition[p],
+                     rel.sub_size())) {
+        return true;
+      }
+    }
+    return false;
+  };
+  while (needs_grow()) rel.GrowSlots();
+}
+
+void BatchInserter::ScanPartition(uint32_t partition) {
+  Relation& rel = *rel_;
+  const uint32_t sub = rel.sub_size();
+  const uint32_t mask = sub - 1;
+  const size_t base = static_cast<size_t>(partition) * sub;
+  const uint32_t arity = rel.arity_;
+  std::vector<Winner>& winners = winners_[partition];
+  for (const Shard& shard : shards_) {
+    for (uint32_t j = 0; j < shard.n; ++j) {
+      uint32_t h = shard.hashes[j];
+      if (Relation::PartitionOf(h) != partition) continue;
+      const Term* tuple = shard.tuples + static_cast<size_t>(j) * arity;
+      uint32_t pos = shard.pos_base + j;
+      size_t i = base + (h & mask);
+      for (;;) {
+        uint32_t slot = rel.slots_[i];
+        if (slot == 0) {
+          // First occurrence in table and stream: claim the slot with a
+          // tagged stream position; CommitWinners assigns the index.
+          rel.slots_[i] = kStagedTag | pos;
+          ++rel.part_counts_[partition];
+          winners.push_back(Winner{pos, static_cast<uint32_t>(i), h, 0});
+          break;
+        }
+        if (slot & kStagedTag) {
+          // Staged-vs-staged comparison: an earlier stream position
+          // already claimed this slot.
+          const Term* prev = TupleAt(slot & ~kStagedTag);
+          bool equal = true;
+          for (uint32_t k = 0; k < arity; ++k) {
+            if (prev[k] != tuple[k]) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) break;  // duplicate within the stream
+        } else {
+          uint32_t idx = slot - 1;
+          if (rel.hashes_[idx] == h &&
+              rel.EqualsStored(idx, TupleView(tuple, arity))) {
+            break;  // already stored before this pass
+          }
+        }
+        i = base + ((i - base + 1) & mask);
+      }
+    }
+  }
+}
+
+uint32_t BatchInserter::CommitWinners() {
+  Relation& rel = *rel_;
+  merged_.clear();
+  size_t num_winners = 0;
+  for (const auto& w : winners_) num_winners += w.size();
+  merged_.reserve(num_winners);
+  for (const auto& w : winners_) {
+    merged_.insert(merged_.end(), w.begin(), w.end());
+  }
+  // Stream order = the order a sequential drain would have inserted in;
+  // per-partition lists are already ascending, so this is a P-way merge
+  // done the simple way.
+  std::sort(merged_.begin(), merged_.end(),
+            [](const Winner& a, const Winner& b) { return a.pos < b.pos; });
+  const uint32_t arity = rel.arity_;
+  // merged_ ascends by stream position and shards_ by pos_base, so one
+  // monotone cursor resolves every winner's tuple without the per-call
+  // shard scan of TupleAt.
+  size_t shard = 0;
+  for (Winner& w : merged_) {
+    while (shard + 1 < shards_.size() &&
+           w.pos - shards_[shard].pos_base >= shards_[shard].n) {
+      ++shard;
+    }
+    const Shard& s = shards_[shard];
+    const Term* tuple =
+        s.tuples + static_cast<size_t>(w.pos - s.pos_base) * arity;
+    uint32_t idx = rel.count_;
+    for (uint32_t pos = 0; pos < arity; ++pos) {
+      rel.MutableColumnData(pos)[idx] = tuple[pos];
+    }
+    rel.hashes_.push_back(w.hash);
+    ++rel.count_;
+    w.index = idx;
+  }
+  // Rebucket by SLOT partition so FinalizeSlots(p) touches only its own
+  // winners instead of filtering the full list kDedupPartitions times.
+  for (auto& w : winners_) w.clear();
+  const uint32_t sub = rel.sub_size();
+  for (const Winner& w : merged_) {
+    winners_[w.slot / sub].push_back(w);
+  }
+  return static_cast<uint32_t>(merged_.size());
+}
+
+void BatchInserter::FinalizeSlots(uint32_t partition) {
+  Relation& rel = *rel_;
+  for (const Winner& w : winners_[partition]) {
+    rel.slots_[w.slot] = w.index + 1;
+  }
 }
 
 }  // namespace triq::chase

@@ -158,7 +158,11 @@ class SortedRange {
 /// store in column-oriented layout (VLog-style) — one contiguous column
 /// of Terms per position, all columns packed capacity-strided into a
 /// single buffer. Duplicates are rejected with an open-addressing table
-/// over the columns. Each position can expose a sorted permutation index
+/// over the columns, hash-partitioned into kDedupPartitions independent
+/// sub-tables (the high hash bits pick the sub-table, so the partition
+/// of a tuple is a pure function of its content — BatchInserter exploits
+/// this to run dedup probes concurrently with a deterministic result).
+/// Each position can expose a sorted permutation index
 /// (tuple indices ordered by column value, tuple-index tiebreak), built
 /// lazily on first sorted access and extended incrementally by sorting
 /// the insertion tail and merging — scans, merge joins and posting-list
@@ -167,10 +171,28 @@ class SortedRange {
 /// exactly the tuple-index suffix starting at the snapshot size.
 class Relation {
  public:
-  explicit Relation(uint32_t arity) : arity_(arity), sorted_(arity) {}
+  /// Dedup sub-table count. Fixed (never a function of the thread
+  /// count): batch-commit results must not depend on parallelism.
+  static constexpr uint32_t kDedupPartitionBits = 4;
+  static constexpr uint32_t kDedupPartitions = 1u << kDedupPartitionBits;
+
+  explicit Relation(uint32_t arity)
+      : arity_(arity), part_counts_(kDedupPartitions, 0), sorted_(arity) {}
 
   uint32_t arity() const { return arity_; }
   size_t size() const { return count_; }
+
+  /// The 32-bit tuple hash the dedup table keys on (FNV-1a over raw
+  /// term bits), exposed so staging layers can precompute it off the
+  /// commit thread. Equals the hash of a stored tuple with equal terms.
+  static uint32_t Hash32(const Term* terms, uint32_t n) {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < n; ++i) {
+      h ^= terms[i].raw();
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<uint32_t>(h ^ (h >> 32));
+  }
 
   /// Pre-sizes columns and the dedup table for `n` tuples (bulk loads).
   void Reserve(uint32_t n);
@@ -237,6 +259,22 @@ class Relation {
   /// view is valid until the next insert.
   SortedRange Sorted(uint32_t position) const;
 
+  /// Syncs `position`'s sorted permutation with the insertion tail.
+  /// After a freeze — and until the next insert — the read paths over
+  /// that position (Sorted/Postings and the SortedRange views they
+  /// return), plus the always-safe tuple/Column/FindIndex/Contains, are
+  /// safe under concurrent readers: a frozen Sorted finds nothing left
+  /// to sync, so no mutable state is touched. The parallel chase
+  /// freezes exactly the (relation, position) pairs a pass's join plan
+  /// can probe (DriverPlan::probe_index_pairs) before fan-out.
+  /// SortWindow is NOT in the frozen read set (it memoizes; see below):
+  /// concurrent matchers receive pre-built windows instead of sorting
+  /// their own.
+  void FreezeIndex(uint32_t position) const { SyncSorted(position); }
+
+  /// FreezeIndex over every position.
+  void FreezeIndexes() const;
+
   /// Tuple indices (ascending) whose `position`-th term equals `value` —
   /// the Equal() slice of Sorted(position). Empty range when no fact
   /// matches.
@@ -246,23 +284,44 @@ class Relation {
   /// `out`, ordered by (column value at `position`, tuple index). This is
   /// the delta-window counterpart of Sorted(): semi-naive passes sort
   /// just their delta slice instead of touching the global index.
+  ///
+  /// The last window per position is memoized: a round where several
+  /// rules drive off the same delta slice sorts it once, and SyncSorted
+  /// promotes a memoized run that lines up with the unsynced tail into
+  /// the base permutation by merging instead of re-sorting it.
   void SortWindow(uint32_t position, uint32_t begin, uint32_t end,
                   std::vector<uint32_t>* out) const;
 
  private:
+  friend class BatchInserter;
+
   const Term* ColumnData(uint32_t pos) const {
+    return store_.data() + static_cast<size_t>(pos) * capacity_;
+  }
+  Term* MutableColumnData(uint32_t pos) {
     return store_.data() + static_cast<size_t>(pos) * capacity_;
   }
   Term Value(uint32_t pos, uint32_t idx) const {
     return store_[static_cast<size_t>(pos) * capacity_ + idx];
   }
-  size_t HashView(TupleView t) const {
+  uint32_t HashView(TupleView t) const {
     uint64_t h = 0xcbf29ce484222325ULL;
     for (uint32_t i = 0; i < arity_; ++i) {
       h ^= t[i].raw();
       h *= 0x100000001b3ULL;
     }
-    return static_cast<size_t>(h ^ (h >> 32));
+    return static_cast<uint32_t>(h ^ (h >> 32));
+  }
+  /// Sub-table geometry: slots_ holds kDedupPartitions contiguous
+  /// regions of sub_size() slots each; a hash probes only its region.
+  uint32_t sub_size() const {
+    return static_cast<uint32_t>(slots_.size()) >> kDedupPartitionBits;
+  }
+  static uint32_t PartitionOf(uint32_t h) {
+    // Fibonacci-mix before taking the top bits: the FNV fold leaves
+    // almost no entropy in the high bits for small term ids (structured
+    // workloads would land 80%+ of their tuples in one partition).
+    return (h * 0x9e3779b9u) >> (32 - kDedupPartitionBits);
   }
   bool EqualsStored(uint32_t idx, TupleView t) const {
     for (uint32_t pos = 0; pos < arity_; ++pos) {
@@ -282,16 +341,106 @@ class Relation {
   // arity_ * capacity_ terms; column `pos` occupies
   // [pos * capacity_, pos * capacity_ + count_).
   std::vector<Term> store_;
-  std::vector<uint32_t> slots_;  // open addressing: tuple index + 1, 0 empty
+  // Open addressing, hash-partitioned (see sub_size): tuple index + 1,
+  // 0 empty. BatchInserter temporarily stores tagged staged positions.
+  std::vector<uint32_t> slots_;
+  std::vector<uint32_t> part_counts_;  // occupied slots per partition
   // Stored tuple hashes: rehashing and probe pre-filtering read these
   // instead of gathering every tuple across the columns.
   std::vector<uint32_t> hashes_;
   // Per-position sorted permutation; perm.size() tuples are synced.
+  // window_perm memoizes the last SortWindow result for the position
+  // ([window_begin, window_end) in value order); append-only storage
+  // keeps a memoized run valid forever, so it needs no invalidation.
   struct PositionIndex {
     std::vector<uint32_t> perm;
+    std::vector<uint32_t> window_perm;
+    uint32_t window_begin = 0;
+    uint32_t window_end = 0;
   };
   mutable std::vector<PositionIndex> sorted_;
   Tuple insert_scratch_;  // gather buffer: Insert sources may alias store_
+};
+
+/// Deterministic parallel commit of one staged tuple stream into a
+/// Relation — the merge-commit half of the parallel chase. The stream
+/// (shards appended in commit order; each shard is stride-1 tuple rows
+/// plus their Hash32 values) is deduplicated and appended EXACTLY as if
+/// each tuple had been Insert()ed in stream order: same winners, same
+/// tuple indexes — but the dedup probes, the only memory-latency-bound
+/// part, run concurrently across the relation's hash partitions.
+///
+/// Protocol (phases must not overlap; scan/finalize calls of distinct
+/// partitions may run concurrently):
+///
+///   BatchInserter batch(&rel);
+///   batch.AddShard(tuples, hashes, n);        // once per shard, in order
+///   batch.Prepare();                          // serial: size store+table
+///   for p in [0, Relation::kDedupPartitions): // parallel
+///     batch.ScanPartition(p);
+///   size_t winners = batch.CommitWinners();   // serial: ordered append
+///   for p in [0, Relation::kDedupPartitions): // parallel
+///     batch.FinalizeSlots(p);
+///
+/// A tuple's partition is a pure function of its content, so the winner
+/// set and their order never depend on how partitions map to threads.
+/// The relation must not be read or written by others between Prepare()
+/// and the last FinalizeSlots() (the table holds tagged entries).
+class BatchInserter {
+ public:
+  explicit BatchInserter(Relation* rel) : rel_(rel) {}
+
+  /// Appends `n` staged tuples (rel->arity() terms each, stride 1, back
+  /// to back) with their Hash32 values. Must precede Prepare().
+  void AddShard(const Term* tuples, const uint32_t* hashes, uint32_t n);
+
+  /// Staged tuples so far across shards.
+  size_t total() const { return total_; }
+
+  void Prepare();
+  void ScanPartition(uint32_t partition);
+  /// Appends the winners in stream order; returns how many were new.
+  uint32_t CommitWinners();
+  void FinalizeSlots(uint32_t partition);
+
+ private:
+  // Tags a slot whose entry is a staged stream position (winner whose
+  // final tuple index is not assigned yet) rather than idx + 1.
+  static constexpr uint32_t kStagedTag = 0x80000000u;
+
+  struct Shard {
+    const Term* tuples;
+    const uint32_t* hashes;
+    uint32_t n;
+    uint32_t pos_base;  // stream position of the shard's first tuple
+  };
+  struct Winner {
+    uint32_t pos;    // stream position
+    uint32_t slot;   // index into rel_->slots_
+    uint32_t hash;   // Hash32 of the tuple (copied from the shard)
+    uint32_t index;  // final tuple index (assigned by CommitWinners)
+  };
+
+  const Term* TupleAt(uint32_t pos) const {
+    // Shard counts are small (a few dozen); linear scan beats a binary
+    // search on branch-predictability. CommitWinners' hot loop uses a
+    // monotone cursor instead of this.
+    for (const Shard& s : shards_) {
+      if (pos - s.pos_base < s.n) {
+        return s.tuples + static_cast<size_t>(pos - s.pos_base) * rel_->arity();
+      }
+    }
+    return nullptr;
+  }
+
+  Relation* rel_;
+  std::vector<Shard> shards_;
+  uint32_t total_ = 0;
+  // Per-partition winners (ascending stream position). CommitWinners
+  // merges them into stream order, assigns indexes, and rebuckets them
+  // by SLOT partition so each FinalizeSlots call walks only its own.
+  std::vector<std::vector<Winner>> winners_{Relation::kDedupPartitions};
+  std::vector<Winner> merged_;
 };
 
 }  // namespace triq::chase

@@ -1,0 +1,121 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace triq::common {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  ranges_ = std::vector<Range>(num_workers + 1);  // + the calling thread
+  threads_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    threads_.emplace_back([this, i] { WorkerMain(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  size_t participants = threads_.size() + 1;
+  if (threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Deal contiguous slices; the mutex handoff below publishes them.
+  for (size_t p = 0; p < participants; ++p) {
+    uint32_t begin = static_cast<uint32_t>(n * p / participants);
+    uint32_t end = static_cast<uint32_t>(n * (p + 1) / participants);
+    ranges_[p].bits.store(Pack(begin, end), std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    ++generation_;
+    active_workers_ = threads_.size();
+  }
+  start_cv_.notify_all();
+  RunShare(participants - 1, fn);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerMain(size_t self) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    RunShare(self, *job);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::RunShare(size_t self, const std::function<void(size_t)>& fn) {
+  for (;;) {
+    // Pop from the front of our own range.
+    uint64_t cur = ranges_[self].bits.load(std::memory_order_acquire);
+    for (;;) {
+      uint32_t begin = static_cast<uint32_t>(cur >> 32);
+      uint32_t end = static_cast<uint32_t>(cur);
+      if (begin >= end) break;
+      if (ranges_[self].bits.compare_exchange_weak(
+              cur, Pack(begin + 1, end), std::memory_order_acq_rel)) {
+        fn(begin);
+        cur = ranges_[self].bits.load(std::memory_order_acquire);
+      }
+    }
+    // Empty: steal the back half of the largest remaining range.
+    bool stole = false;
+    for (;;) {
+      size_t victim = ranges_.size();
+      uint32_t most = 0;
+      for (size_t p = 0; p < ranges_.size(); ++p) {
+        if (p == self) continue;
+        uint64_t bits = ranges_[p].bits.load(std::memory_order_acquire);
+        uint32_t remaining =
+            static_cast<uint32_t>(bits) - static_cast<uint32_t>(bits >> 32);
+        if (static_cast<uint32_t>(bits >> 32) < static_cast<uint32_t>(bits) &&
+            remaining > most) {
+          most = remaining;
+          victim = p;
+        }
+      }
+      if (victim == ranges_.size()) return;  // nothing left anywhere
+      uint64_t bits = ranges_[victim].bits.load(std::memory_order_acquire);
+      uint32_t begin = static_cast<uint32_t>(bits >> 32);
+      uint32_t end = static_cast<uint32_t>(bits);
+      if (begin >= end) continue;  // drained since the scan; rescan
+      uint32_t take = (end - begin + 1) / 2;
+      if (ranges_[victim].bits.compare_exchange_strong(
+              bits, Pack(begin, end - take), std::memory_order_acq_rel)) {
+        ranges_[self].bits.store(Pack(end - take, end),
+                                 std::memory_order_release);
+        stole = true;
+        break;
+      }
+      // Lost the race; rescan.
+    }
+    if (!stole) return;
+  }
+}
+
+}  // namespace triq::common

@@ -1,0 +1,141 @@
+// The binary fact-dump format: SaveFacts/LoadFacts round trips,
+// dictionary remapping into pre-populated dictionaries, null identity,
+// and rejection of corrupt input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/fact_dump.h"
+#include "core/workloads.h"
+#include "datalog/parser.h"
+
+namespace triq {
+namespace {
+
+using chase::Instance;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(FactDumpTest, RoundTripsFactsAndDictionary) {
+  auto dict = std::make_shared<Dictionary>();
+  Instance db(dict);
+  db.AddFact("edge", {"a", "b"});
+  db.AddFact("edge", {"b", "c"});
+  db.AddFact("label", {"a", "\"node a\""});
+  db.AddFact("mark", {"c"});
+  const std::string path = TempPath("roundtrip.facts");
+  ASSERT_TRUE(chase::SaveFacts(db, path).ok());
+
+  auto loaded = chase::LoadFacts(path, std::make_shared<Dictionary>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ToString(), db.ToString());
+  EXPECT_EQ(loaded->TotalFacts(), db.TotalFacts());
+}
+
+TEST(FactDumpTest, RemapsIntoPrePopulatedDictionary) {
+  auto dict = std::make_shared<Dictionary>();
+  Instance db(dict);
+  db.AddFact("edge", {"a", "b"});
+  const std::string path = TempPath("remap.facts");
+  ASSERT_TRUE(chase::SaveFacts(db, path).ok());
+
+  // Shift every id in the target dictionary before loading: the dump's
+  // file-local ids must be remapped, not trusted.
+  auto target = std::make_shared<Dictionary>();
+  target->Intern("unrelated0");
+  target->Intern("unrelated1");
+  target->Intern("b");  // same text, different id than in the dump
+  auto loaded = chase::LoadFacts(path, target);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ToString(), db.ToString());
+  const chase::Relation* rel = loaded->Find("edge");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->size(), 1u);
+}
+
+TEST(FactDumpTest, PreservesNullIdentityAndDepth) {
+  auto dict = std::make_shared<Dictionary>();
+  Instance db(dict);
+  // Chase an existential rule so the instance holds shared nulls.
+  for (const char* name : {"a", "b"}) db.AddFact("p", {name});
+  auto program =
+      datalog::ParseProgram("p(?X) -> exists ?Y q(?X, ?Y), r(?Y) .\n", dict);
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(RunChase(*program, &db).ok());
+  ASSERT_GT(db.null_count(), 0u);
+
+  const std::string path = TempPath("nulls.facts");
+  ASSERT_TRUE(chase::SaveFacts(db, path).ok());
+  auto loaded = chase::LoadFacts(path, std::make_shared<Dictionary>());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ToString(), db.ToString());
+  EXPECT_EQ(loaded->null_count(), db.null_count());
+  for (uint32_t id = 0; id < db.null_count(); ++id) {
+    EXPECT_EQ(loaded->NullDepth(chase::Term::Null(id)),
+              db.NullDepth(chase::Term::Null(id)));
+  }
+}
+
+TEST(FactDumpTest, LoadedInstanceChasesLikeTheOriginal) {
+  auto dict = std::make_shared<Dictionary>();
+  Instance db = core::ChainDatabase(32, dict);
+  const std::string path = TempPath("chase.facts");
+  ASSERT_TRUE(chase::SaveFacts(db, path).ok());
+
+  auto fresh_dict = std::make_shared<Dictionary>();
+  auto loaded = chase::LoadFacts(path, fresh_dict);
+  ASSERT_TRUE(loaded.ok());
+  auto program = core::TransitiveClosureProgram(fresh_dict);
+  chase::ChaseStats loaded_stats;
+  ASSERT_TRUE(RunChase(program, &*loaded, {}, &loaded_stats).ok());
+
+  auto reference_program = core::TransitiveClosureProgram(dict);
+  chase::ChaseStats reference_stats;
+  ASSERT_TRUE(RunChase(reference_program, &db, {}, &reference_stats).ok());
+  EXPECT_EQ(loaded_stats.facts_derived, reference_stats.facts_derived);
+  EXPECT_EQ(loaded->ToString(), db.ToString());
+}
+
+TEST(FactDumpTest, RejectsMissingAndCorruptFiles) {
+  EXPECT_FALSE(
+      chase::LoadFacts(TempPath("nonexistent.facts"),
+                       std::make_shared<Dictionary>())
+          .ok());
+
+  const std::string bad_magic = TempPath("bad_magic.facts");
+  {
+    std::ofstream out(bad_magic, std::ios::binary);
+    out << "NOTAFACTDUMP and then some bytes";
+  }
+  EXPECT_FALSE(
+      chase::LoadFacts(bad_magic, std::make_shared<Dictionary>()).ok());
+
+  // A valid dump truncated mid-stream must fail, not mis-load.
+  auto dict = std::make_shared<Dictionary>();
+  Instance db(dict);
+  for (int i = 0; i < 50; ++i) {
+    db.AddFact("edge", {"a" + std::to_string(i), "b" + std::to_string(i)});
+  }
+  const std::string full = TempPath("full.facts");
+  ASSERT_TRUE(chase::SaveFacts(db, full).ok());
+  std::ifstream in(full, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  const std::string truncated = TempPath("truncated.facts");
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() * 2 / 3));
+  }
+  EXPECT_FALSE(
+      chase::LoadFacts(truncated, std::make_shared<Dictionary>()).ok());
+}
+
+}  // namespace
+}  // namespace triq

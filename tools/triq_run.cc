@@ -12,8 +12,11 @@
 //   --answer PRED     answer predicate of the rule program
 //   --pattern TEXT    SPARQL graph pattern (alternative to --program)
 //   --regime MODE     plain | active | all        (default plain)
+//   --threads N       chase thread count (default 1; N > 1 runs the
+//                     parallel sharded executor, same answers)
 //   --classify        print the language class of the program and exit
 //   --explain TUPLE   print a proof tree for answer tuple "a,b,c"
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -38,6 +41,7 @@ struct Args {
   std::string pattern;
   std::string regime = "plain";
   std::string explain;
+  size_t threads = 1;
   bool classify = false;
 };
 
@@ -83,6 +87,7 @@ int RunRuleProgram(const Args& args, triq::rdf::Graph graph,
   triq::chase::Instance db = triq::chase::Instance::FromGraph(graph);
   triq::chase::ChaseOptions options;
   options.track_provenance = !args.explain.empty();
+  options.num_threads = args.threads;
   triq::chase::Instance working = triq::core::CloneInstance(db);
   auto answers = query->EvaluateInPlace(&working, options);
   if (!answers.ok()) return Fail(answers.status().ToString());
@@ -165,6 +170,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--regime needs a value");
       args.regime = v;
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--threads needs a value");
+      int parsed = std::atoi(v);
+      if (parsed < 1) return Fail("--threads must be >= 1");
+      args.threads = static_cast<size_t>(parsed);
     } else if (flag == "--explain") {
       const char* v = next();
       if (!v) return Fail("--explain needs a value");
