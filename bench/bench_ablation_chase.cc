@@ -24,7 +24,7 @@ void RunTc(benchmark::State& state, bool seminaive, bool partition = true,
   triq::chase::Instance base = triq::core::ChainDatabase(n, dict);
   triq::chase::ChaseOptions options;
   options.seminaive = seminaive;
-  options.partition_deltas = partition;
+  options.partition_deltas = seminaive && partition;
   options.join_strategy = join_strategy;
   size_t rounds = 0;
   size_t firings = 0;

@@ -1,49 +1,46 @@
 // The Section 2 anonymization example: replace every subject URI by a
 // blank node, consistently across triples — a query the local blank-
 // node semantics of SPARQL's CONSTRUCT cannot express, but three
-// Datalog∃ rules can.
+// Datalog∃ rules can. The invented blanks are labeled nulls in the
+// Engine's materialized instance.
 //
 //   $ ./examples/anonymize_graph
 #include <iostream>
-#include <memory>
 
-#include "chase/chase.h"
-#include "chase/instance.h"
-#include "datalog/parser.h"
-#include "rdf/graph.h"
+#include "engine/engine.h"
 
 int main() {
-  auto dict = std::make_shared<triq::Dictionary>();
-  triq::rdf::Graph graph(dict);
-  graph.Add("alice", "knows", "bob");
-  graph.Add("alice", "likes", "tea");
-  graph.Add("bob", "knows", "alice");
-
-  auto program = triq::datalog::ParseProgram(R"(
-    % Collect subjects, invent one blank per subject, substitute.
-    triple(?X, ?Y, ?Z) -> subj(?X) .
-    subj(?X) -> exists ?Y bn(?X, ?Y) .
-    triple(?X, ?Y, ?Z), bn(?X, ?U) -> output(?U, ?Y, ?Z) .
-  )",
-                                             dict);
-  if (!program.ok()) {
-    std::cerr << program.status().ToString() << "\n";
-    return 1;
+  triq::Engine engine;
+  triq::Status status = engine.AddTriple("alice", "knows", "bob");
+  if (status.ok()) status = engine.AddTriple("alice", "likes", "tea");
+  if (status.ok()) status = engine.AddTriple("bob", "knows", "alice");
+  if (status.ok()) {
+    status = engine.AttachRules(R"(
+      % Collect subjects, invent one blank per subject, substitute.
+      triple(?X, ?Y, ?Z) -> subj(?X) .
+      subj(?X) -> exists ?Y bn(?X, ?Y) .
+      triple(?X, ?Y, ?Z), bn(?X, ?U) -> output(?U, ?Y, ?Z) .
+    )");
   }
-
-  triq::chase::Instance db = triq::chase::Instance::FromGraph(graph);
-  triq::Status status = triq::chase::RunChase(*program, &db);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
     return 1;
   }
 
+  // The answers mix constants and nulls, so read the relation itself
+  // from the materialized instance instead of the all-constant
+  // Answers() view.
+  auto materialized = engine.MaterializedInstance();
+  if (!materialized.ok()) {
+    std::cerr << materialized.status().ToString() << "\n";
+    return 1;
+  }
   std::cout << "anonymized graph:\n";
-  const triq::chase::Relation* out = db.Find(dict->Intern("output"));
+  const triq::chase::Relation* out = (*materialized)->Find("output");
   for (triq::chase::TupleView t : out->tuples()) {
-    std::cout << "  (" << TermToString(t[0], *dict) << ", "
-              << TermToString(t[1], *dict) << ", "
-              << TermToString(t[2], *dict) << ")\n";
+    std::cout << "  (" << TermToString(t[0], engine.dict()) << ", "
+              << TermToString(t[1], engine.dict()) << ", "
+              << TermToString(t[2], engine.dict()) << ")\n";
   }
   std::cout << "note: alice's two triples share one blank node, and\n"
                "bob-as-object stays a URI while bob-as-subject is blank.\n";

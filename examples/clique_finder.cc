@@ -1,48 +1,54 @@
 // Example 4.3: deciding k-clique with the fixed TriQ 1.0 program — an
 // inherently exponential query that the tractable TriQ-Lite 1.0
-// fragment deliberately excludes.
+// fragment deliberately excludes. The encoded database is handed to an
+// Engine session wholesale (LoadDatabase moves the storage) and the
+// materialization stats report the chase effort.
 //
 //   $ ./examples/clique_finder [n] [p_percent] [k]
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 
-#include "core/triq.h"
 #include "core/workloads.h"
 #include "datalog/classify.h"
+#include "engine/engine.h"
 
 int main(int argc, char** argv) {
   int n = argc > 1 ? std::atoi(argv[1]) : 6;
   int p = argc > 2 ? std::atoi(argv[2]) : 60;
   int k = argc > 3 ? std::atoi(argv[3]) : 3;
 
-  auto dict = std::make_shared<triq::Dictionary>();
+  triq::Engine engine(triq::EngineOptions().SetMaxFacts(200'000'000));
   auto edges = triq::core::RandomGraphEdges(n, p / 100.0, /*seed=*/2024);
   std::cout << "G(n=" << n << ", p=" << p << "%): " << edges.size()
             << " edges; looking for a " << k << "-clique\n";
 
-  triq::datalog::Program program = triq::core::CliqueProgram(dict);
+  triq::datalog::Program program =
+      triq::core::CliqueProgram(engine.dict_ptr());
   std::cout << "program is TriQ 1.0: "
             << (triq::datalog::IsTriq10(program).ok ? "yes" : "no")
             << "; warded (TriQ-Lite): "
             << (triq::datalog::IsWarded(program).ok ? "yes" : "no") << "\n";
 
-  auto query = triq::core::TriqQuery::Create(std::move(program), "yes");
-  if (!query.ok()) {
-    std::cerr << query.status().ToString() << "\n";
+  triq::Status status = engine.LoadDatabase(
+      triq::core::CliqueDatabase(n, edges, k, engine.dict_ptr()));
+  if (status.ok()) status = engine.AttachProgram(program);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
     return 1;
   }
-  triq::chase::Instance db = triq::core::CliqueDatabase(n, edges, k, dict);
-  triq::chase::ChaseOptions options;
-  options.max_facts = 200'000'000;
-  triq::chase::ChaseStats stats;
-  auto answers = query->Evaluate(db, options, &stats);
+
+  auto stats = engine.Materialize();
+  if (!stats.ok()) {
+    std::cerr << stats.status().ToString() << "\n";
+    return 1;
+  }
+  auto answers = engine.Answers("yes");
   if (!answers.ok()) {
     std::cerr << answers.status().ToString() << "\n";
     return 1;
   }
   std::cout << (answers->empty() ? "no " : "") << k << "-clique found"
-            << " (chase derived " << stats.facts_derived << " facts, "
-            << stats.nulls_created << " nulls)\n";
+            << " (chase derived " << stats->facts_derived << " facts, "
+            << stats->nulls_created << " nulls)\n";
   return 0;
 }

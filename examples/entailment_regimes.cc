@@ -2,17 +2,38 @@
 // RDF per Table 1, and evaluate the same SPARQL pattern under (a) no
 // reasoning, (b) the active-domain entailment regime J·K^U, and (c) the
 // relaxed regime J·K^All of Section 5.3 — showing where each answers.
+// One Engine session per regime: the regime is session configuration,
+// and the τ_owl2ql_core closure is materialized once per session, not
+// once per query.
 //
 //   $ ./examples/entailment_regimes
 #include <iostream>
-#include <memory>
 
-#include "owl/ontology.h"
+#include "engine/engine.h"
 #include "owl/rdf_mapping.h"
-#include "sparql/parser.h"
-#include "translate/sparql_to_datalog.h"
 
 namespace {
+
+/// The herbivores ontology of Section 5.3: dogs are animals, animals
+/// eat something, and everything eaten is plant material.
+triq::owl::Ontology Herbivores(triq::Dictionary* dict) {
+  triq::owl::Ontology ontology;
+  triq::SymbolId animal = dict->Intern("animal");
+  triq::SymbolId plant = dict->Intern("plant_material");
+  triq::SymbolId eats = dict->Intern("eats");
+  ontology.DeclareClass(animal);
+  ontology.DeclareClass(plant);
+  ontology.DeclareProperty(eats);
+  ontology.AddClassAssertion(triq::owl::BasicClass::Named(animal),
+                             dict->Intern("dog"));
+  ontology.AddSubClassOf(
+      triq::owl::BasicClass::Named(animal),
+      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, false}));
+  ontology.AddSubClassOf(
+      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, true}),
+      triq::owl::BasicClass::Named(plant));
+  return ontology;
+}
 
 void Show(const char* label, triq::Result<triq::sparql::MappingSet> result,
           const triq::Dictionary& dict) {
@@ -34,52 +55,32 @@ void Show(const char* label, triq::Result<triq::sparql::MappingSet> result,
 }  // namespace
 
 int main() {
-  auto dict = std::make_shared<triq::Dictionary>();
+  const std::string pattern =
+      "{ ?X eats _:B . _:B rdf:type plant_material }";
 
-  // The herbivores ontology of Section 5.3: dogs are animals, animals
-  // eat something, and everything eaten is plant material.
-  triq::owl::Ontology ontology;
-  triq::SymbolId animal = dict->Intern("animal");
-  triq::SymbolId plant = dict->Intern("plant_material");
-  triq::SymbolId eats = dict->Intern("eats");
-  ontology.DeclareClass(animal);
-  ontology.DeclareClass(plant);
-  ontology.DeclareProperty(eats);
-  ontology.AddClassAssertion(triq::owl::BasicClass::Named(animal),
-                             dict->Intern("dog"));
-  ontology.AddSubClassOf(
-      triq::owl::BasicClass::Named(animal),
-      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, false}));
-  ontology.AddSubClassOf(
-      triq::owl::BasicClass::Exists(triq::owl::BasicProperty{eats, true}),
-      triq::owl::BasicClass::Named(plant));
-
-  triq::rdf::Graph graph(dict);
-  OntologyToGraph(ontology, &graph);
-  std::cout << "ontology:\n" << ontology.ToString(*dict)
-            << "stored as " << graph.size() << " RDF triples (Table 1)\n\n";
-
-  auto pattern = triq::sparql::ParsePattern(
-      "{ ?X eats _:B . _:B rdf:type plant_material }", dict.get());
-  if (!pattern.ok()) {
-    std::cerr << pattern.status().ToString() << "\n";
-    return 1;
+  {
+    // Print the ontology and its Table 1 triple encoding once.
+    triq::Engine engine;
+    triq::owl::Ontology ontology = Herbivores(&engine.dict());
+    triq::rdf::Graph graph(engine.dict_ptr());
+    OntologyToGraph(ontology, &graph);
+    std::cout << "ontology:\n" << ontology.ToString(engine.dict())
+              << "stored as " << graph.size() << " RDF triples (Table 1)\n\n";
+    std::cout << "pattern: " << pattern << "\n\n";
   }
-  std::cout << "pattern: " << (*pattern)->ToString(*dict) << "\n\n";
 
-  using triq::translate::Regime;
+  using triq::EntailmentRegime;
   for (auto [label, regime] :
-       {std::pair{"no reasoning          ", Regime::kPlain},
-        std::pair{"active-domain (J.K^U) ", Regime::kActiveDomain},
-        std::pair{"relaxed       (J.K^All)", Regime::kAll}}) {
-    triq::translate::TranslationOptions options;
-    options.regime = regime;
-    auto translated = TranslatePattern(**pattern, dict, options);
-    if (!translated.ok()) {
-      std::cerr << translated.status().ToString() << "\n";
+       {std::pair{"no reasoning          ", EntailmentRegime::kNone},
+        std::pair{"active-domain (J.K^U) ", EntailmentRegime::kActiveDomain},
+        std::pair{"relaxed       (J.K^All)", EntailmentRegime::kAll}}) {
+    triq::Engine engine(triq::EngineOptions().SetRegime(regime));
+    triq::Status status = engine.AttachOntology(Herbivores(&engine.dict()));
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
       return 1;
     }
-    Show(label, EvaluateTranslated(*translated, graph), *dict);
+    Show(label, engine.Query(pattern), engine.dict());
   }
   std::cout << "\nOnly the relaxed regime finds dog: the plant-material\n"
                "witness exists only as an invented null (Section 5.3).\n";

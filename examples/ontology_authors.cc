@@ -1,16 +1,15 @@
 // The Section 2 author scenarios G3/G4: querying under OWL semantics
 // with the fixed vocabulary rule libraries, and the same query under
-// the full OWL 2 QL core entailment regime of Section 5.
+// the full OWL 2 QL core entailment regime of Section 5. Each scenario
+// is one Engine session: the library is the attached data program, the
+// user query is prepared on top of it.
 //
 //   $ ./examples/ontology_authors
 #include <iostream>
-#include <memory>
+#include <optional>
 
-#include "core/triq.h"
 #include "core/workloads.h"
-#include "datalog/parser.h"
-#include "sparql/parser.h"
-#include "translate/sparql_to_datalog.h"
+#include "engine/engine.h"
 #include "translate/vocab_rules.h"
 
 namespace {
@@ -32,15 +31,19 @@ void PrintAnswers(const char* label,
   }
 }
 
+/// One session: loads `graph` built by `build`, attaches `library`, and
+/// evaluates the authors query.
 triq::Result<std::vector<triq::chase::Tuple>> Ask(
-    const triq::rdf::Graph& graph, triq::datalog::Program library,
-    std::shared_ptr<triq::Dictionary> dict) {
-  auto user = triq::datalog::ParseProgram(kAuthorsQuery, dict);
-  if (!user.ok()) return user.status();
-  TRIQ_RETURN_IF_ERROR(library.Append(*user));
-  auto query = triq::core::TriqQuery::Create(std::move(library), "query");
-  if (!query.ok()) return query.status();
-  return query->Evaluate(triq::chase::Instance::FromGraph(graph));
+    triq::Engine* engine,
+    triq::rdf::Graph (*build)(std::shared_ptr<triq::Dictionary>),
+    std::optional<triq::datalog::Program> library) {
+  TRIQ_RETURN_IF_ERROR(engine->LoadGraph(build(engine->dict_ptr())));
+  if (library.has_value()) {
+    TRIQ_RETURN_IF_ERROR(engine->AttachProgram(*library));
+  }
+  TRIQ_ASSIGN_OR_RETURN(triq::PreparedQuery query,
+                        engine->Prepare(kAuthorsQuery, "query"));
+  return query.Evaluate();
 }
 
 }  // namespace
@@ -48,50 +51,48 @@ triq::Result<std::vector<triq::chase::Tuple>> Ask(
 int main() {
   // --- G4: owl:sameAs --------------------------------------------------
   {
-    auto dict = std::make_shared<triq::Dictionary>();
-    triq::rdf::Graph g4 = triq::core::AuthorsGraphG4(dict);
+    triq::Engine bare;
     PrintAnswers("G4 without the sameAs library",
-                 Ask(g4, triq::datalog::Program(dict), dict), *dict);
+                 Ask(&bare, triq::core::AuthorsGraphG4, std::nullopt),
+                 bare.dict());
+    triq::Engine with_lib;
     PrintAnswers("G4 with the sameAs library",
-                 Ask(g4, triq::translate::SameAsRules(dict), dict), *dict);
+                 Ask(&with_lib, triq::core::AuthorsGraphG4,
+                     triq::translate::SameAsRules(with_lib.dict_ptr())),
+                 with_lib.dict());
   }
 
   // --- G3: owl:Restriction + rdfs:subClassOf ---------------------------
   {
-    auto dict = std::make_shared<triq::Dictionary>();
-    triq::rdf::Graph g3 = triq::core::AuthorsGraphG3(dict);
-    triq::datalog::Program lib = triq::translate::OnPropertyRules(dict);
-    triq::Status st = lib.Append(triq::translate::RdfsRules(dict));
+    triq::Engine engine;
+    triq::datalog::Program lib =
+        triq::translate::OnPropertyRules(engine.dict_ptr());
+    triq::Status st = lib.Append(triq::translate::RdfsRules(engine.dict_ptr()));
     if (!st.ok()) {
       std::cerr << st.ToString() << "\n";
       return 1;
     }
     PrintAnswers("G3 with the onProperty + RDFS libraries",
-                 Ask(g3, std::move(lib), dict), *dict);
+                 Ask(&engine, triq::core::AuthorsGraphG3, std::move(lib)),
+                 engine.dict());
   }
 
   // --- The same via the Section 5 entailment regime --------------------
   {
-    auto dict = std::make_shared<triq::Dictionary>();
-    triq::rdf::Graph g3 = triq::core::AuthorsGraphG3(dict);
-    auto pattern = triq::sparql::ParsePattern(
-        "SELECT(?X, { ?Y is_author_of _:B . ?Y name ?X })", dict.get());
-    if (!pattern.ok()) {
-      std::cerr << pattern.status().ToString() << "\n";
+    triq::Engine engine(
+        triq::EngineOptions().SetRegime(triq::EntailmentRegime::kAll));
+    triq::Status st = engine.LoadGraph(
+        triq::core::AuthorsGraphG3(engine.dict_ptr()));
+    if (!st.ok()) {
+      std::cerr << st.ToString() << "\n";
       return 1;
     }
-    triq::translate::TranslationOptions options;
-    options.regime = triq::translate::Regime::kAll;
-    auto translated = TranslatePattern(**pattern, dict, options);
-    if (!translated.ok()) {
-      std::cerr << translated.status().ToString() << "\n";
-      return 1;
-    }
-    auto result = EvaluateTranslated(*translated, g3);
+    auto result = engine.Query(
+        "SELECT(?X, { ?Y is_author_of _:B . ?Y name ?X })");
     std::cout << "G3 under the OWL 2 QL core regime (All semantics):\n";
     if (result.ok()) {
       for (const auto& m : result->mappings()) {
-        std::cout << "  " << m.ToString(*dict) << "\n";
+        std::cout << "  " << m.ToString(engine.dict()) << "\n";
       }
     } else {
       std::cout << "  " << result.status().ToString() << "\n";

@@ -1,59 +1,49 @@
-// Quickstart: load an RDF graph, write a TriQ-Lite 1.0 query in the
-// paper's rule notation, and evaluate it.
+// Quickstart: start a triq::Engine session, load an RDF graph, write a
+// TriQ-Lite 1.0 query in the paper's rule notation, and evaluate it —
+// the materialized instance is computed once and every later Evaluate
+// reuses it.
 //
 //   $ ./examples/quickstart
 #include <iostream>
-#include <memory>
 
-#include "core/triq.h"
-#include "chase/instance.h"
-#include "datalog/parser.h"
-#include "rdf/graph.h"
-#include "rdf/turtle.h"
+#include "engine/engine.h"
 
 int main() {
-  auto dict = std::make_shared<triq::Dictionary>();
+  triq::Engine engine;
 
   // 1. An RDF graph (the paper's G1 plus one more book).
-  triq::rdf::Graph graph(dict);
-  triq::Status parsed = triq::rdf::ParseTurtle(R"(
+  triq::Status loaded = engine.LoadTurtle(R"(
     dbUllman is_author_of "The Complete Book" .
     dbUllman is_author_of "Automata Theory" .
     dbUllman name "Jeffrey Ullman" .
-  )",
-                                               &graph);
-  if (!parsed.ok()) {
-    std::cerr << parsed.ToString() << "\n";
+  )");
+  if (!loaded.ok()) {
+    std::cerr << loaded.ToString() << "\n";
     return 1;
   }
 
-  // 2. Query (2) of Section 2: list the names of authors.
-  auto program = triq::datalog::ParseProgram(
+  // 2. Query (2) of Section 2: list the names of authors. Prepare
+  //    parses, validates, and classifies it once.
+  auto query = engine.Prepare(
       "triple(?Y, is_author_of, ?Z), triple(?Y, name, ?X) -> query(?X) .",
-      dict);
-  if (!program.ok()) {
-    std::cerr << program.status().ToString() << "\n";
-    return 1;
-  }
-
-  auto query = triq::core::TriqQuery::Create(std::move(*program), "query");
+      "query");
   if (!query.ok()) {
     std::cerr << query.status().ToString() << "\n";
     return 1;
   }
   std::cout << "query language class: "
-            << triq::core::LanguageName(query->Classify()) << "\n";
+            << triq::core::LanguageName(query->language()) << "\n";
 
-  // 3. Evaluate over tau_db(G).
-  triq::chase::Instance db = triq::chase::Instance::FromGraph(graph);
-  auto answers = query->Evaluate(db);
+  // 3. Evaluate over tau_db(G). The first call materializes; repeating
+  //    it would be a pure relation read (zero chase rounds).
+  auto answers = query->Evaluate();
   if (!answers.ok()) {
     std::cerr << answers.status().ToString() << "\n";
     return 1;
   }
   std::cout << "authors:\n";
   for (const triq::chase::Tuple& tuple : *answers) {
-    std::cout << "  " << dict->Text(tuple[0].symbol()) << "\n";
+    std::cout << "  " << engine.dict().Text(tuple[0].symbol()) << "\n";
   }
   return 0;
 }

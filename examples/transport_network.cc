@@ -1,42 +1,49 @@
 // The Section 2 transport scenario: reachability over services that
 // are themselves classified through partOf chains — the query SPARQL
-// 1.1 property paths cannot express, in four Datalog rules.
+// 1.1 property paths cannot express, in four Datalog rules — on an
+// Engine session: the program is attached as the data program and the
+// answers are read straight off the materialized instance.
 //
 //   $ ./examples/transport_network [num_cities] [partof_depth]
 #include <cstdlib>
 #include <iostream>
-#include <memory>
 
-#include "core/triq.h"
 #include "core/workloads.h"
+#include "engine/engine.h"
 
 int main(int argc, char** argv) {
   int cities = argc > 1 ? std::atoi(argv[1]) : 4;
   int depth = argc > 2 ? std::atoi(argv[2]) : 2;
 
-  auto dict = std::make_shared<triq::Dictionary>();
-  triq::rdf::Graph net = triq::core::TransportNetwork(cities, depth, dict);
+  triq::Engine engine;
+  triq::rdf::Graph net =
+      triq::core::TransportNetwork(cities, depth, engine.dict_ptr());
   std::cout << "network: " << cities << " cities, partOf depth " << depth
             << ", " << net.size() << " triples\n";
-
-  triq::datalog::Program program = triq::core::TransportProgram(dict);
-  std::cout << "program:\n" << program.ToString();
-
-  auto query = triq::core::TriqQuery::Create(std::move(program), "query");
-  if (!query.ok()) {
-    std::cerr << query.status().ToString() << "\n";
+  triq::Status status = engine.LoadGraph(net);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
     return 1;
   }
-  triq::chase::Instance db = triq::chase::Instance::FromGraph(net);
-  auto answers = query->Evaluate(db);
+
+  triq::datalog::Program program =
+      triq::core::TransportProgram(engine.dict_ptr());
+  std::cout << "program:\n" << program.ToString();
+  status = engine.AttachProgram(program);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  auto answers = engine.Answers("query");
   if (!answers.ok()) {
     std::cerr << answers.status().ToString() << "\n";
     return 1;
   }
   std::cout << "connected city pairs (" << answers->size() << "):\n";
   for (const triq::chase::Tuple& tuple : *answers) {
-    std::cout << "  " << dict->Text(tuple[0].symbol()) << " -> "
-              << dict->Text(tuple[1].symbol()) << "\n";
+    std::cout << "  " << engine.dict().Text(tuple[0].symbol()) << " -> "
+              << engine.dict().Text(tuple[1].symbol()) << "\n";
   }
   return 0;
 }

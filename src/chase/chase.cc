@@ -38,11 +38,13 @@ struct TriggerKeyHash {
 class ChaseRun {
  public:
   ChaseRun(const Program& program, Instance* instance,
-           const ChaseOptions& options, ChaseStats* stats)
+           const ChaseOptions& options, ChaseStats* stats,
+           const SaturatedSizes* resume = nullptr)
       : program_(program),
         instance_(instance),
         options_(options),
-        stats_(stats) {}
+        stats_(stats),
+        resume_(resume) {}
 
   Status Run() {
     total_facts_ = instance_->TotalFacts();
@@ -99,22 +101,37 @@ class ChaseRun {
   }
 
   Status SaturateStratum(const std::vector<size_t>& rule_indices) {
-    // Round 0: full evaluation of every rule. When partitioning, cap
-    // every atom at the round-start sizes so round 0 enumerates each
-    // database match exactly once; anything derived here is picked up
-    // as round 1's delta.
-    SizeSnapshot prev_start = Snapshot();
-    size_t before = instance_->TotalFacts();
-    for (size_t r : rule_indices) {
-      MatchOptions mo;
-      if (Partitioned()) {
-        FillAtomEnds(program_.rules()[r], /*delta=*/-1, prev_start,
-                     prev_start, &mo);
+    SizeSnapshot prev_start;
+    bool changed;
+    if (resume_ != nullptr && options_.seminaive) {
+      // Incremental resume: the saturated prefix plays the role of the
+      // previous round's snapshot, so the first semi-naive round's
+      // deltas are exactly the facts appended since the prior fixpoint
+      // (plus anything lower strata derived during this resume).
+      // Matches entirely inside the prefix are never re-enumerated.
+      prev_start = Snapshot();
+      for (auto& [pred, size] : prev_start) {
+        size = std::min(size, ValueOr(*resume_, pred, 0));
       }
-      TRIQ_RETURN_IF_ERROR(ApplyRule(r, mo));
+      changed = true;
+    } else {
+      // Round 0: full evaluation of every rule. When partitioning, cap
+      // every atom at the round-start sizes so round 0 enumerates each
+      // database match exactly once; anything derived here is picked up
+      // as round 1's delta.
+      prev_start = Snapshot();
+      size_t before = instance_->TotalFacts();
+      for (size_t r : rule_indices) {
+        MatchOptions mo;
+        if (Partitioned()) {
+          FillAtomEnds(program_.rules()[r], /*delta=*/-1, prev_start,
+                       prev_start, &mo);
+        }
+        TRIQ_RETURN_IF_ERROR(ApplyRule(r, mo));
+      }
+      if (stats_ != nullptr) ++stats_->rounds;
+      changed = instance_->TotalFacts() != before;
     }
-    if (stats_ != nullptr) ++stats_->rounds;
-    bool changed = instance_->TotalFacts() != before;
 
     while (changed) {
       SizeSnapshot cur_start = Snapshot();
@@ -526,6 +543,8 @@ class ChaseRun {
   Instance* instance_;
   const ChaseOptions& options_;
   ChaseStats* stats_;
+  // Saturated-prefix sizes for ResumeChase; null for a from-scratch run.
+  const SaturatedSizes* resume_;
   size_t total_facts_ = 0;  // running TotalFacts(), kept by Fire
   // Workers for the sharded executor; null when num_threads <= 1.
   std::unique_ptr<common::ThreadPool> pool_;
@@ -542,9 +561,51 @@ class ChaseRun {
 
 }  // namespace
 
+Status ValidateChaseOptions(const ChaseOptions& options) {
+  if (options.num_threads < 1) {
+    return Status::InvalidArgument(
+        "ChaseOptions::num_threads must be >= 1 (the calling thread "
+        "always participates)");
+  }
+  if (options.max_facts == 0) {
+    return Status::InvalidArgument(
+        "ChaseOptions::max_facts must be non-zero");
+  }
+  if (options.max_null_depth == 0) {
+    return Status::InvalidArgument(
+        "ChaseOptions::max_null_depth must be non-zero");
+  }
+  if (options.mode != ChaseOptions::Mode::kRestricted &&
+      options.mode != ChaseOptions::Mode::kOblivious) {
+    return Status::InvalidArgument(
+        "ChaseOptions::mode holds no declared enumerator");
+  }
+  if (options.join_strategy != JoinStrategy::kAuto &&
+      options.join_strategy != JoinStrategy::kHash &&
+      options.join_strategy != JoinStrategy::kMerge) {
+    return Status::InvalidArgument(
+        "ChaseOptions::join_strategy holds no declared enumerator");
+  }
+  if (options.partition_deltas && !options.seminaive) {
+    return Status::InvalidArgument(
+        "ChaseOptions::partition_deltas partitions the semi-naive "
+        "deltas and cannot be combined with seminaive = false; clear "
+        "both flags for the naive fixpoint");
+  }
+  return Status::OK();
+}
+
 Status RunChase(const datalog::Program& program, Instance* instance,
                 const ChaseOptions& options, ChaseStats* stats) {
+  TRIQ_RETURN_IF_ERROR(ValidateChaseOptions(options));
   return ChaseRun(program, instance, options, stats).Run();
+}
+
+Status ResumeChase(const datalog::Program& program, Instance* instance,
+                   const SaturatedSizes& saturated,
+                   const ChaseOptions& options, ChaseStats* stats) {
+  TRIQ_RETURN_IF_ERROR(ValidateChaseOptions(options));
+  return ChaseRun(program, instance, options, stats, &saturated).Run();
 }
 
 }  // namespace triq::chase

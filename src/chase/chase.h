@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "chase/instance.h"
@@ -35,8 +36,10 @@ struct ChaseOptions {
   /// snapshot, so every match is enumerated in exactly one pass — rules
   /// with repeated body predicates (tc(X,Y), tc(Y,Z)) stop re-deriving
   /// the same match once per pass. Disable for the legacy delta-only
-  /// filtering (ablation / differential testing); ignored when
-  /// `seminaive` is false.
+  /// filtering (ablation / differential testing). Partitioning is a
+  /// refinement of the semi-naive deltas, so `partition_deltas` without
+  /// `seminaive` is incoherent — ValidateChaseOptions rejects it; naive
+  /// ablations must clear both flags.
   bool partition_deltas = true;
 
   /// Record rule/body-fact provenance for proof-tree extraction (Fig 1).
@@ -89,6 +92,15 @@ struct ChaseStats {
   bool truncated = false;
 };
 
+/// Checks that `options` describes a runnable configuration: num_threads
+/// >= 1, non-zero safety caps, enum fields holding declared enumerators
+/// (not stray casts), and a coherent seminaive/partition_deltas pair
+/// (partitioning refines the semi-naive deltas, so it cannot be combined
+/// with the naive fixpoint). Returns InvalidArgument naming the first
+/// offending field. RunChase/ResumeChase call this up front instead of
+/// silently proceeding.
+Status ValidateChaseOptions(const ChaseOptions& options);
+
 /// Runs the stratified chase of Section 3.2: computes S_0,...,S_ℓ by
 /// saturating each stratum of ex(Π) in order, then checks the
 /// constraints of Π against S_ℓ. On constraint violation returns
@@ -99,6 +111,29 @@ struct ChaseStats {
 Status RunChase(const datalog::Program& program, Instance* instance,
                 const ChaseOptions& options = {},
                 ChaseStats* stats = nullptr);
+
+/// Per-predicate tuple counts recording the prefix of each relation that
+/// a prior RunChase/ResumeChase with the same program already saturated.
+/// Predicates missing from the map count as 0 (everything is delta).
+using SaturatedSizes = std::unordered_map<datalog::PredicateId, size_t>;
+
+/// Incremental continuation of the chase: `instance` was previously
+/// chased to a fixpoint of `program` when its relations had the sizes in
+/// `saturated`, and facts have been appended since. Re-saturates by
+/// running semi-naive passes whose initial delta is exactly the appended
+/// suffix of each relation — matches among pre-saturated facts are never
+/// re-enumerated — and then re-checks the constraints.
+///
+/// Soundness requires monotonicity over the saturated prefix: the
+/// program must not contain negated body atoms (a new fact can retract a
+/// negation-dependent conclusion that is already stored). Callers with
+/// negation must re-chase from scratch; the engine layer does exactly
+/// that. With `options.seminaive` false the snapshot is ignored and the
+/// naive fixpoint re-runs in full (correct, just not incremental).
+Status ResumeChase(const datalog::Program& program, Instance* instance,
+                   const SaturatedSizes& saturated,
+                   const ChaseOptions& options = {},
+                   ChaseStats* stats = nullptr);
 
 }  // namespace triq::chase
 

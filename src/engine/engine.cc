@@ -1,0 +1,547 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+
+#include "chase/fact_dump.h"
+#include "datalog/parser.h"
+#include "owl/rdf_mapping.h"
+#include "rdf/turtle.h"
+#include "sparql/parser.h"
+#include "translate/owl2ql_program.h"
+
+namespace triq {
+
+namespace {
+
+using chase::Term;
+using datalog::Atom;
+using datalog::PredicateId;
+using datalog::Rule;
+
+/// A program is monotone over already-stored facts when no proper rule
+/// negates a body atom (constraints are exempt: they are re-checked in
+/// full against the final instance on every run, so negation there
+/// cannot leave stale conclusions behind).
+bool IsMonotone(const datalog::Program& program) {
+  for (const Rule& rule : program.rules()) {
+    if (rule.IsConstraint()) continue;
+    for (const Atom& atom : rule.body) {
+      if (atom.negated) return false;
+    }
+  }
+  return true;
+}
+
+chase::SaturatedSizes SnapshotSizes(const chase::Instance& instance) {
+  chase::SaturatedSizes sizes;
+  for (const auto& [pred, rel] : instance.relations()) {
+    sizes[pred] = rel.size();
+  }
+  return sizes;
+}
+
+std::vector<chase::Tuple> ConstantTuples(const chase::Relation* rel) {
+  std::vector<chase::Tuple> out;
+  if (rel == nullptr) return out;
+  for (chase::TupleView tuple : rel->tuples()) {
+    bool all_constants =
+        std::all_of(tuple.begin(), tuple.end(),
+                    [](Term t) { return t.IsConstant(); });
+    if (all_constants) out.push_back(tuple.ToTuple());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view EntailmentRegimeName(EntailmentRegime regime) {
+  switch (regime) {
+    case EntailmentRegime::kNone: return "none";
+    case EntailmentRegime::kActiveDomain: return "active-domain";
+    case EntailmentRegime::kAll: return "all";
+  }
+  return "?";
+}
+
+chase::ChaseOptions EngineOptions::ToChaseOptions() const {
+  chase::ChaseOptions options;
+  options.mode = chase_mode;
+  options.seminaive = seminaive;
+  options.partition_deltas = partition_deltas;
+  options.track_provenance = track_provenance;
+  options.greedy_atom_order = true;
+  options.join_strategy = join_strategy;
+  options.num_threads = num_threads;
+  options.max_facts = max_facts;
+  options.max_null_depth = max_null_depth;
+  return options;
+}
+
+// ---- PreparedQuery ----------------------------------------------------
+
+Result<const chase::Instance*> PreparedQuery::EvaluateInstance(
+    chase::ChaseStats* stats) {
+  if (stats != nullptr) *stats = chase::ChaseStats{};
+  TRIQ_RETURN_IF_ERROR(engine_->EnsureMaterialized());
+  const chase::ChaseOptions options = engine_->chase_options();
+
+  if (!monotone_) {
+    // Negation in the query program: derived facts cannot be cached
+    // in-place (a later delta could retract them), so evaluate on a
+    // throwaway copy of the closure. The data chase is still amortized.
+    scratch_.emplace(engine_->materialized_->CloneFacts());
+    Status status =
+        chase::RunChase(query_.program(), &*scratch_, options, stats);
+    if (!status.ok()) {
+      ReleaseScratch();  // don't pin a dead closure copy on failure
+      return status;
+    }
+    return &*scratch_;
+  }
+
+  if (evaluated_generation_ == engine_->materialize_count_) {
+    // Session unchanged since this query last ran: its answer relation
+    // is already in the instance. Zero chase rounds.
+    return &*engine_->materialized_;
+  }
+
+  chase::Instance* instance = &*engine_->materialized_;
+  Status status;
+  if (evaluated_generation_ != 0 &&
+      evaluated_rebuild_ == engine_->rebuild_count_ && options.seminaive) {
+    // Only deltas were appended since our last chase: resume from the
+    // recorded saturated sizes instead of re-enumerating old matches.
+    status = chase::ResumeChase(query_.program(), instance, saturated_,
+                                options, stats);
+  } else {
+    status = chase::RunChase(query_.program(), instance, options, stats);
+  }
+  if (!status.ok()) {
+    // The in-place chase may have half-fired: drop the shared closure so
+    // the next operation rebuilds it from the pristine base facts.
+    engine_->InvalidateMaterialized();
+    evaluated_generation_ = 0;
+    return status;
+  }
+  evaluated_generation_ = engine_->materialize_count_;
+  evaluated_rebuild_ = engine_->rebuild_count_;
+  saturated_ = SnapshotSizes(*instance);
+  return static_cast<const chase::Instance*>(instance);
+}
+
+Result<std::vector<chase::Tuple>> PreparedQuery::Evaluate(
+    chase::ChaseStats* stats) {
+  TRIQ_ASSIGN_OR_RETURN(const chase::Instance* instance,
+                        EvaluateInstance(stats));
+  std::vector<chase::Tuple> answers =
+      ConstantTuples(instance->Find(query_.answer_predicate()));
+  ReleaseScratch();
+  return answers;
+}
+
+Result<bool> PreparedQuery::Holds(const std::vector<std::string>& tuple) {
+  chase::Tuple target;
+  target.reserve(tuple.size());
+  for (const std::string& text : tuple) {
+    target.push_back(Term::Constant(engine_->dict().Intern(text)));
+  }
+  TRIQ_ASSIGN_OR_RETURN(std::vector<chase::Tuple> answers, Evaluate());
+  return std::find(answers.begin(), answers.end(), target) != answers.end();
+}
+
+// ---- Engine: construction and loading ---------------------------------
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      dict_(std::make_shared<Dictionary>()),
+      base_(dict_),
+      program_(dict_) {
+  if (options_.regime != EntailmentRegime::kNone) {
+    // The fixed τ_owl2ql_core program (Section 5.2) gives the two
+    // reasoning regimes their semantics; materializing it once here is
+    // what lets every SPARQL query share one inference closure. Same
+    // dictionary by construction, so Append cannot fail.
+    (void)program_.Append(translate::BuildOwl2QlCoreProgram(dict_));
+  }
+  program_monotone_ = IsMonotone(program_);
+}
+
+Status Engine::AppendFacts(const chase::Instance& src, chase::Instance* dst) {
+  const bool foreign = src.dict_ptr().get() != dict_.get();
+  // Source nulls are re-allocated in the destination, preserving depths
+  // and identity sharing (two occurrences of one source null map to one
+  // destination null).
+  std::vector<Term> null_map(src.null_count(), Term());
+  // Deterministic predicate order: relations() is an unordered map, and
+  // null re-allocation order should not depend on its iteration order.
+  std::vector<PredicateId> predicates;
+  predicates.reserve(src.relations().size());
+  for (const auto& [pred, rel] : src.relations()) predicates.push_back(pred);
+  std::sort(predicates.begin(), predicates.end());
+
+  chase::Tuple mapped;
+  for (PredicateId pred : predicates) {
+    const chase::Relation* rel = src.Find(pred);
+    PredicateId dst_pred =
+        foreign ? dict_->Intern(src.dict().Text(pred)) : pred;
+    for (chase::TupleView tuple : rel->tuples()) {
+      mapped.clear();
+      for (Term t : tuple) {
+        if (t.IsNull()) {
+          Term& remapped = null_map[t.null_id()];
+          if (remapped == Term()) {
+            remapped = dst->AllocateNull(src.NullDepth(t));
+          }
+          mapped.push_back(remapped);
+        } else if (foreign) {
+          mapped.push_back(
+              Term::Constant(dict_->Intern(src.dict().Text(t.symbol()))));
+        } else {
+          mapped.push_back(t);
+        }
+      }
+      TRIQ_RETURN_IF_ERROR(
+          dst->AddFactChecked(dst_pred, mapped).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::CheckLoadable(const chase::Instance& src) const {
+  // Every way a load can fail is validated here, BEFORE anything is
+  // appended, so a rejected load leaves the session untouched instead of
+  // half-applied (AppendFacts iterates predicate by predicate; an error
+  // midway would strand the earlier predicates' facts in the base).
+  for (const auto& [pred, rel] : src.relations()) {
+    PredicateId engine_pred =
+        src.dict_ptr().get() == dict_.get()
+            ? pred
+            : dict_->Intern(src.dict().Text(pred));
+    // Facts may not land in a relation a prepared query derives — its
+    // cached evaluation would silently coexist with them.
+    if (query_claims_.count(engine_pred) > 0) {
+      return Status::InvalidArgument(
+          "cannot load facts for predicate '" + dict_->Text(engine_pred) +
+          "': it is derived by a prepared query");
+    }
+    // Arity mismatches are the one way AddFactChecked can fail below.
+    for (const chase::Instance* dst :
+         {&base_, materialized_.has_value() ? &*materialized_ : nullptr}) {
+      if (dst == nullptr) continue;
+      const chase::Relation* existing = dst->Find(engine_pred);
+      if (existing != nullptr && existing->arity() != rel.arity()) {
+        return Status::InvalidArgument(
+            "cannot load facts for predicate '" + dict_->Text(engine_pred) +
+            "': width " + std::to_string(rel.arity()) +
+            " conflicts with the existing relation's arity " +
+            std::to_string(existing->arity()));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::Ingest(const chase::Instance& src) {
+  TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
+  Status status = AppendFacts(src, &base_);
+  if (materialized_.has_value()) {
+    // Mirror the delta into the live closure so the next materialization
+    // can resume from it instead of starting over. Mark dirty first and
+    // drop the closure on any failure: a half-mirrored delta must force
+    // a rebuild from the base facts, never serve queries as-is.
+    dirty_ = true;
+    if (status.ok()) status = AppendFacts(src, &*materialized_);
+    if (!status.ok()) InvalidateMaterialized();
+  }
+  return status;
+}
+
+Status Engine::LoadTurtle(std::string_view text) {
+  rdf::Graph graph(dict_);
+  TRIQ_RETURN_IF_ERROR(rdf::ParseTurtle(text, &graph));
+  return Ingest(chase::Instance::FromGraph(graph));
+}
+
+Status Engine::LoadTurtleFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::InvalidArgument("cannot open " + path);
+  }
+  rdf::Graph graph(dict_);
+  TRIQ_RETURN_IF_ERROR(rdf::ParseTurtleStream(in, &graph));
+  return Ingest(chase::Instance::FromGraph(graph));
+}
+
+Status Engine::LoadFacts(const std::string& path) {
+  // LoadFacts interns straight into the engine dictionary, so the merge
+  // below sees no foreign symbols — only nulls need re-allocation.
+  TRIQ_ASSIGN_OR_RETURN(chase::Instance loaded,
+                        chase::LoadFacts(path, dict_));
+  return LoadDatabase(std::move(loaded));
+}
+
+Status Engine::LoadDatabase(chase::Instance database) {
+  if (database.dict_ptr().get() == dict_.get() &&
+      !materialized_.has_value() && base_.TotalFacts() == 0 &&
+      base_.null_count() == 0) {
+    // Empty session: adopt the storage wholesale (claims still apply —
+    // queries may be prepared before any facts arrive).
+    TRIQ_RETURN_IF_ERROR(CheckLoadable(database));
+    base_ = std::move(database);
+    return Status::OK();
+  }
+  return Ingest(database);
+}
+
+Status Engine::LoadGraph(const rdf::Graph& graph) {
+  return Ingest(chase::Instance::FromGraph(graph));
+}
+
+Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
+                         std::string_view object) {
+  rdf::Graph graph(dict_);
+  graph.Add(subject, predicate, object);
+  return Ingest(chase::Instance::FromGraph(graph));
+}
+
+// ---- Engine: ontologies and rule programs ------------------------------
+
+Status Engine::AttachOntology(const owl::Ontology& ontology) {
+  rdf::Graph graph(dict_);
+  owl::OntologyToGraph(ontology, &graph);
+  return Ingest(chase::Instance::FromGraph(graph));
+}
+
+Status Engine::AttachProgram(const datalog::Program& program) {
+  if (program.dict_ptr().get() != dict_.get()) {
+    return Status::InvalidArgument(
+        "attached programs must be built over the engine dictionary "
+        "(Engine::dict_ptr())");
+  }
+  for (const Rule& rule : program.rules()) {
+    auto claimed = [&](const Atom& atom) {
+      return query_claims_.count(atom.predicate) > 0;
+    };
+    if (std::any_of(rule.body.begin(), rule.body.end(), claimed) ||
+        std::any_of(rule.head.begin(), rule.head.end(), claimed)) {
+      return Status::InvalidArgument(
+          "the attached rules mention a predicate derived by a prepared "
+          "query; rename it (query-derived relations never feed the data "
+          "program)");
+    }
+  }
+  TRIQ_RETURN_IF_ERROR(program_.Append(program));
+  program_monotone_ = IsMonotone(program_);
+  if (materialized_.has_value()) rules_dirty_ = true;
+  return Status::OK();
+}
+
+Status Engine::AttachRules(std::string_view rule_text) {
+  TRIQ_ASSIGN_OR_RETURN(datalog::Program program,
+                        datalog::ParseProgram(rule_text, dict_));
+  return AttachProgram(program);
+}
+
+// ---- Engine: materialization -------------------------------------------
+
+Result<chase::ChaseStats> Engine::Materialize() {
+  const chase::ChaseOptions options = chase_options();
+  TRIQ_RETURN_IF_ERROR(chase::ValidateChaseOptions(options));
+  chase::ChaseStats stats;
+  if (IsMaterialized()) return stats;  // clean: nothing to do
+
+  const bool incremental = materialized_.has_value() && !rules_dirty_ &&
+                           program_monotone_ && options.seminaive;
+  Status status;
+  if (incremental) {
+    status = chase::ResumeChase(program_, &*materialized_, saturated_,
+                                options, &stats);
+  } else {
+    materialized_.emplace(base_.CloneFacts());
+    status = chase::RunChase(program_, &*materialized_, options, &stats);
+  }
+  if (!status.ok()) {
+    InvalidateMaterialized();
+    return status;
+  }
+  // Counters move together, and only for completed materializations —
+  // a failing session retried N times must not drift rebuilds() ahead
+  // of materializations().
+  if (!incremental) ++rebuild_count_;
+  ++materialize_count_;
+  dirty_ = false;
+  rules_dirty_ = false;
+  saturated_ = SnapshotSizes(*materialized_);
+  return stats;
+}
+
+Status Engine::EnsureMaterialized() {
+  if (IsMaterialized()) return Status::OK();
+  return Materialize().status();
+}
+
+Result<const chase::Instance*> Engine::MaterializedInstance() {
+  TRIQ_RETURN_IF_ERROR(EnsureMaterialized());
+  return static_cast<const chase::Instance*>(&*materialized_);
+}
+
+Result<std::vector<chase::Tuple>> Engine::Answers(
+    std::string_view predicate) {
+  TRIQ_RETURN_IF_ERROR(EnsureMaterialized());
+  return ConstantTuples(materialized_->Find(predicate));
+}
+
+// ---- Engine: queries ---------------------------------------------------
+
+uint64_t Engine::FingerprintId(const datalog::Program& program,
+                               datalog::PredicateId answer) {
+  // Interned full texts, not hashes: the id comparison decides whether
+  // two queries may share derived predicates — a soundness question — so
+  // a hash collision must not be able to merge two different programs.
+  std::string text = program.ToString();
+  text.push_back('\x1f');
+  text += std::to_string(answer);
+  auto [it, inserted] =
+      fingerprint_ids_.emplace(std::move(text), fingerprint_ids_.size() + 1);
+  return it->second;
+}
+
+Result<PreparedQuery> Engine::PrepareInternal(
+    datalog::Program program, std::string_view answer_predicate) {
+  if (program.dict_ptr().get() != dict_.get()) {
+    return Status::InvalidArgument(
+        "prepared programs must be built over the engine dictionary "
+        "(Engine::dict_ptr())");
+  }
+  TRIQ_ASSIGN_OR_RETURN(
+      core::TriqQuery query,
+      core::TriqQuery::Create(std::move(program), answer_predicate));
+
+  // The query's derived (head) predicates must be disjoint from the data
+  // program and the loaded facts: its rules run *after* the data closure
+  // is already fixed, so feeding data rules from them would silently
+  // under-derive. Claims are validated in full before any is recorded.
+  const uint64_t fingerprint =
+      FingerprintId(query.program(), query.answer_predicate());
+  std::unordered_set<PredicateId> data_predicates = program_.Predicates();
+  std::vector<PredicateId> heads, reads;
+  for (const Rule& rule : query.program().rules()) {
+    for (const Atom& head : rule.head) heads.push_back(head.predicate);
+    for (const Atom& atom : rule.body) reads.push_back(atom.predicate);
+  }
+  for (PredicateId pred : heads) {
+    if (data_predicates.count(pred) > 0) {
+      return Status::InvalidArgument(
+          "query derives predicate '" + dict_->Text(pred) +
+          "', which the data program mentions; AttachProgram the rules "
+          "instead");
+    }
+    if (base_.Find(pred) != nullptr) {
+      return Status::InvalidArgument(
+          "query derives predicate '" + dict_->Text(pred) +
+          "', which has loaded facts");
+    }
+    auto it = query_claims_.find(pred);
+    if (it != query_claims_.end() && it->second != fingerprint) {
+      return Status::InvalidArgument(
+          "predicate '" + dict_->Text(pred) +
+          "' is already derived by a different prepared query");
+    }
+    // Another query reading this predicate would see our facts or not
+    // depending on evaluation order — same staleness in the other
+    // direction.
+    auto reader = query_reads_.find(pred);
+    if (reader != query_reads_.end() && reader->second != fingerprint) {
+      return Status::InvalidArgument(
+          "query derives predicate '" + dict_->Text(pred) +
+          "', which another prepared query reads (evaluation-order "
+          "dependent); combine them into one program");
+    }
+  }
+  // Reading another query's derived predicate is just as unsound as the
+  // data program doing it: whether those facts exist depends on
+  // evaluation order, and a cached evaluation would never see them. A
+  // query reading its *own* derived predicates (same fingerprint) is
+  // ordinary recursion and stays allowed.
+  for (PredicateId pred : reads) {
+    auto it = query_claims_.find(pred);
+    if (it != query_claims_.end() && it->second != fingerprint) {
+      return Status::InvalidArgument(
+          "query reads predicate '" + dict_->Text(pred) +
+          "', which another prepared query derives (evaluation-order "
+          "dependent); combine them into one program");
+    }
+  }
+  for (PredicateId pred : heads) query_claims_.emplace(pred, fingerprint);
+  for (PredicateId pred : reads) query_reads_.emplace(pred, fingerprint);
+
+  const bool monotone = IsMonotone(query.program());
+  return PreparedQuery(this, std::move(query), monotone);
+}
+
+Result<PreparedQuery> Engine::Prepare(datalog::Program program,
+                                      std::string_view answer_predicate) {
+  return PrepareInternal(std::move(program), answer_predicate);
+}
+
+Result<PreparedQuery> Engine::Prepare(std::string_view rule_text,
+                                      std::string_view answer_predicate) {
+  if (rule_text.find_first_not_of(" \t\r\n") == std::string_view::npos) {
+    // The empty program: evaluation reads the answer relation the data
+    // program derives.
+    return PrepareInternal(datalog::Program(dict_), answer_predicate);
+  }
+  TRIQ_ASSIGN_OR_RETURN(datalog::Program program,
+                        datalog::ParseProgram(rule_text, dict_));
+  return PrepareInternal(std::move(program), answer_predicate);
+}
+
+Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
+  auto it = sparql_cache_.find(sparql_text);
+  if (it == sparql_cache_.end()) {
+    TRIQ_ASSIGN_OR_RETURN(auto pattern,
+                          sparql::ParsePattern(sparql_text, dict_.get()));
+    translate::TranslationOptions translation;
+    switch (options_.regime) {
+      case EntailmentRegime::kNone:
+        translation.regime = translate::Regime::kPlain;
+        break;
+      case EntailmentRegime::kActiveDomain:
+        translation.regime = translate::Regime::kActiveDomain;
+        break;
+      case EntailmentRegime::kAll:
+        translation.regime = translate::Regime::kAll;
+        break;
+    }
+    // τ_owl2ql_core is part of the engine's data program (attached at
+    // construction under a reasoning regime) and is materialized once —
+    // the per-query program carries only the pattern's own rules.
+    translation.include_owl2ql_core = false;
+    TRIQ_ASSIGN_OR_RETURN(
+        translate::TranslatedQuery translated,
+        TranslatePattern(*pattern, dict_, translation));
+    datalog::Program query_program = std::move(translated.program);
+    translated.program = datalog::Program(dict_);
+    TRIQ_ASSIGN_OR_RETURN(
+        PreparedQuery prepared,
+        PrepareInternal(std::move(query_program),
+                        dict_->Text(translated.answer_predicate)));
+    it = sparql_cache_
+             .emplace(sparql_text,
+                      SparqlEntry{std::move(translated), std::move(prepared)})
+             .first;
+  }
+  PreparedQuery& prepared = it->second.prepared;
+  TRIQ_ASSIGN_OR_RETURN(const chase::Instance* instance,
+                        prepared.EvaluateInstance(nullptr));
+  sparql::MappingSet mappings =
+      AnswersToMappings(it->second.translated, *instance);
+  prepared.ReleaseScratch();
+  return mappings;
+}
+
+}  // namespace triq

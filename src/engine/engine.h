@@ -1,0 +1,387 @@
+#ifndef TRIQ_ENGINE_ENGINE_H_
+#define TRIQ_ENGINE_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/chase.h"
+#include "chase/instance.h"
+#include "common/dictionary.h"
+#include "common/result.h"
+#include "core/triq.h"
+#include "datalog/program.h"
+#include "owl/ontology.h"
+#include "rdf/graph.h"
+#include "sparql/mapping.h"
+#include "translate/sparql_to_datalog.h"
+
+namespace triq {
+
+/// Which SPARQL entailment regime `Engine::Query` evaluates basic graph
+/// patterns under (Sections 5.1-5.3 of the paper):
+///  * kNone — plain SPARQL over the stored triples (τ_bgp).
+///  * kActiveDomain — the OWL 2 QL core direct-semantics regime with the
+///    active-domain restriction J·K^U: variables *and* blank nodes range
+///    over the graph's constants (τ^U_bgp, Theorem 5.3).
+///  * kAll — the relaxed regime J·K^All of Section 5.3: blank nodes may
+///    take invented (null) witnesses; only proper variables are
+///    C(·)-guarded (τ^All_bgp).
+/// Under the two reasoning regimes the engine materializes the fixed
+/// τ_owl2ql_core program once, so every query shares one inference
+/// closure instead of re-deriving it.
+enum class EntailmentRegime { kNone, kActiveDomain, kAll };
+
+std::string_view EntailmentRegimeName(EntailmentRegime regime);
+
+/// Builder-style session configuration. Every knob the lower layers
+/// expose (chase mode, join strategy, thread count, semi-naive
+/// partitioning, safety caps) is set here once; the engine threads it
+/// down, so callers never construct chase::ChaseOptions themselves.
+///
+///   triq::Engine engine(triq::EngineOptions()
+///                           .SetNumThreads(4)
+///                           .SetRegime(triq::EntailmentRegime::kAll));
+struct EngineOptions {
+  chase::ChaseOptions::Mode chase_mode = chase::ChaseOptions::Mode::kRestricted;
+  chase::JoinStrategy join_strategy = chase::JoinStrategy::kAuto;
+  size_t num_threads = 1;
+  bool seminaive = true;
+  bool partition_deltas = true;
+  bool track_provenance = false;
+  size_t max_facts = chase::ChaseOptions().max_facts;
+  uint32_t max_null_depth = chase::ChaseOptions().max_null_depth;
+  EntailmentRegime regime = EntailmentRegime::kNone;
+
+  EngineOptions& SetChaseMode(chase::ChaseOptions::Mode mode) {
+    chase_mode = mode;
+    return *this;
+  }
+  EngineOptions& SetJoinStrategy(chase::JoinStrategy strategy) {
+    join_strategy = strategy;
+    return *this;
+  }
+  EngineOptions& SetNumThreads(size_t threads) {
+    num_threads = threads;
+    return *this;
+  }
+  EngineOptions& SetSeminaive(bool enabled) {
+    seminaive = enabled;
+    if (!enabled) partition_deltas = false;
+    return *this;
+  }
+  EngineOptions& SetPartitionDeltas(bool enabled) {
+    partition_deltas = enabled;
+    return *this;
+  }
+  EngineOptions& SetTrackProvenance(bool enabled) {
+    track_provenance = enabled;
+    return *this;
+  }
+  EngineOptions& SetMaxFacts(size_t facts) {
+    max_facts = facts;
+    return *this;
+  }
+  EngineOptions& SetMaxNullDepth(uint32_t depth) {
+    max_null_depth = depth;
+    return *this;
+  }
+  EngineOptions& SetRegime(EntailmentRegime r) {
+    regime = r;
+    return *this;
+  }
+
+  /// The chase configuration this session runs every materialization and
+  /// query pass with. The engine layer owns this mapping; nothing above
+  /// src/engine/ needs to name ChaseOptions.
+  chase::ChaseOptions ToChaseOptions() const;
+};
+
+class Engine;
+
+/// A query parsed, validated, and classified once, then evaluated many
+/// times against the engine's materialized instance. Obtained from
+/// Engine::Prepare; holds a pointer to its engine, which must outlive
+/// it.
+///
+/// Evaluation model: the first Evaluate after a (re)materialization runs
+/// the chase of the *query program only* — the data program's closure is
+/// reused, never re-derived — and later Evaluate calls on an unchanged
+/// engine are pure relation reads (zero chase rounds; `stats` reports
+/// the query-side chase, so a cache hit leaves it all-zero). Query
+/// programs with negated body atoms are evaluated on a throwaway copy of
+/// the materialized instance instead (still amortizing the data chase),
+/// because their derived facts cannot be incrementally cached.
+class PreparedQuery {
+ public:
+  const datalog::Program& program() const { return query_.program(); }
+  datalog::PredicateId answer_predicate() const {
+    return query_.answer_predicate();
+  }
+  /// Strongest language class of the query program (classified once at
+  /// Prepare time).
+  core::Language language() const { return language_; }
+
+  /// Certain answers of (Π_data ∪ Π_query, answer) over the loaded
+  /// database: all-constant tuples of the answer predicate, identical to
+  /// core::TriqQuery::Evaluate over the same facts. Materializes the
+  /// engine first if needed. StatusCode::kInconsistent is the paper's ⊤.
+  Result<std::vector<chase::Tuple>> Evaluate(
+      chase::ChaseStats* stats = nullptr);
+
+  /// Membership check: is `tuple` (constants) among the answers?
+  Result<bool> Holds(const std::vector<std::string>& tuple);
+
+ private:
+  friend class Engine;
+
+  PreparedQuery(Engine* engine, core::TriqQuery query, bool monotone)
+      : engine_(engine),
+        query_(std::move(query)),
+        language_(query_.Classify()),
+        monotone_(monotone) {}
+
+  /// Runs (or reuses) the query chase and returns the instance holding
+  /// the answer relation — the engine's materialized instance on the
+  /// cached path, `scratch_` on the non-monotone path. Callers decode
+  /// their answers and then ReleaseScratch(): the clone is a per-call
+  /// working set, not a cache (its results can go stale), so keeping it
+  /// would cost a full closure copy per non-monotone query for nothing.
+  Result<const chase::Instance*> EvaluateInstance(chase::ChaseStats* stats);
+
+  void ReleaseScratch() { scratch_.reset(); }
+
+  Engine* engine_;
+  core::TriqQuery query_;
+  core::Language language_;
+  bool monotone_;
+  // Generation bookkeeping: which engine materialization this query last
+  // chased against (0 = never), and whether that instance has since been
+  // rebuilt from scratch (invalidating saturated_'s tuple indexes).
+  uint64_t evaluated_generation_ = 0;
+  uint64_t evaluated_rebuild_ = 0;
+  chase::SaturatedSizes saturated_;
+  // Non-monotone queries evaluate on a private clone per call.
+  std::optional<chase::Instance> scratch_;
+};
+
+/// The materialize-once / query-many session facade over the whole
+/// stack: one interned Dictionary shared by loaders, ontologies, rule
+/// programs, the chase, and SPARQL; an explicit Materialize() computing
+/// Π(D) once; and two query paths (PreparedQuery for rule programs,
+/// Query() for SPARQL text) that evaluate against that single closure.
+///
+///   triq::Engine engine;
+///   engine.LoadTurtle("alice knows bob .");
+///   engine.AttachRules("triple(?X, knows, ?Y) -> query(?X, ?Y) .");
+///   auto q = engine.Prepare("", "query");            // or a rule text
+///   auto answers = q->Evaluate();                    // chases once
+///   auto again = q->Evaluate();                      // zero chase rounds
+///
+/// Facts loaded after Materialize() mark the session dirty; the next
+/// materialization (explicit or triggered by a query) re-saturates
+/// *semi-naively from the appended delta* when the data program is
+/// monotone (no negation), and rebuilds from the pristine base facts
+/// otherwise. Attaching rules after materializing always rebuilds.
+///
+/// Engines are not thread-safe: one session serves one logical stream of
+/// loads and queries (the chase itself parallelizes internally via
+/// SetNumThreads).
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const EngineOptions& options() const { return options_; }
+  Dictionary& dict() { return *dict_; }
+  const std::shared_ptr<Dictionary>& dict_ptr() const { return dict_; }
+
+  // ---- Loading (all loaders share the engine dictionary) -------------
+
+  /// Parses the Turtle subset of rdf::ParseTurtle into τ_db triples.
+  /// Blank nodes `_:n<k>` become labeled nulls, as in Instance::FromGraph.
+  Status LoadTurtle(std::string_view text);
+
+  /// Streaming variant: reads `path` line by line (rdf::ParseTurtleStream),
+  /// so large corpora never materialize as one in-memory string.
+  Status LoadTurtleFile(const std::string& path);
+
+  /// Loads a binary fact dump written by chase::SaveFacts. Symbols are
+  /// re-interned into the engine dictionary (a dump loads correctly next
+  /// to already-interned vocabulary) and nulls are re-allocated with
+  /// their depths and identity sharing preserved.
+  Status LoadFacts(const std::string& path);
+
+  /// Adds an already-built RDF graph (the workload generators). Graphs
+  /// over a foreign dictionary are re-interned by text.
+  Status LoadGraph(const rdf::Graph& graph);
+
+  /// Merges an already-built instance (e.g. core::CliqueDatabase). Moves
+  /// the storage wholesale when the session is still empty and the
+  /// dictionary is shared; otherwise facts are appended (foreign-
+  /// dictionary symbols re-interned, nulls re-allocated).
+  Status LoadDatabase(chase::Instance database);
+
+  /// Adds one τ_db triple; interns the three strings as constants.
+  Status AddTriple(std::string_view subject, std::string_view predicate,
+                   std::string_view object);
+
+  // ---- Ontologies and rule programs ----------------------------------
+
+  /// Stores the ontology as RDF triples per Table 1 (Section 5.2). Under
+  /// a reasoning regime the fixed τ_owl2ql_core program (attached at
+  /// construction) gives the axioms their direct semantics; under kNone
+  /// they are inert triples unless a rule library reads them.
+  Status AttachOntology(const owl::Ontology& ontology);
+
+  /// Appends a Datalog∃,¬s,⊥ rule set to the data program materialized
+  /// by this session (OWL 2 RL, the Section 2 vocabulary libraries, or
+  /// user rules). Must be built over the engine dictionary.
+  Status AttachProgram(const datalog::Program& program);
+
+  /// Convenience: parses `rule_text` over the engine dictionary and
+  /// attaches it.
+  Status AttachRules(std::string_view rule_text);
+
+  /// The data program (attached rules, plus τ_owl2ql_core under a
+  /// reasoning regime).
+  const datalog::Program& program() const { return program_; }
+
+  // ---- Materialization -----------------------------------------------
+
+  /// Computes Π(D) for the data program: validates the chase options,
+  /// clones the pristine base facts, and runs the stratified chase once.
+  /// Subsequent queries reuse the result. If facts were appended since
+  /// the last materialization, re-saturates incrementally from the delta
+  /// (monotone data programs) or rebuilds from the base facts. A clean,
+  /// already-materialized session returns all-zero stats untouched.
+  /// StatusCode::kInconsistent reports a constraint violation (⊤).
+  Result<chase::ChaseStats> Materialize();
+
+  /// True when Π(D) is computed and no facts/rules arrived since.
+  bool IsMaterialized() const {
+    return materialized_.has_value() && !dirty_ && !rules_dirty_;
+  }
+
+  /// The materialized instance (materializing first if needed). The
+  /// pointer stays valid until the next load/attach; query predicates of
+  /// evaluated PreparedQuerys appear in it alongside the data closure.
+  Result<const chase::Instance*> MaterializedInstance();
+
+  /// The pristine loaded facts (never chased).
+  const chase::Instance& base() const { return base_; }
+
+  /// All-constant tuples of `predicate` in the materialized instance —
+  /// the answer-reading idiom for sessions whose data program already
+  /// derives the answers (materializing first if needed).
+  Result<std::vector<chase::Tuple>> Answers(std::string_view predicate);
+
+  /// How many times this session has (re)materialized, and how many of
+  /// those were full rebuilds from the base facts (first materialization
+  /// included). materializations() - rebuilds() = incremental delta
+  /// re-saturations. Exposed for tests and ops introspection.
+  uint64_t materializations() const { return materialize_count_; }
+  uint64_t rebuilds() const { return rebuild_count_; }
+
+  // ---- Queries -------------------------------------------------------
+
+  /// Validates (program, answer_predicate) as a TriqQuery whose head
+  /// predicates are disjoint from the data program and the loaded facts,
+  /// classifies it, and returns a PreparedQuery bound to this session.
+  /// The program may be empty: evaluation then just reads the answer
+  /// relation the data program derives.
+  Result<PreparedQuery> Prepare(datalog::Program program,
+                                std::string_view answer_predicate);
+
+  /// Convenience: parses `rule_text` ("" for the empty program) over the
+  /// engine dictionary and prepares it.
+  Result<PreparedQuery> Prepare(std::string_view rule_text,
+                                std::string_view answer_predicate);
+
+  /// Evaluates a SPARQL graph pattern under the session's entailment
+  /// regime: parses, translates (τ_bgp / τ^U_bgp / τ^All_bgp), prepares,
+  /// and decodes the answers as solution mappings. Translation and
+  /// preparation are cached per query text, so repeated calls reuse both
+  /// the plan and (on an unchanged session) the evaluated answers.
+  Result<sparql::MappingSet> Query(const std::string& sparql_text);
+
+ private:
+  friend class PreparedQuery;
+
+  chase::ChaseOptions chase_options() const {
+    return options_.ToChaseOptions();
+  }
+
+  /// Materializes unless already clean (cheap no-op then).
+  Status EnsureMaterialized();
+
+  /// Appends every fact of `src` (over any dictionary) to `dst`,
+  /// re-interning foreign symbols and re-allocating nulls.
+  Status AppendFacts(const chase::Instance& src, chase::Instance* dst);
+
+  /// Rejects sources carrying facts for query-derived predicates or
+  /// arity-conflicting relations, before anything is mutated — loads
+  /// are all-or-nothing.
+  Status CheckLoadable(const chase::Instance& src) const;
+
+  /// Collision-free identity of a (program, answer) pair for the claim
+  /// maps above.
+  uint64_t FingerprintId(const datalog::Program& program,
+                         datalog::PredicateId answer);
+
+  /// Routes freshly loaded facts into the base instance and, when a
+  /// materialization exists, into it as well (as the pending delta).
+  Status Ingest(const chase::Instance& src);
+
+  /// Chase failed mid-flight: drop the half-mutated closure so the next
+  /// operation rebuilds from the pristine base.
+  void InvalidateMaterialized() { materialized_.reset(); }
+
+  Result<PreparedQuery> PrepareInternal(datalog::Program program,
+                                        std::string_view answer_predicate);
+
+  EngineOptions options_;
+  std::shared_ptr<Dictionary> dict_;
+  chase::Instance base_;
+  datalog::Program program_;
+  bool program_monotone_ = true;
+
+  std::optional<chase::Instance> materialized_;
+  chase::SaturatedSizes saturated_;
+  uint64_t materialize_count_ = 0;
+  uint64_t rebuild_count_ = 0;
+  bool dirty_ = false;        // facts appended since materialization
+  bool rules_dirty_ = false;  // rules attached since materialization
+
+  // Query-owned head predicates: predicate -> fingerprint of the
+  // claiming (program, answer) pair. Two PreparedQuerys may share a
+  // predicate only when their programs are identical (their derivations
+  // then coincide); anything else would mix answer relations. The reads
+  // map records body references the same way, so a later Prepare cannot
+  // derive a predicate an earlier query already reads (the evaluation-
+  // order-dependent case in the other direction).
+  std::unordered_map<datalog::PredicateId, uint64_t> query_claims_;
+  std::unordered_map<datalog::PredicateId, uint64_t> query_reads_;
+  // (program text, answer) -> dense fingerprint id. Interned full texts,
+  // so fingerprint equality is exactly program identity (no hash
+  // collisions deciding soundness).
+  std::unordered_map<std::string, uint64_t> fingerprint_ids_;
+
+  // Query(text) cache: translation metadata + the prepared query.
+  struct SparqlEntry {
+    translate::TranslatedQuery translated;  // program member left empty
+    PreparedQuery prepared;
+  };
+  std::unordered_map<std::string, SparqlEntry> sparql_cache_;
+};
+
+}  // namespace triq
+
+#endif  // TRIQ_ENGINE_ENGINE_H_

@@ -172,6 +172,7 @@ TEST_P(JoinStrategySweep, ThreeWayEquivalence) {
 
   chase::ChaseOptions naive;
   naive.seminaive = false;
+  naive.partition_deltas = false;
   naive.join_strategy = chase::JoinStrategy::kHash;
   chase::ChaseOptions hash;
   hash.join_strategy = chase::JoinStrategy::kHash;

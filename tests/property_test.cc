@@ -94,6 +94,7 @@ TEST_P(ChaseEquivalenceSweep, SeminaiveEqualsNaive) {
   }
   chase::ChaseOptions naive;
   naive.seminaive = false;
+  naive.partition_deltas = false;
   ASSERT_TRUE(RunChase(*program, &db1, {}).ok());
   ASSERT_TRUE(RunChase(*program, &db2, naive).ok());
   EXPECT_EQ(db1.ToString(), db2.ToString()) << program->ToString();
@@ -114,6 +115,7 @@ TEST_P(ChaseEquivalenceSweep, PartitionedSeminaiveMatchesBothBaselines) {
 
   chase::ChaseOptions naive;
   naive.seminaive = false;
+  naive.partition_deltas = false;
   chase::ChaseOptions legacy;
   legacy.partition_deltas = false;
   chase::ChaseOptions partitioned;  // the default

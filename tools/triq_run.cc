@@ -1,17 +1,19 @@
-// triq_run — command-line query runner.
+// triq_run — command-line query runner over a triq::Engine session.
 //
 // Evaluate a Datalog∃,¬s,⊥ rule program over an RDF graph:
 //   triq_run --graph data.ttl --program query.rules --answer query
 //
 // Or a SPARQL pattern, optionally under an entailment regime:
-//   triq_run --graph data.ttl --pattern '{ ?X eats _:B }' --regime all
+//   triq_run --graph data.ttl --sparql '{ ?X eats _:B }' --regime all
 //
 // Flags:
 //   --graph FILE      RDF graph in the Turtle subset (required)
 //   --program FILE    rule program (with --answer PRED)
 //   --answer PRED     answer predicate of the rule program
-//   --pattern TEXT    SPARQL graph pattern (alternative to --program)
-//   --regime MODE     plain | active | all        (default plain)
+//   --sparql TEXT     SPARQL graph pattern (alternative to --program)
+//   --pattern TEXT    legacy alias of --sparql
+//   --regime MODE     none | active | all         (default none;
+//                     plain is accepted as a legacy alias of none)
 //   --threads N       chase thread count (default 1; N > 1 runs the
 //                     parallel sharded executor, same answers)
 //   --classify        print the language class of the program and exit
@@ -19,18 +21,14 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "chase/proof_tree.h"
 #include "common/strings.h"
-#include "core/triq.h"
 #include "datalog/parser.h"
-#include "rdf/turtle.h"
-#include "sparql/parser.h"
-#include "translate/sparql_to_datalog.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -39,7 +37,7 @@ struct Args {
   std::string program_file;
   std::string answer_predicate;
   std::string pattern;
-  std::string regime = "plain";
+  std::string regime = "none";
   std::string explain;
   size_t threads = 1;
   bool classify = false;
@@ -59,42 +57,41 @@ bool ReadFile(const std::string& path, std::string* out) {
   return true;
 }
 
-int RunRuleProgram(const Args& args, triq::rdf::Graph graph,
-                   std::shared_ptr<triq::Dictionary> dict) {
+int RunRuleProgram(const Args& args, triq::Engine* engine) {
   std::string program_text;
   if (!ReadFile(args.program_file, &program_text)) {
     return Fail("cannot read " + args.program_file);
   }
-  auto program = triq::datalog::ParseProgram(program_text, dict);
+  std::string answer = args.answer_predicate.empty() && args.classify
+                           ? "query"
+                           : args.answer_predicate;
+  if (answer.empty()) return Fail("--program needs --answer PRED");
+
+  // The program file is the whole workload — rule libraries in it may
+  // extend loaded predicates (e.g. the owl:sameAs library writes
+  // triple), so it is attached as the session's data program and the
+  // answers are read off the materialized instance, exactly the paper's
+  // Eval. TriqQuery::Create still vets (Π, answer) well-formedness and
+  // classifies.
+  auto program = triq::datalog::ParseProgram(program_text,
+                                             engine->dict_ptr());
   if (!program.ok()) return Fail(program.status().ToString());
+  auto query = triq::core::TriqQuery::Create(*program, answer);
+  if (!query.ok()) return Fail(query.status().ToString());
 
   if (args.classify) {
-    auto query = triq::core::TriqQuery::Create(
-        std::move(*program), args.answer_predicate.empty()
-                                 ? "query"
-                                 : args.answer_predicate);
-    if (!query.ok()) return Fail(query.status().ToString());
     std::cout << triq::core::LanguageName(query->Classify()) << "\n";
     return 0;
   }
-  if (args.answer_predicate.empty()) {
-    return Fail("--program needs --answer PRED");
-  }
-  auto query = triq::core::TriqQuery::Create(std::move(*program),
-                                             args.answer_predicate);
-  if (!query.ok()) return Fail(query.status().ToString());
 
-  triq::chase::Instance db = triq::chase::Instance::FromGraph(graph);
-  triq::chase::ChaseOptions options;
-  options.track_provenance = !args.explain.empty();
-  options.num_threads = args.threads;
-  triq::chase::Instance working = triq::core::CloneInstance(db);
-  auto answers = query->EvaluateInPlace(&working, options);
+  triq::Status attached = engine->AttachProgram(*program);
+  if (!attached.ok()) return Fail(attached.ToString());
+  auto answers = engine->Answers(answer);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const triq::chase::Tuple& tuple : *answers) {
     for (size_t i = 0; i < tuple.size(); ++i) {
       if (i > 0) std::cout << '\t';
-      std::cout << dict->Text(tuple[i].symbol());
+      std::cout << engine->dict().Text(tuple[i].symbol());
     }
     std::cout << '\n';
   }
@@ -102,40 +99,27 @@ int RunRuleProgram(const Args& args, triq::rdf::Graph graph,
 
   if (!args.explain.empty()) {
     triq::datalog::Atom goal;
-    goal.predicate = dict->Intern(args.answer_predicate);
+    goal.predicate = engine->dict().Intern(answer);
     for (const std::string& part :
          triq::SplitAndTrim(args.explain, ',')) {
       goal.args.push_back(
-          triq::datalog::Term::Constant(dict->Intern(part)));
+          triq::datalog::Term::Constant(engine->dict().Intern(part)));
     }
-    auto tree = ExtractProofTree(working, goal);
+    auto materialized = engine->MaterializedInstance();
+    if (!materialized.ok()) return Fail(materialized.status().ToString());
+    auto tree = ExtractProofTree(**materialized, goal);
     if (!tree.ok()) return Fail(tree.status().ToString());
-    std::cout << "\nproof of " << AtomToString(goal, *dict) << ":\n"
-              << ProofTreeToString(**tree, *dict);
+    std::cout << "\nproof of " << AtomToString(goal, engine->dict())
+              << ":\n" << ProofTreeToString(**tree, engine->dict());
   }
   return 0;
 }
 
-int RunPattern(const Args& args, triq::rdf::Graph graph,
-               std::shared_ptr<triq::Dictionary> dict) {
-  auto pattern = triq::sparql::ParsePattern(args.pattern, dict.get());
-  if (!pattern.ok()) return Fail(pattern.status().ToString());
-  triq::translate::TranslationOptions options;
-  if (args.regime == "plain") {
-    options.regime = triq::translate::Regime::kPlain;
-  } else if (args.regime == "active") {
-    options.regime = triq::translate::Regime::kActiveDomain;
-  } else if (args.regime == "all") {
-    options.regime = triq::translate::Regime::kAll;
-  } else {
-    return Fail("unknown --regime (use plain|active|all)");
-  }
-  auto translated = TranslatePattern(**pattern, dict, options);
-  if (!translated.ok()) return Fail(translated.status().ToString());
-  auto answers = EvaluateTranslated(*translated, graph);
+int RunPattern(const Args& args, triq::Engine* engine) {
+  auto answers = engine->Query(args.pattern);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const triq::sparql::SparqlMapping& m : answers->mappings()) {
-    std::cout << m.ToString(*dict) << '\n';
+    std::cout << m.ToString(engine->dict()) << '\n';
   }
   std::cerr << answers->size() << " mapping(s)\n";
   return 0;
@@ -162,9 +146,9 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Fail("--answer needs a value");
       args.answer_predicate = v;
-    } else if (flag == "--pattern") {
+    } else if (flag == "--sparql" || flag == "--pattern") {
       const char* v = next();
-      if (!v) return Fail("--pattern needs a value");
+      if (!v) return Fail(flag + " needs a value");
       args.pattern = v;
     } else if (flag == "--regime") {
       const char* v = next();
@@ -184,9 +168,9 @@ int main(int argc, char** argv) {
       args.classify = true;
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "usage: triq_run --graph FILE"
-                   " (--program FILE --answer PRED | --pattern TEXT)"
-                   " [--regime plain|active|all] [--classify]"
-                   " [--explain a,b,c]\n";
+                   " (--program FILE --answer PRED | --sparql TEXT)"
+                   " [--regime none|active|all] [--threads N]"
+                   " [--classify] [--explain a,b,c]\n";
       return 0;
     } else {
       return Fail("unknown flag " + flag);
@@ -194,21 +178,30 @@ int main(int argc, char** argv) {
   }
   if (args.graph_file.empty()) return Fail("--graph is required (see --help)");
   if (args.program_file.empty() == args.pattern.empty()) {
-    return Fail("give exactly one of --program / --pattern");
+    return Fail("give exactly one of --program / --sparql");
   }
 
-  auto dict = std::make_shared<triq::Dictionary>();
-  triq::rdf::Graph graph(dict);
-  std::string graph_text;
-  if (!ReadFile(args.graph_file, &graph_text)) {
-    return Fail("cannot read " + args.graph_file);
+  triq::EntailmentRegime regime;
+  if (args.regime == "none" || args.regime == "plain") {
+    regime = triq::EntailmentRegime::kNone;
+  } else if (args.regime == "active") {
+    regime = triq::EntailmentRegime::kActiveDomain;
+  } else if (args.regime == "all") {
+    regime = triq::EntailmentRegime::kAll;
+  } else {
+    return Fail("unknown --regime (use none|active|all)");
   }
-  triq::Status parsed = triq::rdf::ParseTurtle(graph_text, &graph);
-  if (!parsed.ok()) return Fail(parsed.ToString());
-  std::cerr << "loaded " << graph.size() << " triple(s)\n";
+
+  triq::Engine engine(triq::EngineOptions()
+                          .SetNumThreads(args.threads)
+                          .SetTrackProvenance(!args.explain.empty())
+                          .SetRegime(regime));
+  triq::Status loaded = engine.LoadTurtleFile(args.graph_file);
+  if (!loaded.ok()) return Fail(loaded.ToString());
+  std::cerr << "loaded " << engine.base().TotalFacts() << " triple(s)\n";
 
   if (!args.program_file.empty()) {
-    return RunRuleProgram(args, std::move(graph), dict);
+    return RunRuleProgram(args, &engine);
   }
-  return RunPattern(args, std::move(graph), dict);
+  return RunPattern(args, &engine);
 }
