@@ -15,13 +15,18 @@
 //                 include the thread sweep)
 //   --out DIR     directory for the BENCH_*.json files (default ".";
 //                 created if missing)
-//   --suite NAME  run only the named suite (chase | vocab | transport)
+//   --suite NAME  run only the named suite
+//                 (chase | vocab | transport | engine)
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <vector>
 
 #include "harness.h"
@@ -340,6 +345,133 @@ void SuiteTransport(const Config& config, const HarnessOptions& options) {
   if (!st.ok()) { std::cerr << st.ToString() << "\n"; std::exit(1); }
 }
 
+// ---- suite: engine ----------------------------------------------------
+//
+// Mixed read/write traffic against ONE concurrent engine session: reader
+// threads evaluate prepared queries and cached SPARQL patterns while a
+// writer appends facts and re-materializes, exercising the snapshot
+// publish/pin path end to end. Latency counters use the measurement
+// suffixes (_qps/_us) that tools/check_bench_regression.py excludes
+// from its determinism check; the op counts and final closure size are
+// exact and checked.
+void SuiteEngine(const Config& config, const HarnessOptions& options) {
+  Harness harness(options);
+
+  // The gated workload is identical in quick and full mode (the CI
+  // quick run is compared against the committed full-mode baseline), so
+  // only the harness repetition counts differ.
+  constexpr int kChain = 128;
+  constexpr int kReaders = 4;          // half Evaluate, half SPARQL
+  constexpr int kReadsPerReader = 100;
+  constexpr int kWrites = 12;
+  const std::string sparql = "{ ?x edge ?y }";
+
+  harness.Run(
+      "engine/mixed_traffic/" + std::to_string(kChain),
+      [&](std::map<std::string, double>* counters) {
+        triq::Engine engine;
+        for (int i = 0; i < kChain; ++i) {
+          std::string a = "v" + std::to_string(i);
+          std::string b = "v" + std::to_string(i + 1);
+          if (!engine.AddTriple(a, "edge", b).ok()) std::abort();
+        }
+        if (!engine
+                 .AttachRules(
+                     "triple(?X, edge, ?Y) -> tc(?X, ?Y) .\n"
+                     "tc(?X, ?Y), triple(?Y, edge, ?Z) -> tc(?X, ?Z) .")
+                 .ok()) {
+          std::abort();
+        }
+        if (!engine.Materialize().ok()) std::abort();
+
+        using Clock = std::chrono::steady_clock;
+        std::vector<std::vector<double>> read_us(kReaders);
+        std::vector<double> write_us;
+        std::atomic<bool> failed{false};
+
+        auto reader = [&](int id) {
+          auto query = engine.Prepare("", "tc");
+          if (!query.ok()) {
+            failed = true;
+            return;
+          }
+          auto& lat = read_us[id];
+          lat.reserve(kReadsPerReader);
+          for (int i = 0; i < kReadsPerReader; ++i) {
+            auto begin = Clock::now();
+            bool ok = (id % 2 == 0)
+                          ? query->Evaluate().ok()
+                          : engine.Query(sparql).ok();
+            auto end = Clock::now();
+            if (!ok) {
+              failed = true;
+              return;
+            }
+            lat.push_back(
+                std::chrono::duration<double, std::micro>(end - begin)
+                    .count());
+          }
+        };
+
+        auto traffic_begin = Clock::now();
+        std::vector<std::thread> threads;
+        threads.reserve(kReaders);
+        for (int r = 0; r < kReaders; ++r) threads.emplace_back(reader, r);
+        // The calling thread is the writer.
+        write_us.reserve(kWrites);
+        for (int w = 0; w < kWrites; ++w) {
+          std::string a = "v" + std::to_string(kChain + w);
+          std::string b = "v" + std::to_string(kChain + w + 1);
+          auto begin = Clock::now();
+          if (!engine.AddTriple(a, "edge", b).ok()) std::abort();
+          if (!engine.Materialize().ok()) std::abort();
+          auto end = Clock::now();
+          write_us.push_back(
+              std::chrono::duration<double, std::micro>(end - begin)
+                  .count());
+        }
+        for (std::thread& t : threads) t.join();
+        auto traffic_end = Clock::now();
+        if (failed.load()) std::abort();
+
+        std::vector<double> reads;
+        for (const auto& lat : read_us) {
+          reads.insert(reads.end(), lat.begin(), lat.end());
+        }
+        std::sort(reads.begin(), reads.end());
+        std::sort(write_us.begin(), write_us.end());
+        auto percentile = [](const std::vector<double>& sorted, double p) {
+          if (sorted.empty()) return 0.0;
+          size_t rank = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+          return sorted[std::min(rank, sorted.size() - 1)];
+        };
+        const double elapsed_s =
+            std::chrono::duration<double>(traffic_end - traffic_begin)
+                .count();
+        const size_t total_ops = reads.size() + write_us.size();
+
+        auto answers = engine.Answers("tc");
+        if (!answers.ok()) std::abort();
+
+        // Exact counters (identical on every honest run).
+        (*counters)["reads"] = static_cast<double>(reads.size());
+        (*counters)["writes"] = static_cast<double>(write_us.size());
+        (*counters)["final_tc"] = static_cast<double>(answers->size());
+        // Measurements (suffix convention: excluded from the regression
+        // script's counter-equality check).
+        (*counters)["mixed_qps"] =
+            elapsed_s > 0 ? static_cast<double>(total_ops) / elapsed_s : 0;
+        (*counters)["read_p50_us"] = percentile(reads, 0.50);
+        (*counters)["read_p99_us"] = percentile(reads, 0.99);
+        (*counters)["write_p50_us"] = percentile(write_us, 0.50);
+        (*counters)["write_p99_us"] = percentile(write_us, 0.99);
+      });
+
+  auto st = WriteJsonFile(config.out_dir + "/BENCH_engine.json", "engine",
+                          options, harness.results());
+  if (!st.ok()) { std::cerr << st.ToString() << "\n"; std::exit(1); }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -378,9 +510,13 @@ int main(int argc, char** argv) {
     SuiteTransport(config, options);
     ran = true;
   }
+  if (config.only_suite.empty() || config.only_suite == "engine") {
+    SuiteEngine(config, options);
+    ran = true;
+  }
   if (!ran) {
     std::cerr << "unknown suite: " << config.only_suite
-              << " (expected chase | vocab | transport)\n";
+              << " (expected chase | vocab | transport | engine)\n";
     return 2;
   }
   std::cerr << "wrote BENCH_*.json to " << config.out_dir << "\n";

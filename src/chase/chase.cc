@@ -1,6 +1,7 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <unordered_set>
 #include <utility>
@@ -48,6 +49,8 @@ class ChaseRun {
 
   Status Run() {
     total_facts_ = instance_->TotalFacts();
+    deadline_set_ =
+        options_.deadline != std::chrono::steady_clock::time_point{};
     if (options_.num_threads > 1) {
       pool_ = std::make_unique<common::ThreadPool>(options_.num_threads - 1);
     }
@@ -168,12 +171,16 @@ class ChaseRun {
     return Status::OK();
   }
 
-  SizeSnapshot Snapshot() const {
-    SizeSnapshot out;
-    for (const auto& [pred, rel] : instance_->relations()) {
-      out[pred] = rel.size();
-    }
-    return out;
+  // Includes the overlay base's relations: round-0 partitioned atom
+  // windows must cover the base facts, not cap them at zero.
+  SizeSnapshot Snapshot() const { return instance_->RelationSizes(); }
+
+  bool DeadlineExpired() const {
+    return std::chrono::steady_clock::now() >= options_.deadline;
+  }
+
+  static Status DeadlineError() {
+    return Status::ResourceExhausted("chase exceeded the deadline");
   }
 
   static size_t ValueOr(const SizeSnapshot& map, PredicateId key,
@@ -185,6 +192,7 @@ class ChaseRun {
   Status ApplyRule(size_t rule_index, const MatchOptions& match_options) {
     const Rule& rule = program_.rules()[rule_index];
     if (rule.IsConstraint()) return Status::OK();
+    if (deadline_set_ && DeadlineExpired()) return DeadlineError();
     std::vector<Term> existentials = rule.ExistentialVariables();
 
     // Materialize the matches before firing: a rule may write into a
@@ -206,11 +214,19 @@ class ChaseRun {
     // The buffers are members so their capacity persists across passes.
     const bool fast = existentials.empty() && !options_.track_provenance;
     ResetStage(&seq_stage_);
+    Status deadline_status = Status::OK();
+    size_t since_check = 0;
     TRIQ_RETURN_IF_ERROR(
         MatchBody(rule, *instance_, effective, [&](const Match& match) {
+          if (deadline_set_ && (++since_check & 1023u) == 0 &&
+              DeadlineExpired()) {
+            deadline_status = DeadlineError();
+            return false;
+          }
           StageMatch(rule, match, fast, /*hash_arity=*/-1, &seq_stage_);
           return true;
         }));
+    TRIQ_RETURN_IF_ERROR(deadline_status);
     if (fast) {
       if (stats_ != nullptr) stats_->rule_firings += seq_stage_.matches;
       return DrainFastTuples(rule, seq_stage_.tuples.data(),
@@ -331,12 +347,22 @@ class ChaseRun {
       mo.driver_order_size = end - begin;
       mo.driver_sorted = plan.sorted;
       mo.driver_body_index = plan.body_index;
+      Status deadline_status = Status::OK();
+      size_t since_check = 0;
       stage.status =
           MatchBody(rule, *instance_, mo, [&](const Match& match) {
+            if (deadline_set_ && (++since_check & 1023u) == 0 &&
+                DeadlineExpired()) {
+              deadline_status = DeadlineError();
+              return false;
+            }
             StageMatch(rule, match, fast,
                        batch ? static_cast<int>(head_arity) : -1, &stage);
             return true;
           });
+      // An early callback stop makes MatchBody return OK; keep the
+      // deadline error instead.
+      if (stage.status.ok()) stage.status = deadline_status;
     });
     // The pool may be longer than this pass's shard count: only the
     // first num_shards entries were reset and filled.
@@ -546,6 +572,7 @@ class ChaseRun {
   // Saturated-prefix sizes for ResumeChase; null for a from-scratch run.
   const SaturatedSizes* resume_;
   size_t total_facts_ = 0;  // running TotalFacts(), kept by Fire
+  bool deadline_set_ = false;  // cached options_.deadline != epoch
   // Workers for the sharded executor; null when num_threads <= 1.
   std::unique_ptr<common::ThreadPool> pool_;
   std::unordered_set<TriggerKey, TriggerKeyHash> fired_;

@@ -1,6 +1,7 @@
 #ifndef TRIQ_CHASE_CHASE_H_
 #define TRIQ_CHASE_CHASE_H_
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <unordered_map>
@@ -79,6 +80,13 @@ struct ChaseOptions {
   /// programs is never truncated).
   size_t max_facts = 50'000'000;
   uint32_t max_null_depth = 128;
+
+  /// Optional wall-clock deadline: the chase aborts with
+  /// ResourceExhausted once steady_clock passes it. Checked at every
+  /// rule pass and every ~1k matches inside a pass, so long joins
+  /// cannot overshoot unboundedly. The default (epoch time_point)
+  /// disables the check entirely — no clock reads on the hot path.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 struct ChaseStats {

@@ -38,7 +38,10 @@ bool Instance::AddFact(std::string_view predicate,
 }
 
 const Relation* Instance::Find(PredicateId predicate) const {
-  return predicate < by_predicate_.size() ? by_predicate_[predicate] : nullptr;
+  const Relation* rel =
+      predicate < by_predicate_.size() ? by_predicate_[predicate] : nullptr;
+  if (rel == nullptr && base_ != nullptr) rel = base_->Find(predicate);
+  return rel;
 }
 
 const Relation* Instance::Find(std::string_view predicate) const {
@@ -51,6 +54,11 @@ Relation& Instance::GetOrCreate(PredicateId predicate, uint32_t arity) {
       by_predicate_[predicate] != nullptr) {
     return *by_predicate_[predicate];
   }
+  // An overlay must never grow a relation its base already has — the
+  // overlay copy would shadow the base facts on the Find() fast path.
+  // The engine's claim registry keeps query-derived predicates disjoint
+  // from data predicates, so this cannot fire for engine traffic.
+  assert(base_ == nullptr || base_->Find(predicate) == nullptr);
   Relation& rel =
       relations_.emplace(predicate, Relation(arity)).first->second;
   if (predicate >= by_predicate_.size()) {
@@ -67,12 +75,24 @@ bool Instance::Contains(PredicateId predicate, TupleView tuple) const {
 }
 
 size_t Instance::TotalFacts() const {
-  size_t total = 0;
+  size_t total = base_ != nullptr ? base_->TotalFacts() : 0;
   for (const auto& [pred, rel] : relations_) total += rel.size();
   return total;
 }
 
+std::unordered_map<PredicateId, size_t> Instance::RelationSizes() const {
+  std::unordered_map<PredicateId, size_t> out;
+  if (base_ != nullptr) out = base_->RelationSizes();
+  for (const auto& [pred, rel] : relations_) out[pred] = rel.size();
+  return out;
+}
+
+void Instance::FreezeAllIndexes() const {
+  for (const auto& [pred, rel] : relations_) rel.FreezeIndexes();
+}
+
 Instance Instance::CloneFacts() const {
+  assert(base_ == nullptr && "overlays are scratch state, never cloned");
   Instance out(dict_);
   out.relations_ = relations_;
   out.next_null_id_ = next_null_id_;
@@ -133,6 +153,8 @@ Term Instance::AllocateNull(uint32_t depth) {
 uint32_t Instance::NullDepth(Term null) const {
   if (!null.IsNull()) return 0;
   uint32_t id = null.null_id();
+  if (id < null_base_) return base_->NullDepth(null);
+  id -= null_base_;
   return id < null_depths_.size() ? null_depths_[id] : 0;
 }
 

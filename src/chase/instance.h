@@ -45,10 +45,32 @@ struct Derivation {
 /// A (finite prefix of a possibly infinite) instance: one Relation per
 /// predicate, over a shared Dictionary. This is the paper's notion of an
 /// instance over U ∪ B — tuples mix constants and labeled nulls.
+///
+/// An instance can be an *overlay* over an immutable base instance
+/// (MakeOverlay): reads fall through to the base for predicates the
+/// overlay has no relation for, and null ids are allocated above the
+/// base's range, so a query-time chase can derive query-predicate facts
+/// on top of a published snapshot without ever mutating it. The base and
+/// overlay predicate sets must be disjoint (the engine's claim registry
+/// enforces this) — an overlay never shadows a base relation.
 class Instance {
  public:
   explicit Instance(std::shared_ptr<Dictionary> dict)
       : dict_(std::move(dict)) {}
+
+  /// An empty overlay whose reads fall through to `base`, which must be
+  /// frozen for the overlay's lifetime and outlive it. Null allocation
+  /// starts above base->null_count().
+  static Instance MakeOverlay(const Instance* base) {
+    Instance out(base->dict_);
+    out.base_ = base;
+    out.null_base_ = base->null_count();
+    out.next_null_id_ = out.null_base_;
+    return out;
+  }
+
+  /// The base this instance overlays, or nullptr.
+  const Instance* overlay_base() const { return base_; }
 
   // Movable but not copyable: the dense predicate cache points into the
   // relation map's (address-stable, move-invariant) nodes. Use
@@ -99,9 +121,21 @@ class Instance {
   }
 
   size_t TotalFacts() const;
+
+  /// The relations stored in THIS instance (an overlay's own facts only;
+  /// use RelationSizes() for the chase-visible predicate universe).
   const std::unordered_map<PredicateId, Relation>& relations() const {
     return relations_;
   }
+
+  /// Sizes of every chase-visible relation: this instance's own, plus —
+  /// for overlays — the base's (which never appear in relations()).
+  std::unordered_map<PredicateId, size_t> RelationSizes() const;
+
+  /// Syncs every relation's sorted permutation on every position, so all
+  /// subsequent index reads (and full-window SortWindow calls) are
+  /// const in the concurrent sense. Called once at snapshot publish.
+  void FreezeAllIndexes() const;
 
   /// A fact-level copy: same dictionary, relations and null registry,
   /// no derivations. Relations are copied wholesale (flat storage makes
@@ -156,7 +190,11 @@ class Instance {
   // so the vector stays tiny; rebuilt wholesale by CloneFacts.
   mutable std::vector<Relation*> by_predicate_;
   std::unordered_map<FactRef, Derivation, FactRefHash> derivations_;
+  // Overlay read-through base (see MakeOverlay); non-owning.
+  const Instance* base_ = nullptr;
+  uint32_t null_base_ = 0;  // base's null ids occupy [0, null_base_)
   uint32_t next_null_id_ = 0;
+  // Depth of null id `null_base_ + i` at index i.
   std::vector<uint32_t> null_depths_;
 };
 

@@ -201,6 +201,15 @@ void Relation::SortWindow(uint32_t position, uint32_t begin, uint32_t end,
   out->clear();
   if (begin >= end) return;
   PositionIndex& index = sorted_[position];
+  // Full-window request over a frozen position: answer straight from the
+  // synced permutation without touching the window memo. This keeps
+  // SortWindow safe for concurrent readers of a frozen relation (the
+  // memoizing path below writes index state) — an overlay chase over a
+  // published snapshot only ever asks for the base's full window.
+  if (begin == 0 && end == count_ && index.perm.size() == count_) {
+    out->assign(index.perm.begin(), index.perm.end());
+    return;
+  }
   if (index.window_begin == begin && index.window_end == end &&
       index.window_perm.size() == end - begin) {
     *out = index.window_perm;

@@ -267,9 +267,10 @@ class Relation {
   /// to sync, so no mutable state is touched. The parallel chase
   /// freezes exactly the (relation, position) pairs a pass's join plan
   /// can probe (DriverPlan::probe_index_pairs) before fan-out.
-  /// SortWindow is NOT in the frozen read set (it memoizes; see below):
-  /// concurrent matchers receive pre-built windows instead of sorting
-  /// their own.
+  /// SortWindow joins the frozen read set only for the full window
+  /// [0, size()) (it answers from the synced permutation); partial
+  /// windows still memoize, so concurrent matchers receive pre-built
+  /// partial windows instead of sorting their own.
   void FreezeIndex(uint32_t position) const { SyncSorted(position); }
 
   /// FreezeIndex over every position.

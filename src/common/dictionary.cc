@@ -1,30 +1,67 @@
 #include "common/dictionary.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace triq {
 
-Dictionary::Dictionary() {
-  texts_.emplace_back();  // reserve id 0
+Dictionary::Dictionary()
+    : chunks_(new std::atomic<std::string*>[kMaxChunks]) {
+  for (uint32_t c = 0; c < kMaxChunks; ++c) {
+    chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+  // Reserve id 0: chunk 0 exists from the start, so Text() never has to
+  // branch on a missing chunk for valid ids.
+  chunks_[0].store(new std::string[kChunkSize], std::memory_order_release);
+}
+
+Dictionary::~Dictionary() {
+  for (uint32_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
 }
 
 SymbolId Dictionary::Intern(std::string_view text) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(text);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(text);
-  if (it != ids_.end()) return it->second;
-  SymbolId id = static_cast<SymbolId>(texts_.size());
-  texts_.emplace_back(text);
-  ids_.emplace(std::string_view(texts_.back()), id);
+  if (it != ids_.end()) return it->second;  // raced another interner
+
+  SymbolId id = next_id_;
+  uint32_t chunk_index = id >> kChunkBits;
+  assert(chunk_index < kMaxChunks && "dictionary symbol space exhausted");
+  std::string* chunk = chunks_[chunk_index].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    // Release: a reader that later learns `id` (via the map under mu_,
+    // or any happens-after channel) acquires this store in Text() and
+    // therefore sees the string assignment below.
+    chunks_[chunk_index].store(chunk, std::memory_order_release);
+  }
+  std::string& slot = chunk[id & kChunkMask];
+  slot.assign(text.data(), text.size());
+  // Re-publish so the string contents' writes are ordered before any
+  // reader's acquire load of the chunk pointer.
+  chunks_[chunk_index].store(chunk, std::memory_order_release);
+  ids_.emplace(std::string_view(slot), id);
+  ++next_id_;
+  size_.store(next_id_ - 1, std::memory_order_release);
   return id;
 }
 
 SymbolId Dictionary::Find(std::string_view text) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(text);
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }
 
-const std::string& Dictionary::Text(SymbolId id) const {
-  assert(id < texts_.size() && id != kInvalidSymbol);
-  return texts_[id];
+void Dictionary::Reserve(size_t n) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ids_.reserve(n + 1);
 }
 
 }  // namespace triq

@@ -81,66 +81,139 @@ chase::ChaseOptions EngineOptions::ToChaseOptions() const {
   return options;
 }
 
+// ---- QueryClaims ------------------------------------------------------
+
+namespace {
+
+void SortUnique(std::vector<PredicateId>* preds) {
+  std::sort(preds->begin(), preds->end());
+  preds->erase(std::unique(preds->begin(), preds->end()), preds->end());
+}
+
+}  // namespace
+
+Status QueryClaims::Acquire(std::vector<PredicateId> heads,
+                            std::vector<PredicateId> reads,
+                            uint64_t fingerprint, const Dictionary& dict,
+                            Token* token) {
+  SortUnique(&heads);
+  SortUnique(&reads);
+  std::lock_guard<std::mutex> lock(mu_);
+  // Validate every claim before recording any: a rejected Prepare must
+  // leave the registry exactly as it found it.
+  for (PredicateId pred : heads) {
+    auto it = heads_.find(pred);
+    if (it != heads_.end() && it->second.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "predicate '" + dict.Text(pred) +
+          "' is already derived by a different prepared query");
+    }
+    // Another query reading this predicate would see our facts or not
+    // depending on evaluation order — same staleness in the other
+    // direction.
+    auto reader = reads_.find(pred);
+    if (reader != reads_.end() && reader->second.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "query derives predicate '" + dict.Text(pred) +
+          "', which another prepared query reads (evaluation-order "
+          "dependent); combine them into one program");
+    }
+  }
+  // Reading another query's derived predicate is just as unsound as the
+  // data program doing it: whether those facts exist depends on
+  // evaluation order, and a cached evaluation would never see them. A
+  // query reading its *own* derived predicates (same fingerprint) is
+  // ordinary recursion and stays allowed.
+  for (PredicateId pred : reads) {
+    auto it = heads_.find(pred);
+    if (it != heads_.end() && it->second.fingerprint != fingerprint) {
+      return Status::InvalidArgument(
+          "query reads predicate '" + dict.Text(pred) +
+          "', which another prepared query derives (evaluation-order "
+          "dependent); combine them into one program");
+    }
+  }
+  for (PredicateId pred : heads) {
+    ++heads_.emplace(pred, Claim{fingerprint, 0}).first->second.refs;
+  }
+  for (PredicateId pred : reads) {
+    ++reads_.emplace(pred, Claim{fingerprint, 0}).first->second.refs;
+  }
+  token->heads = std::move(heads);
+  token->reads = std::move(reads);
+  token->fingerprint = fingerprint;
+  token->active = true;
+  return Status::OK();
+}
+
+void QueryClaims::Release(Token* token) {
+  if (!token->active) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PredicateId pred : token->heads) {
+    auto it = heads_.find(pred);
+    if (it != heads_.end() && --it->second.refs == 0) heads_.erase(it);
+  }
+  for (PredicateId pred : token->reads) {
+    auto it = reads_.find(pred);
+    if (it != reads_.end() && --it->second.refs == 0) reads_.erase(it);
+  }
+  token->active = false;
+}
+
+bool QueryClaims::HeadClaimed(PredicateId pred) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return heads_.count(pred) > 0;
+}
+
 // ---- PreparedQuery ----------------------------------------------------
 
-Result<const chase::Instance*> PreparedQuery::EvaluateInstance(
+PreparedQuery::~PreparedQuery() {
+  // claims_ is null after a move-from; the registry outlives the engine's
+  // last snapshot (shared_ptr), so release is safe in either destruction
+  // order.
+  if (claims_ != nullptr) claims_->Release(&token_);
+}
+
+Result<PreparedQuery::Pinned> PreparedQuery::EvaluatePinned(
     chase::ChaseStats* stats) {
   if (stats != nullptr) *stats = chase::ChaseStats{};
-  TRIQ_RETURN_IF_ERROR(engine_->EnsureMaterialized());
-  const chase::ChaseOptions options = engine_->chase_options();
+  TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, engine_->CurrentSnapshot());
 
-  if (!monotone_) {
-    // Negation in the query program: derived facts cannot be cached
-    // in-place (a later delta could retract them), so evaluate on a
-    // throwaway copy of the closure. The data chase is still amortized.
-    scratch_.emplace(engine_->materialized_->CloneFacts());
-    Status status =
-        chase::RunChase(query_.program(), &*scratch_, options, stats);
-    if (!status.ok()) {
-      ReleaseScratch();  // don't pin a dead closure copy on failure
-      return status;
-    }
-    return &*scratch_;
+  std::lock_guard<std::mutex> lock(eval_->mu);
+  if (eval_->snapshot == snap) {
+    // Session unchanged since this query last ran: its answers are
+    // already derived. Zero chase rounds.
+    return Pinned{std::move(snap), eval_->overlay};
   }
-
-  if (evaluated_generation_ == engine_->materialize_count_) {
-    // Session unchanged since this query last ran: its answer relation
-    // is already in the instance. Zero chase rounds.
-    return &*engine_->materialized_;
+  if (query_.program().rules().empty()) {
+    // The empty program: the answers are whatever the data program
+    // derived — read the snapshot directly.
+    eval_->snapshot = snap;
+    eval_->overlay = nullptr;
+    return Pinned{std::move(snap), nullptr};
   }
 
-  chase::Instance* instance = &*engine_->materialized_;
-  Status status;
-  if (evaluated_generation_ != 0 &&
-      evaluated_rebuild_ == engine_->rebuild_count_ && options.seminaive) {
-    // Only deltas were appended since our last chase: resume from the
-    // recorded saturated sizes instead of re-enumerating old matches.
-    status = chase::ResumeChase(query_.program(), instance, saturated_,
-                                options, stats);
-  } else {
-    status = chase::RunChase(query_.program(), instance, options, stats);
-  }
-  if (!status.ok()) {
-    // The in-place chase may have half-fired: drop the shared closure so
-    // the next operation rebuilds it from the pristine base facts.
-    engine_->InvalidateMaterialized();
-    evaluated_generation_ = 0;
-    return status;
-  }
-  evaluated_generation_ = engine_->materialize_count_;
-  evaluated_rebuild_ = engine_->rebuild_count_;
-  saturated_ = SnapshotSizes(*instance);
-  return static_cast<const chase::Instance*>(instance);
+  // Chase the query program over a private overlay of the snapshot. The
+  // data closure is reused as the frozen base — never re-derived, never
+  // mutated — so a failed query chase (caps, deadline, inconsistency)
+  // only discards this overlay: the session, and this handle's last good
+  // evaluation, stay untouched.
+  auto overlay = std::make_shared<chase::Instance>(
+      chase::Instance::MakeOverlay(&snap->instance));
+  TRIQ_RETURN_IF_ERROR(chase::RunChase(query_.program(), overlay.get(),
+                                       engine_->QueryChaseOptions(), stats));
+  // Decoders may probe the overlay's indexes from several threads once
+  // it is shared; sync them while still private.
+  overlay->FreezeAllIndexes();
+  eval_->snapshot = snap;
+  eval_->overlay = overlay;
+  return Pinned{std::move(snap), std::move(overlay)};
 }
 
 Result<std::vector<chase::Tuple>> PreparedQuery::Evaluate(
     chase::ChaseStats* stats) {
-  TRIQ_ASSIGN_OR_RETURN(const chase::Instance* instance,
-                        EvaluateInstance(stats));
-  std::vector<chase::Tuple> answers =
-      ConstantTuples(instance->Find(query_.answer_predicate()));
-  ReleaseScratch();
-  return answers;
+  TRIQ_ASSIGN_OR_RETURN(Pinned pinned, EvaluatePinned(stats));
+  return ConstantTuples(pinned.answers().Find(query_.answer_predicate()));
 }
 
 Result<bool> PreparedQuery::Holds(const std::vector<std::string>& tuple) {
@@ -159,7 +232,8 @@ Engine::Engine(EngineOptions options)
     : options_(options),
       dict_(std::make_shared<Dictionary>()),
       base_(dict_),
-      program_(dict_) {
+      program_(dict_),
+      claims_(std::make_shared<QueryClaims>()) {
   if (options_.regime != EntailmentRegime::kNone) {
     // The fixed τ_owl2ql_core program (Section 5.2) gives the two
     // reasoning regimes their semantics; materializing it once here is
@@ -168,6 +242,17 @@ Engine::Engine(EngineOptions options)
     (void)program_.Append(translate::BuildOwl2QlCoreProgram(dict_));
   }
   program_monotone_ = IsMonotone(program_);
+}
+
+Engine::~Engine() = default;
+
+chase::ChaseOptions Engine::QueryChaseOptions() const {
+  chase::ChaseOptions options = options_.ToChaseOptions();
+  if (options_.query_deadline.count() > 0) {
+    options.deadline =
+        std::chrono::steady_clock::now() + options_.query_deadline;
+  }
+  return options;
 }
 
 Status Engine::AppendFacts(const chase::Instance& src, chase::Instance* dst) {
@@ -216,6 +301,7 @@ Status Engine::CheckLoadable(const chase::Instance& src) const {
   // appended, so a rejected load leaves the session untouched instead of
   // half-applied (AppendFacts iterates predicate by predicate; an error
   // midway would strand the earlier predicates' facts in the base).
+  EngineSnapshotPtr snap = std::atomic_load(&snapshot_);
   for (const auto& [pred, rel] : src.relations()) {
     PredicateId engine_pred =
         src.dict_ptr().get() == dict_.get()
@@ -223,14 +309,14 @@ Status Engine::CheckLoadable(const chase::Instance& src) const {
             : dict_->Intern(src.dict().Text(pred));
     // Facts may not land in a relation a prepared query derives — its
     // cached evaluation would silently coexist with them.
-    if (query_claims_.count(engine_pred) > 0) {
+    if (claims_->HeadClaimed(engine_pred)) {
       return Status::InvalidArgument(
           "cannot load facts for predicate '" + dict_->Text(engine_pred) +
           "': it is derived by a prepared query");
     }
     // Arity mismatches are the one way AddFactChecked can fail below.
     for (const chase::Instance* dst :
-         {&base_, materialized_.has_value() ? &*materialized_ : nullptr}) {
+         {&base_, snap != nullptr ? &snap->instance : nullptr}) {
       if (dst == nullptr) continue;
       const chase::Relation* existing = dst->Find(engine_pred);
       if (existing != nullptr && existing->arity() != rel.arity()) {
@@ -247,22 +333,17 @@ Status Engine::CheckLoadable(const chase::Instance& src) const {
 
 Status Engine::Ingest(const chase::Instance& src) {
   TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
-  Status status = AppendFacts(src, &base_);
-  if (materialized_.has_value()) {
-    // Mirror the delta into the live closure so the next materialization
-    // can resume from it instead of starting over. Mark dirty first and
-    // drop the closure on any failure: a half-mirrored delta must force
-    // a rebuild from the base facts, never serve queries as-is.
-    dirty_ = true;
-    if (status.ok()) status = AppendFacts(src, &*materialized_);
-    if (!status.ok()) InvalidateMaterialized();
-  }
-  return status;
+  TRIQ_RETURN_IF_ERROR(AppendFacts(src, &base_));
+  // Only a successful load dirties the session: a rejected one left the
+  // base untouched, so the published closure is still exact.
+  needs_materialize_.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 Status Engine::LoadTurtle(std::string_view text) {
   rdf::Graph graph(dict_);
   TRIQ_RETURN_IF_ERROR(rdf::ParseTurtle(text, &graph));
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -273,6 +354,7 @@ Status Engine::LoadTurtleFile(const std::string& path) {
   }
   rdf::Graph graph(dict_);
   TRIQ_RETURN_IF_ERROR(rdf::ParseTurtleStream(in, &graph));
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -285,8 +367,9 @@ Status Engine::LoadFacts(const std::string& path) {
 }
 
 Status Engine::LoadDatabase(chase::Instance database) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (database.dict_ptr().get() == dict_.get() &&
-      !materialized_.has_value() && base_.TotalFacts() == 0 &&
+      std::atomic_load(&snapshot_) == nullptr && base_.TotalFacts() == 0 &&
       base_.null_count() == 0) {
     // Empty session: adopt the storage wholesale (claims still apply —
     // queries may be prepared before any facts arrive).
@@ -298,6 +381,7 @@ Status Engine::LoadDatabase(chase::Instance database) {
 }
 
 Status Engine::LoadGraph(const rdf::Graph& graph) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -305,6 +389,7 @@ Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
                          std::string_view object) {
   rdf::Graph graph(dict_);
   graph.Add(subject, predicate, object);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -313,6 +398,7 @@ Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
 Status Engine::AttachOntology(const owl::Ontology& ontology) {
   rdf::Graph graph(dict_);
   owl::OntologyToGraph(ontology, &graph);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -322,9 +408,10 @@ Status Engine::AttachProgram(const datalog::Program& program) {
         "attached programs must be built over the engine dictionary "
         "(Engine::dict_ptr())");
   }
+  std::lock_guard<std::mutex> lock(writer_mu_);
   for (const Rule& rule : program.rules()) {
     auto claimed = [&](const Atom& atom) {
-      return query_claims_.count(atom.predicate) > 0;
+      return claims_->HeadClaimed(atom.predicate);
     };
     if (std::any_of(rule.body.begin(), rule.body.end(), claimed) ||
         std::any_of(rule.head.begin(), rule.head.end(), claimed)) {
@@ -336,7 +423,11 @@ Status Engine::AttachProgram(const datalog::Program& program) {
   }
   TRIQ_RETURN_IF_ERROR(program_.Append(program));
   program_monotone_ = IsMonotone(program_);
-  if (materialized_.has_value()) rules_dirty_ = true;
+  // New rules invalidate the published closure, and the next
+  // materialization must restart from the pristine base: the appended
+  // rules may derive through facts the old program already consumed.
+  rules_dirty_ = true;
+  needs_materialize_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -348,51 +439,158 @@ Status Engine::AttachRules(std::string_view rule_text) {
 
 // ---- Engine: materialization -------------------------------------------
 
-Result<chase::ChaseStats> Engine::Materialize() {
+Status Engine::AppendBaseDelta(chase::Instance* next,
+                               std::vector<Term>* null_map) {
+  // Base nulls first seen in this delta get fresh snapshot nulls; nulls
+  // shared with already-consumed facts reuse their committed mapping, so
+  // identity sharing across deltas is preserved.
+  null_map->resize(base_.null_count(), Term());
+  std::vector<PredicateId> predicates;
+  predicates.reserve(base_.relations().size());
+  for (const auto& [pred, rel] : base_.relations()) predicates.push_back(pred);
+  std::sort(predicates.begin(), predicates.end());
+
+  chase::Tuple mapped;
+  for (PredicateId pred : predicates) {
+    const chase::Relation* rel = base_.Find(pred);
+    auto it = base_consumed_.find(pred);
+    const size_t from = it != base_consumed_.end() ? it->second : 0;
+    for (size_t i = from; i < rel->size(); ++i) {
+      chase::TupleView tuple = rel->tuple(static_cast<uint32_t>(i));
+      mapped.clear();
+      for (Term t : tuple) {
+        if (t.IsNull()) {
+          Term& remapped = (*null_map)[t.null_id()];
+          if (remapped == Term()) {
+            remapped = next->AllocateNull(base_.NullDepth(t));
+          }
+          mapped.push_back(remapped);
+        } else {
+          mapped.push_back(t);
+        }
+      }
+      TRIQ_RETURN_IF_ERROR(next->AddFactChecked(pred, mapped).status());
+    }
+  }
+  return Status::OK();
+}
+
+Status Engine::MaterializeLocked(chase::ChaseStats* stats) {
   const chase::ChaseOptions options = chase_options();
   TRIQ_RETURN_IF_ERROR(chase::ValidateChaseOptions(options));
-  chase::ChaseStats stats;
-  if (IsMaterialized()) return stats;  // clean: nothing to do
+  if (IsMaterialized()) return Status::OK();  // clean: nothing to do
 
-  const bool incremental = materialized_.has_value() && !rules_dirty_ &&
-                           program_monotone_ && options.seminaive;
+  EngineSnapshotPtr prev = std::atomic_load(&snapshot_);
+  // Incremental re-saturation resumes the published closure with exactly
+  // the appended base facts as the delta. Soundness needs monotonicity
+  // (ResumeChase's contract) and an unchanged rule set; provenance
+  // sessions always rebuild, because CloneFacts drops the derivation
+  // records proof extraction needs.
+  const bool incremental = prev != nullptr && !rules_dirty_ &&
+                           program_monotone_ && options.seminaive &&
+                           !options.track_provenance;
+  chase::Instance next(dict_);
+  std::vector<Term> null_map;
   Status status;
   if (incremental) {
-    status = chase::ResumeChase(program_, &*materialized_, saturated_,
-                                options, &stats);
+    next = prev->instance.CloneFacts();
+    null_map = base_null_map_;
+    status = AppendBaseDelta(&next, &null_map);
+    if (status.ok()) {
+      status = chase::ResumeChase(program_, &next, prev->saturated, options,
+                                  stats);
+    }
   } else {
-    materialized_.emplace(base_.CloneFacts());
-    status = chase::RunChase(program_, &*materialized_, options, &stats);
+    // Rebuild from the pristine base: the clone keeps base null ids, so
+    // the base -> snapshot null mapping is the identity.
+    next = base_.CloneFacts();
+    null_map.reserve(base_.null_count());
+    for (uint32_t i = 0; i < base_.null_count(); ++i) {
+      null_map.push_back(Term::Null(i));
+    }
+    status = chase::RunChase(program_, &next, options, stats);
   }
   if (!status.ok()) {
-    InvalidateMaterialized();
+    // Publish nothing: the previous snapshot keeps serving, and the
+    // session stays dirty so the next operation retries.
     return status;
   }
-  // Counters move together, and only for completed materializations —
-  // a failing session retried N times must not drift rebuilds() ahead
-  // of materializations().
-  if (!incremental) ++rebuild_count_;
-  ++materialize_count_;
-  dirty_ = false;
+
+  // Counters move together, and only for completed materializations — a
+  // failing session retried N times must not drift rebuilds() ahead of
+  // materializations().
+  if (!incremental) rebuild_count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t generation =
+      materialize_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Freeze every permutation index while the instance is still private:
+  // after publication any number of readers may probe them, and a lazy
+  // first sort under concurrent readers would be a race.
+  next.FreezeAllIndexes();
+  chase::SaturatedSizes saturated = SnapshotSizes(next);
+  auto snap = std::make_shared<const EngineSnapshot>(
+      std::move(next), std::move(saturated), generation);
+  base_consumed_ = SnapshotSizes(base_);
+  base_null_map_ = std::move(null_map);
   rules_dirty_ = false;
-  saturated_ = SnapshotSizes(*materialized_);
+  std::atomic_store(&snapshot_,
+                    EngineSnapshotPtr(std::move(snap)));
+  needs_materialize_.store(false, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<chase::ChaseStats> Engine::Materialize() {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  chase::ChaseStats stats;
+  TRIQ_RETURN_IF_ERROR(MaterializeLocked(&stats));
   return stats;
 }
 
-Status Engine::EnsureMaterialized() {
-  if (IsMaterialized()) return Status::OK();
-  return Materialize().status();
+Result<EngineSnapshotPtr> Engine::CurrentSnapshot() {
+  // Fast path: a clean session serves the published snapshot with one
+  // acquire load and one shared_ptr copy — no locks.
+  if (!needs_materialize_.load(std::memory_order_acquire)) {
+    return std::atomic_load(&snapshot_);
+  }
+  std::unique_lock<std::mutex> lock(writer_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Another thread is writing (loading or re-materializing). Serve the
+    // latest published snapshot — consistent, possibly one version
+    // behind — instead of stalling every reader behind the writer. The
+    // writing thread itself still observes its own writes: its next read
+    // acquires the lock uncontended.
+    EngineSnapshotPtr published = std::atomic_load(&snapshot_);
+    if (published != nullptr) return published;
+    lock.lock();  // nothing published yet: wait for the first closure
+  }
+  TRIQ_RETURN_IF_ERROR(MaterializeLocked(nullptr));
+  return std::atomic_load(&snapshot_);
 }
 
 Result<const chase::Instance*> Engine::MaterializedInstance() {
-  TRIQ_RETURN_IF_ERROR(EnsureMaterialized());
-  return static_cast<const chase::Instance*>(&*materialized_);
+  TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, CurrentSnapshot());
+  // The engine's own snapshot_ reference keeps the instance alive until
+  // the next publication.
+  return &snap->instance;
 }
 
 Result<std::vector<chase::Tuple>> Engine::Answers(
     std::string_view predicate) {
-  TRIQ_RETURN_IF_ERROR(EnsureMaterialized());
-  return ConstantTuples(materialized_->Find(predicate));
+  TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, CurrentSnapshot());
+  return ConstantTuples(snap->instance.Find(predicate));
+}
+
+EngineStats Engine::stats() const {
+  EngineStats out;
+  out.materializations = materialize_count_.load(std::memory_order_relaxed);
+  out.rebuilds = rebuild_count_.load(std::memory_order_relaxed);
+  out.sparql_cache_hits = sparql_cache_hits_.load(std::memory_order_relaxed);
+  out.sparql_cache_misses =
+      sparql_cache_misses_.load(std::memory_order_relaxed);
+  out.sparql_cache_evictions =
+      sparql_cache_evictions_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  out.sparql_cache_size = sparql_lru_.size();
+  return out;
 }
 
 // ---- Engine: queries ---------------------------------------------------
@@ -421,10 +619,12 @@ Result<PreparedQuery> Engine::PrepareInternal(
       core::TriqQuery query,
       core::TriqQuery::Create(std::move(program), answer_predicate));
 
+  std::lock_guard<std::mutex> lock(writer_mu_);
   // The query's derived (head) predicates must be disjoint from the data
   // program and the loaded facts: its rules run *after* the data closure
   // is already fixed, so feeding data rules from them would silently
-  // under-derive. Claims are validated in full before any is recorded.
+  // under-derive. The claim registry then validates query-vs-query
+  // conflicts, in full, before recording anything.
   const uint64_t fingerprint =
       FingerprintId(query.program(), query.answer_predicate());
   std::unordered_set<PredicateId> data_predicates = program_.Predicates();
@@ -445,42 +645,11 @@ Result<PreparedQuery> Engine::PrepareInternal(
           "query derives predicate '" + dict_->Text(pred) +
           "', which has loaded facts");
     }
-    auto it = query_claims_.find(pred);
-    if (it != query_claims_.end() && it->second != fingerprint) {
-      return Status::InvalidArgument(
-          "predicate '" + dict_->Text(pred) +
-          "' is already derived by a different prepared query");
-    }
-    // Another query reading this predicate would see our facts or not
-    // depending on evaluation order — same staleness in the other
-    // direction.
-    auto reader = query_reads_.find(pred);
-    if (reader != query_reads_.end() && reader->second != fingerprint) {
-      return Status::InvalidArgument(
-          "query derives predicate '" + dict_->Text(pred) +
-          "', which another prepared query reads (evaluation-order "
-          "dependent); combine them into one program");
-    }
   }
-  // Reading another query's derived predicate is just as unsound as the
-  // data program doing it: whether those facts exist depends on
-  // evaluation order, and a cached evaluation would never see them. A
-  // query reading its *own* derived predicates (same fingerprint) is
-  // ordinary recursion and stays allowed.
-  for (PredicateId pred : reads) {
-    auto it = query_claims_.find(pred);
-    if (it != query_claims_.end() && it->second != fingerprint) {
-      return Status::InvalidArgument(
-          "query reads predicate '" + dict_->Text(pred) +
-          "', which another prepared query derives (evaluation-order "
-          "dependent); combine them into one program");
-    }
-  }
-  for (PredicateId pred : heads) query_claims_.emplace(pred, fingerprint);
-  for (PredicateId pred : reads) query_reads_.emplace(pred, fingerprint);
-
-  const bool monotone = IsMonotone(query.program());
-  return PreparedQuery(this, std::move(query), monotone);
+  QueryClaims::Token token;
+  TRIQ_RETURN_IF_ERROR(claims_->Acquire(std::move(heads), std::move(reads),
+                                        fingerprint, *dict_, &token));
+  return PreparedQuery(this, std::move(query), claims_, std::move(token));
 }
 
 Result<PreparedQuery> Engine::Prepare(datalog::Program program,
@@ -500,9 +669,42 @@ Result<PreparedQuery> Engine::Prepare(std::string_view rule_text,
   return PrepareInternal(std::move(program), answer_predicate);
 }
 
+// ---- Engine: SPARQL ----------------------------------------------------
+
+/// One cached SPARQL plan: the translation (for answer decoding), the
+/// prepared query (whose own eval state caches the per-snapshot
+/// overlay), and the decoded mappings of the snapshot they were last
+/// decoded against. Shared (not owned) by the LRU so in-flight
+/// evaluations survive eviction.
+struct Engine::SparqlEntry {
+  SparqlEntry(translate::TranslatedQuery t, PreparedQuery p)
+      : translated(std::move(t)), prepared(std::move(p)) {}
+
+  translate::TranslatedQuery translated;
+  PreparedQuery prepared;
+
+  std::mutex mu;  // guards snapshot + mappings
+  EngineSnapshotPtr snapshot;
+  sparql::MappingSet mappings;
+};
+
 Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
-  auto it = sparql_cache_.find(sparql_text);
-  if (it == sparql_cache_.end()) {
+  std::shared_ptr<SparqlEntry> entry;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = sparql_index_.find(std::string_view(sparql_text));
+    if (it != sparql_index_.end()) {
+      sparql_lru_.splice(sparql_lru_.begin(), sparql_lru_, it->second);
+      entry = sparql_lru_.front().second;
+      sparql_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  if (entry == nullptr) {
+    sparql_cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    // Build the plan outside cache_mu_: parsing, translation and claim
+    // acquisition are slow, and concurrent queries for other texts must
+    // not serialize behind them.
     TRIQ_ASSIGN_OR_RETURN(auto pattern,
                           sparql::ParsePattern(sparql_text, dict_.get()));
     translate::TranslationOptions translation;
@@ -530,18 +732,41 @@ Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
         PreparedQuery prepared,
         PrepareInternal(std::move(query_program),
                         dict_->Text(translated.answer_predicate)));
-    it = sparql_cache_
-             .emplace(sparql_text,
-                      SparqlEntry{std::move(translated), std::move(prepared)})
-             .first;
+    auto built = std::make_shared<SparqlEntry>(std::move(translated),
+                                               std::move(prepared));
+
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = sparql_index_.find(std::string_view(sparql_text));
+    if (it != sparql_index_.end()) {
+      // Two threads raced on the same miss: adopt the winner's entry and
+      // drop ours (its claims are refcounted under the same fingerprint,
+      // so releasing them leaves the winner's intact).
+      sparql_lru_.splice(sparql_lru_.begin(), sparql_lru_, it->second);
+      entry = sparql_lru_.front().second;
+    } else {
+      sparql_lru_.emplace_front(sparql_text, std::move(built));
+      sparql_index_.emplace(std::string_view(sparql_lru_.front().first),
+                            sparql_lru_.begin());
+      entry = sparql_lru_.front().second;
+      if (options_.sparql_cache_capacity > 0 &&
+          sparql_lru_.size() > options_.sparql_cache_capacity) {
+        sparql_index_.erase(std::string_view(sparql_lru_.back().first));
+        sparql_lru_.pop_back();  // in-flight holders keep it alive
+        sparql_cache_evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
-  PreparedQuery& prepared = it->second.prepared;
-  TRIQ_ASSIGN_OR_RETURN(const chase::Instance* instance,
-                        prepared.EvaluateInstance(nullptr));
-  sparql::MappingSet mappings =
-      AnswersToMappings(it->second.translated, *instance);
-  prepared.ReleaseScratch();
-  return mappings;
+
+  TRIQ_ASSIGN_OR_RETURN(PreparedQuery::Pinned pinned,
+                        entry->prepared.EvaluatePinned(nullptr));
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->snapshot != pinned.snapshot) {
+    // First decode against this snapshot; later hits on an unchanged
+    // session return the cached mappings without touching the overlay.
+    entry->mappings = AnswersToMappings(entry->translated, pinned.answers());
+    entry->snapshot = pinned.snapshot;
+  }
+  return entry->mappings;
 }
 
 }  // namespace triq

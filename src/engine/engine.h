@@ -1,13 +1,17 @@
 #ifndef TRIQ_ENGINE_ENGINE_H_
 #define TRIQ_ENGINE_ENGINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <list>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "chase/chase.h"
@@ -58,6 +62,17 @@ struct EngineOptions {
   uint32_t max_null_depth = chase::ChaseOptions().max_null_depth;
   EntailmentRegime regime = EntailmentRegime::kNone;
 
+  /// Bound on the SPARQL plan cache (distinct query texts); least
+  /// recently used plans are evicted beyond it. 0 = unbounded.
+  size_t sparql_cache_capacity = 128;
+
+  /// Per-query wall-clock budget for the query-side chase (PreparedQuery
+  /// evaluation and SPARQL patterns). A query whose chase overruns it
+  /// fails with ResourceExhausted and leaves the session untouched.
+  /// 0 (the default) disables the deadline. Data materialization is
+  /// never deadlined — a half-built closure serves nobody.
+  std::chrono::milliseconds query_deadline{0};
+
   EngineOptions& SetChaseMode(chase::ChaseOptions::Mode mode) {
     chase_mode = mode;
     return *this;
@@ -95,6 +110,14 @@ struct EngineOptions {
     regime = r;
     return *this;
   }
+  EngineOptions& SetSparqlCacheCapacity(size_t capacity) {
+    sparql_cache_capacity = capacity;
+    return *this;
+  }
+  EngineOptions& SetQueryDeadline(std::chrono::milliseconds deadline) {
+    query_deadline = deadline;
+    return *this;
+  }
 
   /// The chase configuration this session runs every materialization and
   /// query pass with. The engine layer owns this mapping; nothing above
@@ -102,23 +125,103 @@ struct EngineOptions {
   chase::ChaseOptions ToChaseOptions() const;
 };
 
+/// One published materialization: the frozen closure Π(D) plus the
+/// bookkeeping a resume needs. Immutable after publication — every
+/// sorted permutation index is synced before the snapshot becomes
+/// visible, so any number of reader threads may scan, probe, and
+/// overlay-chase it without synchronization. Readers pin a snapshot with
+/// the shared_ptr; a snapshot superseded by the next publication stays
+/// alive until its last reader drops it (epoch/RCU reclamation for
+/// free).
+struct EngineSnapshot {
+  EngineSnapshot(chase::Instance inst, chase::SaturatedSizes sat,
+                 uint64_t gen)
+      : instance(std::move(inst)),
+        saturated(std::move(sat)),
+        generation(gen) {}
+
+  chase::Instance instance;
+  /// Per-predicate sizes at publication (the resume point for the next
+  /// incremental materialization).
+  chase::SaturatedSizes saturated;
+  /// Materialization count at publication (1 = first closure).
+  uint64_t generation;
+};
+
+using EngineSnapshotPtr = std::shared_ptr<const EngineSnapshot>;
+
+/// Thread-safe registry of the predicates prepared queries own. A
+/// query's derived (head) predicates and read (body) predicates are
+/// claimed while any handle to it is alive, and released when the last
+/// one drops; claims are reference-counted per (program, answer)
+/// fingerprint, so identical queries share and conflicting ones are
+/// rejected. Shared via shared_ptr between the Engine and every
+/// PreparedQuery/cached plan, so release is safe in either destruction
+/// order.
+class QueryClaims {
+ public:
+  /// One query's claim: returned by Acquire, surrendered to Release.
+  struct Token {
+    std::vector<datalog::PredicateId> heads;
+    std::vector<datalog::PredicateId> reads;
+    uint64_t fingerprint = 0;
+    bool active = false;
+  };
+
+  /// Validates `heads`/`reads` (deduplicated internally) against every
+  /// live claim and, on success, records them into `token`. Conflicts —
+  /// a head someone else derives or reads, a read someone else derives,
+  /// under a different fingerprint — return InvalidArgument and record
+  /// nothing.
+  Status Acquire(std::vector<datalog::PredicateId> heads,
+                 std::vector<datalog::PredicateId> reads,
+                 uint64_t fingerprint, const Dictionary& dict, Token* token);
+
+  /// Releases a token acquired above (idempotent; inactive tokens are
+  /// ignored).
+  void Release(Token* token);
+
+  /// Whether some live query derives `pred` (the loader/attach guard).
+  bool HeadClaimed(datalog::PredicateId pred) const;
+
+ private:
+  struct Claim {
+    uint64_t fingerprint;
+    uint32_t refs;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<datalog::PredicateId, Claim> heads_;
+  std::unordered_map<datalog::PredicateId, Claim> reads_;
+};
+
 class Engine;
 
 /// A query parsed, validated, and classified once, then evaluated many
-/// times against the engine's materialized instance. Obtained from
+/// times against the engine's published snapshots. Obtained from
 /// Engine::Prepare; holds a pointer to its engine, which must outlive
-/// it.
+/// it. Move-only: the handle owns its predicate claims and releases
+/// them on destruction, so dropping a PreparedQuery frees its head
+/// predicates for later Prepares.
 ///
-/// Evaluation model: the first Evaluate after a (re)materialization runs
-/// the chase of the *query program only* — the data program's closure is
-/// reused, never re-derived — and later Evaluate calls on an unchanged
-/// engine are pure relation reads (zero chase rounds; `stats` reports
-/// the query-side chase, so a cache hit leaves it all-zero). Query
-/// programs with negated body atoms are evaluated on a throwaway copy of
-/// the materialized instance instead (still amortizing the data chase),
-/// because their derived facts cannot be incrementally cached.
+/// Evaluation model: the first Evaluate against a given snapshot runs
+/// the chase of the *query program only* over a private overlay of that
+/// snapshot — the data closure is reused, never re-derived and never
+/// mutated — and later Evaluates against the same snapshot are pure
+/// relation reads (zero chase rounds; `stats` reports the query-side
+/// chase, so a cache hit leaves it all-zero). A failed query chase
+/// (caps, deadline) discards the overlay and leaves both the session
+/// and this handle's last good evaluation untouched.
+///
+/// Thread safety: one PreparedQuery may be evaluated from many threads
+/// (evaluations of one handle serialize on an internal mutex; distinct
+/// handles never contend).
 class PreparedQuery {
  public:
+  PreparedQuery(PreparedQuery&&) noexcept = default;
+  PreparedQuery& operator=(PreparedQuery&&) = delete;
+  ~PreparedQuery();
+
   const datalog::Program& program() const { return query_.program(); }
   datalog::PredicateId answer_predicate() const {
     return query_.answer_predicate();
@@ -140,34 +243,59 @@ class PreparedQuery {
  private:
   friend class Engine;
 
-  PreparedQuery(Engine* engine, core::TriqQuery query, bool monotone)
+  /// A pinned evaluation: the snapshot it ran against plus the overlay
+  /// holding the query-derived facts (null for the empty program — the
+  /// answers then live in the snapshot itself). Holding this keeps both
+  /// alive regardless of later publications or cache replacement.
+  struct Pinned {
+    EngineSnapshotPtr snapshot;
+    std::shared_ptr<chase::Instance> overlay;
+    const chase::Instance& answers() const {
+      return overlay != nullptr ? *overlay : snapshot->instance;
+    }
+  };
+
+  /// The per-handle evaluation cache. Boxed so the handle stays movable
+  /// (the mutex is not).
+  struct EvalState {
+    std::mutex mu;
+    EngineSnapshotPtr snapshot;
+    std::shared_ptr<chase::Instance> overlay;
+  };
+
+  PreparedQuery(Engine* engine, core::TriqQuery query,
+                std::shared_ptr<QueryClaims> claims,
+                QueryClaims::Token token)
       : engine_(engine),
         query_(std::move(query)),
         language_(query_.Classify()),
-        monotone_(monotone) {}
+        claims_(std::move(claims)),
+        token_(std::move(token)),
+        eval_(std::make_unique<EvalState>()) {}
 
-  /// Runs (or reuses) the query chase and returns the instance holding
-  /// the answer relation — the engine's materialized instance on the
-  /// cached path, `scratch_` on the non-monotone path. Callers decode
-  /// their answers and then ReleaseScratch(): the clone is a per-call
-  /// working set, not a cache (its results can go stale), so keeping it
-  /// would cost a full closure copy per non-monotone query for nothing.
-  Result<const chase::Instance*> EvaluateInstance(chase::ChaseStats* stats);
-
-  void ReleaseScratch() { scratch_.reset(); }
+  /// Evaluates (or reuses) the query chase against the engine's current
+  /// snapshot and returns the pinned result.
+  Result<Pinned> EvaluatePinned(chase::ChaseStats* stats);
 
   Engine* engine_;
   core::TriqQuery query_;
   core::Language language_;
-  bool monotone_;
-  // Generation bookkeeping: which engine materialization this query last
-  // chased against (0 = never), and whether that instance has since been
-  // rebuilt from scratch (invalidating saturated_'s tuple indexes).
-  uint64_t evaluated_generation_ = 0;
-  uint64_t evaluated_rebuild_ = 0;
-  chase::SaturatedSizes saturated_;
-  // Non-monotone queries evaluate on a private clone per call.
-  std::optional<chase::Instance> scratch_;
+  // Claim ownership; claims_ is null after a move-from, and the
+  // destructor only releases while it is set.
+  std::shared_ptr<QueryClaims> claims_;
+  QueryClaims::Token token_;
+  std::unique_ptr<EvalState> eval_;
+};
+
+/// Counters a running session exposes for ops introspection (all
+/// monotonically increasing except the cache size).
+struct EngineStats {
+  uint64_t materializations = 0;
+  uint64_t rebuilds = 0;
+  uint64_t sparql_cache_hits = 0;
+  uint64_t sparql_cache_misses = 0;
+  uint64_t sparql_cache_evictions = 0;
+  size_t sparql_cache_size = 0;
 };
 
 /// The materialize-once / query-many session facade over the whole
@@ -183,18 +311,25 @@ class PreparedQuery {
 ///   auto answers = q->Evaluate();                    // chases once
 ///   auto again = q->Evaluate();                      // zero chase rounds
 ///
-/// Facts loaded after Materialize() mark the session dirty; the next
-/// materialization (explicit or triggered by a query) re-saturates
-/// *semi-naively from the appended delta* when the data program is
-/// monotone (no negation), and rebuilds from the pristine base facts
-/// otherwise. Attaching rules after materializing always rebuilds.
-///
-/// Engines are not thread-safe: one session serves one logical stream of
-/// loads and queries (the chase itself parallelizes internally via
-/// SetNumThreads).
+/// Concurrency model — immutable snapshots, one writer, many readers:
+/// the materialized closure is published as a `shared_ptr<const
+/// EngineSnapshot>` swapped atomically. Readers (Evaluate / Query /
+/// Answers) pin the current snapshot and run lock-free against it;
+/// query-derived facts live in private per-query overlays, never in the
+/// shared closure. Writers (LoadX / AttachX / Materialize) serialize on
+/// an internal mutex, build the next closure off to the side —
+/// incrementally from the appended delta when the data program is
+/// monotone, from the pristine base otherwise — freeze its indexes, and
+/// publish it in one pointer swap. A reader that needs a snapshot while
+/// another thread is already re-materializing serves the latest
+/// published one (consistent, possibly one version behind) instead of
+/// blocking; the thread that performed the write observes its own write
+/// as soon as its Materialize returns. A failed materialization
+/// publishes nothing: the previous snapshot keeps serving.
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
+  ~Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -251,31 +386,37 @@ class Engine {
   Status AttachRules(std::string_view rule_text);
 
   /// The data program (attached rules, plus τ_owl2ql_core under a
-  /// reasoning regime).
+  /// reasoning regime). Not synchronized against a concurrent AttachX.
   const datalog::Program& program() const { return program_; }
 
   // ---- Materialization -----------------------------------------------
 
   /// Computes Π(D) for the data program: validates the chase options,
-  /// clones the pristine base facts, and runs the stratified chase once.
-  /// Subsequent queries reuse the result. If facts were appended since
-  /// the last materialization, re-saturates incrementally from the delta
-  /// (monotone data programs) or rebuilds from the base facts. A clean,
+  /// builds the next snapshot off to the side (incrementally from the
+  /// appended delta for monotone data programs, from the pristine base
+  /// otherwise), and publishes it. Queries reuse the result. A clean,
   /// already-materialized session returns all-zero stats untouched.
   /// StatusCode::kInconsistent reports a constraint violation (⊤).
   Result<chase::ChaseStats> Materialize();
 
   /// True when Π(D) is computed and no facts/rules arrived since.
   bool IsMaterialized() const {
-    return materialized_.has_value() && !dirty_ && !rules_dirty_;
+    return !needs_materialize_.load(std::memory_order_acquire);
   }
 
+  /// The current snapshot, materializing first if needed. The returned
+  /// pointer pins it: the instance stays valid and immutable for as
+  /// long as the caller holds the pointer, regardless of concurrent
+  /// writes (which publish NEW snapshots instead of mutating this one).
+  Result<EngineSnapshotPtr> CurrentSnapshot();
+
   /// The materialized instance (materializing first if needed). The
-  /// pointer stays valid until the next load/attach; query predicates of
-  /// evaluated PreparedQuerys appear in it alongside the data closure.
+  /// pointer stays valid until the next publication; prefer
+  /// CurrentSnapshot() when other threads may write concurrently.
   Result<const chase::Instance*> MaterializedInstance();
 
-  /// The pristine loaded facts (never chased).
+  /// The pristine loaded facts (never chased). Writer-side state: not
+  /// synchronized against concurrent loads.
   const chase::Instance& base() const { return base_; }
 
   /// All-constant tuples of `predicate` in the materialized instance —
@@ -287,8 +428,15 @@ class Engine {
   /// those were full rebuilds from the base facts (first materialization
   /// included). materializations() - rebuilds() = incremental delta
   /// re-saturations. Exposed for tests and ops introspection.
-  uint64_t materializations() const { return materialize_count_; }
-  uint64_t rebuilds() const { return rebuild_count_; }
+  uint64_t materializations() const {
+    return materialize_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t rebuilds() const {
+    return rebuild_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Session counters (materializations, SPARQL cache hit/miss/eviction).
+  EngineStats stats() const;
 
   // ---- Queries -------------------------------------------------------
 
@@ -296,7 +444,8 @@ class Engine {
   /// predicates are disjoint from the data program and the loaded facts,
   /// classifies it, and returns a PreparedQuery bound to this session.
   /// The program may be empty: evaluation then just reads the answer
-  /// relation the data program derives.
+  /// relation the data program derives. The handle owns its predicate
+  /// claims; dropping it releases them.
   Result<PreparedQuery> Prepare(datalog::Program program,
                                 std::string_view answer_predicate);
 
@@ -308,78 +457,103 @@ class Engine {
   /// Evaluates a SPARQL graph pattern under the session's entailment
   /// regime: parses, translates (τ_bgp / τ^U_bgp / τ^All_bgp), prepares,
   /// and decodes the answers as solution mappings. Translation and
-  /// preparation are cached per query text, so repeated calls reuse both
+  /// preparation are cached per query text in an LRU of
+  /// options().sparql_cache_capacity plans, so repeated calls reuse both
   /// the plan and (on an unchanged session) the evaluated answers.
+  /// Thread-safe.
   Result<sparql::MappingSet> Query(const std::string& sparql_text);
 
  private:
   friend class PreparedQuery;
 
+  struct SparqlEntry;  // defined in engine.cc
+
   chase::ChaseOptions chase_options() const {
     return options_.ToChaseOptions();
   }
 
-  /// Materializes unless already clean (cheap no-op then).
-  Status EnsureMaterialized();
+  /// chase_options() plus the per-query wall-clock deadline (anchored at
+  /// the call, so every evaluation gets a fresh budget).
+  chase::ChaseOptions QueryChaseOptions() const;
+
+  /// Builds and publishes the next snapshot. Requires writer_mu_; a
+  /// no-op when the session is clean. `stats` may be null.
+  Status MaterializeLocked(chase::ChaseStats* stats);
 
   /// Appends every fact of `src` (over any dictionary) to `dst`,
   /// re-interning foreign symbols and re-allocating nulls.
   Status AppendFacts(const chase::Instance& src, chase::Instance* dst);
 
+  /// Appends the base facts beyond base_consumed_ into `next`, remapping
+  /// base nulls through `null_map` (extending it for nulls first seen
+  /// here). Requires writer_mu_.
+  Status AppendBaseDelta(chase::Instance* next,
+                         std::vector<chase::Term>* null_map);
+
   /// Rejects sources carrying facts for query-derived predicates or
   /// arity-conflicting relations, before anything is mutated — loads
-  /// are all-or-nothing.
+  /// are all-or-nothing. Requires writer_mu_.
   Status CheckLoadable(const chase::Instance& src) const;
 
   /// Collision-free identity of a (program, answer) pair for the claim
-  /// maps above.
+  /// registry. Requires writer_mu_.
   uint64_t FingerprintId(const datalog::Program& program,
                          datalog::PredicateId answer);
 
-  /// Routes freshly loaded facts into the base instance and, when a
-  /// materialization exists, into it as well (as the pending delta).
+  /// Appends freshly loaded facts to the base instance and marks the
+  /// session for re-materialization. Requires writer_mu_.
   Status Ingest(const chase::Instance& src);
-
-  /// Chase failed mid-flight: drop the half-mutated closure so the next
-  /// operation rebuilds from the pristine base.
-  void InvalidateMaterialized() { materialized_.reset(); }
 
   Result<PreparedQuery> PrepareInternal(datalog::Program program,
                                         std::string_view answer_predicate);
 
   EngineOptions options_;
   std::shared_ptr<Dictionary> dict_;
+
+  // ---- Writer state (guarded by writer_mu_) --------------------------
+  mutable std::mutex writer_mu_;
   chase::Instance base_;
   datalog::Program program_;
   bool program_monotone_ = true;
-
-  std::optional<chase::Instance> materialized_;
-  chase::SaturatedSizes saturated_;
-  uint64_t materialize_count_ = 0;
-  uint64_t rebuild_count_ = 0;
-  bool dirty_ = false;        // facts appended since materialization
-  bool rules_dirty_ = false;  // rules attached since materialization
-
-  // Query-owned head predicates: predicate -> fingerprint of the
-  // claiming (program, answer) pair. Two PreparedQuerys may share a
-  // predicate only when their programs are identical (their derivations
-  // then coincide); anything else would mix answer relations. The reads
-  // map records body references the same way, so a later Prepare cannot
-  // derive a predicate an earlier query already reads (the evaluation-
-  // order-dependent case in the other direction).
-  std::unordered_map<datalog::PredicateId, uint64_t> query_claims_;
-  std::unordered_map<datalog::PredicateId, uint64_t> query_reads_;
+  bool rules_dirty_ = false;  // rules attached since the last snapshot
+  // How much of base_ the snapshot lineage has consumed: per-predicate
+  // fact counts, and the base-null -> snapshot-null remapping (base and
+  // snapshot number their nulls independently once derived nulls
+  // interleave). Committed only when a publication succeeds.
+  chase::SaturatedSizes base_consumed_;
+  std::vector<chase::Term> base_null_map_;
   // (program text, answer) -> dense fingerprint id. Interned full texts,
   // so fingerprint equality is exactly program identity (no hash
   // collisions deciding soundness).
   std::unordered_map<std::string, uint64_t> fingerprint_ids_;
 
-  // Query(text) cache: translation metadata + the prepared query.
-  struct SparqlEntry {
-    translate::TranslatedQuery translated;  // program member left empty
-    PreparedQuery prepared;
-  };
-  std::unordered_map<std::string, SparqlEntry> sparql_cache_;
+  // ---- Published state (atomic) --------------------------------------
+  // The current snapshot, accessed with std::atomic_load/atomic_store.
+  // Never reset to null once published; needs_materialize_ == false
+  // implies snapshot_ != null (the reader fast path checks the flag
+  // first, then loads the pointer).
+  EngineSnapshotPtr snapshot_;
+  std::atomic<bool> needs_materialize_{true};
+  std::atomic<uint64_t> materialize_count_{0};
+  std::atomic<uint64_t> rebuild_count_{0};
+
+  // Predicate claims, shared with every PreparedQuery and cached plan.
+  // Lock order: writer_mu_ before the claims mutex, never the reverse.
+  std::shared_ptr<QueryClaims> claims_;
+
+  // ---- SPARQL plan cache (guarded by cache_mu_) ----------------------
+  // LRU of shared entries: lookups move the entry to the front;
+  // insertion beyond sparql_cache_capacity evicts from the back.
+  // Entries are shared_ptrs so an in-flight evaluation survives its
+  // entry's eviction (claims release when the last reference drops).
+  mutable std::mutex cache_mu_;
+  std::list<std::pair<std::string, std::shared_ptr<SparqlEntry>>> sparql_lru_;
+  // Keys view into the list nodes' strings (stable addresses).
+  std::unordered_map<std::string_view,
+                     decltype(sparql_lru_)::iterator> sparql_index_;
+  std::atomic<uint64_t> sparql_cache_hits_{0};
+  std::atomic<uint64_t> sparql_cache_misses_{0};
+  std::atomic<uint64_t> sparql_cache_evictions_{0};
 };
 
 }  // namespace triq

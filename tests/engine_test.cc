@@ -414,7 +414,8 @@ TEST(EngineTest, CrossQueryReadsAreRejectedInBothPrepareOrders) {
   {
     Engine engine;
     ASSERT_TRUE(engine.LoadTurtle("a edge b .").ok());
-    ASSERT_TRUE(engine.Prepare(derives, "mid").ok());
+    auto deriver = engine.Prepare(derives, "mid");  // held: claims live
+    ASSERT_TRUE(deriver.ok());
     auto reader = engine.Prepare(reads, "top");
     ASSERT_FALSE(reader.ok());
     EXPECT_EQ(reader.status().code(), triq::StatusCode::kInvalidArgument);
@@ -422,7 +423,8 @@ TEST(EngineTest, CrossQueryReadsAreRejectedInBothPrepareOrders) {
   {
     Engine engine;
     ASSERT_TRUE(engine.LoadTurtle("a edge b .").ok());
-    ASSERT_TRUE(engine.Prepare(reads, "top").ok());
+    auto reader = engine.Prepare(reads, "top");  // held: claims live
+    ASSERT_TRUE(reader.ok());
     auto deriver = engine.Prepare(derives, "mid");
     ASSERT_FALSE(deriver.ok());
     EXPECT_EQ(deriver.status().code(), triq::StatusCode::kInvalidArgument);

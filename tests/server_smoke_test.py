@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Smoke test for tools/triq_server: start it on an ephemeral port, run a
+scripted client session exercising every command (including an error
+that must NOT wedge the connection), then shut it down cleanly.
+
+Usage: server_smoke_test.py <path-to-triq_server>
+"""
+
+import socket
+import subprocess
+import sys
+
+
+def send(f, command):
+    """Sends one command; reads the reply up to its OK/ERR terminator."""
+    f.write(command + "\n")
+    f.flush()
+    lines = []
+    while True:
+        line = f.readline()
+        if not line:
+            raise AssertionError(f"connection closed mid-reply to {command!r}")
+        line = line.strip()
+        lines.append(line)
+        if line.startswith("OK") or line.startswith("ERR"):
+            return lines
+
+
+def expect(condition, message):
+    if not condition:
+        raise AssertionError(message)
+
+
+def main():
+    server = sys.argv[1]
+    proc = subprocess.Popen(
+        [server, "--port", "0", "--workers", "3"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline().split()
+        expect(banner[0] == "LISTENING", f"bad banner: {banner}")
+        port = int(banner[1])
+
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            f = s.makefile("rw")
+            expect(send(f, "PING") == ["OK pong"], "PING failed")
+            expect(send(f, "ADD a edge b") == ["OK added"], "ADD failed")
+            expect(send(f, "ADD b edge c") == ["OK added"], "ADD failed")
+            expect(
+                send(
+                    f,
+                    "RULE triple(?X, edge, ?Y) -> tc(?X, ?Y) . "
+                    "tc(?X, ?Y), triple(?Y, edge, ?Z) -> tc(?X, ?Z) .",
+                )
+                == ["OK attached"],
+                "RULE failed",
+            )
+            reply = send(f, "MATERIALIZE")
+            expect(reply[0].startswith("OK materialized"), f"MATERIALIZE: {reply}")
+
+            reply = send(f, "ANSWERS tc")
+            rows = {line for line in reply if line.startswith("ROW")}
+            expect(
+                rows == {"ROW a b", "ROW b c", "ROW a c"} and reply[-1] == "OK 3",
+                f"ANSWERS tc: {reply}",
+            )
+
+            # An erroring command must leave the connection (and session)
+            # usable: session hygiene is the whole point of the server.
+            reply = send(f, "SPARQL this is not a pattern")
+            expect(reply[0].startswith("ERR"), f"bad SPARQL accepted: {reply}")
+            reply = send(f, "SPARQL { ?x edge ?y }")
+            expect(reply[-1] == "OK 2", f"SPARQL: {reply}")
+            reply = send(f, "SPARQL { ?x edge ?y }")  # cache hit path
+            expect(reply[-1] == "OK 2", f"repeat SPARQL: {reply}")
+
+            reply = send(f, "STATS")
+            stats = dict(
+                line.split()[1:3] for line in reply if line.startswith("STAT")
+            )
+            expect(stats.get("materializations") == "1", f"STATS: {reply}")
+            expect(stats.get("sparql_cache_hits") == "1", f"STATS: {reply}")
+
+        # A second concurrent-style connection still works after the first
+        # closed, and SHUTDOWN stops the whole server.
+        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+            f = s.makefile("rw")
+            expect(send(f, "PING") == ["OK pong"], "second connection PING")
+            expect(
+                send(f, "SHUTDOWN") == ["OK shutting-down"], "SHUTDOWN failed"
+            )
+
+        proc.wait(timeout=15)
+        expect(proc.returncode == 0, f"server exit code {proc.returncode}")
+        print("server smoke test passed")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,320 @@
+// triq_server: a minimal line-protocol front-end over one shared Engine.
+//
+// The server is the acceptance harness for the engine's concurrency
+// model: N worker threads (from the stack's own ThreadPool) each accept
+// and serve client connections against ONE Engine session, so reads run
+// lock-free on published snapshots while writes build the next snapshot
+// off to the side. There is no per-connection state beyond the socket —
+// every command is one line, every reply is one or more lines:
+//
+//   PING                      -> OK pong
+//   ADD <s> <p> <o>           -> OK added            (one triple)
+//   LOAD <turtle text>        -> OK loaded           (rest of line)
+//   RULE <datalog rule text>  -> OK attached
+//   MATERIALIZE               -> OK materialized <facts derived>
+//   ANSWERS <predicate>       -> ROW <c1> <c2> ... per tuple, then OK <n>
+//   SPARQL <pattern text>     -> ROW <mapping> per solution, then OK <n>
+//   STATS                     -> STAT <name> <value> lines, then OK
+//   QUIT                      -> OK bye              (closes connection)
+//   SHUTDOWN                  -> OK shutting-down    (stops the server)
+//
+// Errors reply `ERR <status>` (newlines flattened); the connection
+// stays usable — a failed query must never wedge a session, which is
+// exactly the session-hygiene guarantee the engine layer makes.
+//
+// Usage: triq_server [--port P] [--workers N] [--regime R]
+// `--port 0` (the default) binds an ephemeral port; the chosen port is
+// announced on stdout as `LISTENING <port>` so test harnesses can
+// connect without racing.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/engine.h"
+
+namespace {
+
+using triq::Engine;
+using triq::EngineOptions;
+using triq::EngineStats;
+
+std::atomic<bool> g_shutdown{false};
+
+/// One status line, safe for the wire: newlines become spaces.
+std::string Flatten(const triq::Status& status) {
+  std::string text = status.ToString();
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return text;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Splits `line` into the command word and the rest (trimmed).
+void SplitCommand(const std::string& line, std::string* cmd,
+                  std::string* rest) {
+  size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) {
+    cmd->clear();
+    rest->clear();
+    return;
+  }
+  size_t end = line.find_first_of(" \t", start);
+  if (end == std::string::npos) {
+    *cmd = line.substr(start);
+    rest->clear();
+    return;
+  }
+  *cmd = line.substr(start, end - start);
+  size_t rest_start = line.find_first_not_of(" \t", end);
+  *rest = rest_start == std::string::npos ? "" : line.substr(rest_start);
+}
+
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+/// Executes one command line against the shared engine; returns the
+/// full reply (possibly multi-line). Sets `quit` when the connection
+/// should close after the reply.
+std::string HandleCommand(Engine& engine, const std::string& line,
+                          bool* quit) {
+  std::string cmd, rest;
+  SplitCommand(line, &cmd, &rest);
+  if (cmd.empty()) return "";  // blank line: no reply
+
+  if (cmd == "PING") return "OK pong\n";
+
+  if (cmd == "ADD") {
+    std::vector<std::string> words = SplitWords(rest);
+    if (words.size() != 3) return "ERR ADD wants: ADD <s> <p> <o>\n";
+    triq::Status status = engine.AddTriple(words[0], words[1], words[2]);
+    return status.ok() ? "OK added\n" : "ERR " + Flatten(status) + "\n";
+  }
+
+  if (cmd == "LOAD") {
+    triq::Status status = engine.LoadTurtle(rest);
+    return status.ok() ? "OK loaded\n" : "ERR " + Flatten(status) + "\n";
+  }
+
+  if (cmd == "RULE") {
+    triq::Status status = engine.AttachRules(rest);
+    return status.ok() ? "OK attached\n" : "ERR " + Flatten(status) + "\n";
+  }
+
+  if (cmd == "MATERIALIZE") {
+    auto stats = engine.Materialize();
+    if (!stats.ok()) return "ERR " + Flatten(stats.status()) + "\n";
+    return "OK materialized " + std::to_string(stats->facts_derived) + "\n";
+  }
+
+  if (cmd == "ANSWERS") {
+    if (rest.empty()) return "ERR ANSWERS wants: ANSWERS <predicate>\n";
+    auto answers = engine.Answers(rest);
+    if (!answers.ok()) return "ERR " + Flatten(answers.status()) + "\n";
+    std::string reply;
+    for (const triq::chase::Tuple& tuple : *answers) {
+      reply += "ROW";
+      for (triq::chase::Term t : tuple) {
+        reply += ' ';
+        reply += engine.dict().Text(t.symbol());
+      }
+      reply += '\n';
+    }
+    reply += "OK " + std::to_string(answers->size()) + "\n";
+    return reply;
+  }
+
+  if (cmd == "SPARQL") {
+    auto mappings = engine.Query(rest);
+    if (!mappings.ok()) return "ERR " + Flatten(mappings.status()) + "\n";
+    std::string reply;
+    for (const triq::sparql::SparqlMapping& m : mappings->mappings()) {
+      reply += "ROW " + m.ToString(engine.dict()) + "\n";
+    }
+    reply += "OK " + std::to_string(mappings->size()) + "\n";
+    return reply;
+  }
+
+  if (cmd == "STATS") {
+    EngineStats stats = engine.stats();
+    std::string reply;
+    reply += "STAT materializations " +
+             std::to_string(stats.materializations) + "\n";
+    reply += "STAT rebuilds " + std::to_string(stats.rebuilds) + "\n";
+    reply += "STAT sparql_cache_hits " +
+             std::to_string(stats.sparql_cache_hits) + "\n";
+    reply += "STAT sparql_cache_misses " +
+             std::to_string(stats.sparql_cache_misses) + "\n";
+    reply += "STAT sparql_cache_evictions " +
+             std::to_string(stats.sparql_cache_evictions) + "\n";
+    reply += "STAT sparql_cache_size " +
+             std::to_string(stats.sparql_cache_size) + "\n";
+    reply += "OK\n";
+    return reply;
+  }
+
+  if (cmd == "QUIT") {
+    *quit = true;
+    return "OK bye\n";
+  }
+
+  if (cmd == "SHUTDOWN") {
+    *quit = true;
+    g_shutdown.store(true, std::memory_order_release);
+    return "OK shutting-down\n";
+  }
+
+  return "ERR unknown command '" + cmd + "'\n";
+}
+
+/// Serves one connection to completion: newline-delimited commands in,
+/// replies out. Returns when the peer disconnects, QUIT/SHUTDOWN is
+/// received, or the server is shutting down.
+void ServeConnection(Engine& engine, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool quit = false;
+  while (!quit && !g_shutdown.load(std::memory_order_acquire)) {
+    // Poll so a shutdown from another worker's connection unblocks us.
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // peer closed (or error): done
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t pos;
+    while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, pos);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      buffer.erase(0, pos + 1);
+      std::string reply = HandleCommand(engine, line, &quit);
+      if (!reply.empty() && !SendAll(fd, reply)) {
+        quit = true;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+/// One worker's accept loop: poll the shared listening socket, serve
+/// each accepted connection serially, exit on shutdown.
+void WorkerLoop(Engine& engine, int listen_fd) {
+  while (!g_shutdown.load(std::memory_order_acquire)) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;  // another worker won the race (EAGAIN)
+    ServeConnection(engine, fd);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  size_t workers = 4;
+  EngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--port") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--port wants a value\n"); return 2; }
+      port = std::atoi(v);
+    } else if (arg == "--workers") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--workers wants a value\n"); return 2; }
+      workers = static_cast<size_t>(std::atoi(v));
+      if (workers == 0) workers = 1;
+    } else if (arg == "--regime") {
+      const char* v = next();
+      if (v == nullptr) { std::fprintf(stderr, "--regime wants a value\n"); return 2; }
+      std::string regime = v;
+      if (regime == "none") {
+        options.SetRegime(triq::EntailmentRegime::kNone);
+      } else if (regime == "active-domain") {
+        options.SetRegime(triq::EntailmentRegime::kActiveDomain);
+      } else if (regime == "all") {
+        options.SetRegime(triq::EntailmentRegime::kAll);
+      } else {
+        std::fprintf(stderr, "unknown regime '%s'\n", regime.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: triq_server [--port P] [--workers N] "
+                   "[--regime none|active-domain|all]\n");
+      return 2;
+    }
+  }
+
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (listen_fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    std::perror("bind");
+    return 1;
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    std::perror("listen");
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                &addr_len);
+  std::printf("LISTENING %d\n", ntohs(addr.sin_port));
+  std::fflush(stdout);
+
+  Engine engine(options);
+  // ParallelFor doubles as a fork-join worker launcher: the calling
+  // thread participates, so `workers - 1` pool threads give `workers`
+  // accept loops total.
+  triq::common::ThreadPool pool(workers - 1);
+  pool.ParallelFor(workers, [&](size_t) { WorkerLoop(engine, listen_fd); });
+
+  ::close(listen_fd);
+  std::printf("STOPPED\n");
+  return 0;
+}
