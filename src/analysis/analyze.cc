@@ -1,0 +1,58 @@
+#include "analysis/analyze.h"
+
+#include <algorithm>
+
+#include "analysis/reliance.h"
+#include "datalog/stratify.h"
+
+namespace triq::analysis {
+
+bool ProgramAnalysis::HasErrors() const {
+  return std::any_of(lints.begin(), lints.end(), [](const Lint& lint) {
+    return lint.severity == LintSeverity::kError;
+  });
+}
+
+size_t ProgramAnalysis::CountSeverity(LintSeverity severity) const {
+  return static_cast<size_t>(
+      std::count_if(lints.begin(), lints.end(), [&](const Lint& lint) {
+        return lint.severity == severity;
+      }));
+}
+
+std::string ProgramAnalysis::Report() const {
+  std::string out = "verdict: ";
+  out += TerminationName(verdict.termination);
+  if (!verdict.method.empty()) out += " (" + verdict.method + ")";
+  out += "\n";
+  if (!verdict.witness.empty()) {
+    out += "witness: " + verdict.witness + "\n";
+  }
+  out += "rules: " + std::to_string(num_rules);
+  out += stratified
+             ? ", strata: " + std::to_string(num_strata)
+             : std::string(", strata: (not stratified)");
+  out += ", rule groups: " + std::to_string(num_rule_groups) + "\n";
+  for (const Lint& lint : lints) {
+    out += LintToString(lint) + "\n";
+  }
+  return out;
+}
+
+ProgramAnalysis Analyze(const datalog::Program& program,
+                        const LintOptions& options) {
+  ProgramAnalysis analysis;
+  analysis.verdict = AnalyzeTermination(program);
+  analysis.lints = LintProgram(program, options);
+  analysis.num_rules = program.size();
+  auto stratification = datalog::Stratify(program.WithoutConstraints());
+  if (stratification.ok()) {
+    analysis.num_strata = static_cast<size_t>(stratification->num_strata);
+  } else {
+    analysis.stratified = false;
+  }
+  analysis.num_rule_groups = RelianceGraph(program).num_groups();
+  return analysis;
+}
+
+}  // namespace triq::analysis

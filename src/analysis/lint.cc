@@ -1,0 +1,268 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "datalog/atom.h"
+#include "datalog/stratify.h"
+#include "datalog/term.h"
+
+namespace triq::analysis {
+
+using datalog::Atom;
+using datalog::PredicateId;
+using datalog::Rule;
+using datalog::Term;
+
+std::string_view LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kWarning: return "warning";
+    case LintSeverity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string_view LintCheckName(LintCheck check) {
+  switch (check) {
+    case LintCheck::kMalformedRule: return "malformed-rule";
+    case LintCheck::kUnsafeNegation: return "unsafe-negation";
+    case LintCheck::kArityMismatch: return "arity-mismatch";
+    case LintCheck::kNotStratified: return "not-stratified";
+    case LintCheck::kImplicitExistential: return "implicit-existential";
+    case LintCheck::kUnusedPredicate: return "unused-predicate";
+    case LintCheck::kUnderivablePredicate: return "underivable-predicate";
+    case LintCheck::kShadowedRule: return "shadowed-rule";
+  }
+  return "?";
+}
+
+std::string LintToString(const Lint& lint) {
+  std::string out(LintSeverityName(lint.severity));
+  out += " [";
+  out += LintCheckName(lint.check);
+  out += "]";
+  if (lint.rule >= 0) out += " rule " + std::to_string(lint.rule);
+  out += ": " + lint.message;
+  return out;
+}
+
+namespace {
+
+/// Renders a rule with its variables renamed to ?v0, ?v1, ... in first-
+/// occurrence order, so two rules equal up to variable renaming (even
+/// across dictionaries) render identically. Used for shadow detection.
+std::string CanonicalRuleText(const Rule& rule, const Dictionary& dict) {
+  std::unordered_map<uint32_t, std::string> names;
+  auto term_text = [&](Term t) -> std::string {
+    if (!t.IsVariable()) return datalog::TermToString(t, dict);
+    auto it = names.find(t.raw());
+    if (it == names.end()) {
+      it = names.emplace(t.raw(), "?v" + std::to_string(names.size())).first;
+    }
+    return it->second;
+  };
+  auto atom_text = [&](const Atom& atom) {
+    std::string out;
+    if (atom.negated) out += "not ";
+    out += dict.Text(atom.predicate) + "(";
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += term_text(atom.args[i]);
+    }
+    return out + ")";
+  };
+  std::string out;
+  for (size_t i = 0; i < rule.body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom_text(rule.body[i]);
+  }
+  out += " -> ";
+  if (rule.IsConstraint()) return out + "false";
+  for (size_t i = 0; i < rule.head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += atom_text(rule.head[i]);
+  }
+  return out;
+}
+
+std::string VariableList(const std::vector<Term>& vars,
+                         const Dictionary& dict) {
+  std::string out;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += datalog::TermToString(vars[i], dict);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Lint> LintRules(const std::vector<Rule>& rules,
+                            const Dictionary& dict,
+                            const LintOptions& options) {
+  std::vector<Lint> lints;
+  auto add = [&](LintSeverity severity, LintCheck check, int rule,
+                 std::string message) {
+    lints.push_back({severity, check, rule, std::move(message)});
+  };
+
+  // Shadow set: canonical texts of the reference program's rules.
+  std::unordered_set<std::string> shadow;
+  if (options.shadow_program != nullptr) {
+    for (const Rule& rule : options.shadow_program->rules()) {
+      shadow.insert(CanonicalRuleText(rule, options.shadow_program->dict()));
+    }
+  }
+
+  // Cross-rule bookkeeping. Arity and head/body usage include the exempt
+  // prefix (a user rule conflicting with a core arity IS a finding, and
+  // a head the core reads IS used); findings are only emitted for
+  // non-exempt rules.
+  struct ArityRecord {
+    size_t arity;
+    size_t rule;
+  };
+  std::unordered_map<PredicateId, ArityRecord> arities;
+  std::unordered_set<PredicateId> read_predicates;
+  std::unordered_set<PredicateId> head_predicates;
+  // First non-exempt rule defining / reading a predicate, for
+  // attribution of the unused/underivable findings.
+  std::unordered_map<PredicateId, size_t> first_def;
+  std::unordered_map<PredicateId, size_t> first_read;
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const bool exempt = r < options.exempt_prefix;
+    const int rule_id = static_cast<int>(r);
+
+    for (const Atom& atom : rule.body) {
+      read_predicates.insert(atom.predicate);
+      if (!exempt) first_read.emplace(atom.predicate, r);
+    }
+    for (const Atom& atom : rule.head) {
+      head_predicates.insert(atom.predicate);
+      if (!exempt) first_def.emplace(atom.predicate, r);
+    }
+
+    // Arity consistency, across bodies and heads alike.
+    auto check_arity = [&](const Atom& atom) {
+      auto [it, inserted] =
+          arities.emplace(atom.predicate, ArityRecord{atom.arity(), r});
+      if (inserted || it->second.arity == atom.arity()) return;
+      if (exempt) return;
+      add(LintSeverity::kError, LintCheck::kArityMismatch, rule_id,
+          "predicate '" + dict.Text(atom.predicate) + "' used with arity " +
+              std::to_string(atom.arity()) + " here but arity " +
+              std::to_string(it->second.arity) + " in rule " +
+              std::to_string(it->second.rule) + ": " +
+              RuleToString(rule, dict));
+    };
+    for (const Atom& atom : rule.body) check_arity(atom);
+    for (const Atom& atom : rule.head) check_arity(atom);
+
+    if (exempt) continue;
+
+    // Unsafe negation: a negated atom's variable with no positive
+    // occurrence leaves negation-as-failure nothing to test against.
+    const std::vector<Term> positive_vars = rule.PositiveBodyVariables();
+    bool unsafe = false;
+    for (const Atom& atom : rule.body) {
+      if (!atom.negated) continue;
+      for (Term t : atom.args) {
+        if (!t.IsVariable()) continue;
+        if (std::find(positive_vars.begin(), positive_vars.end(), t) ==
+            positive_vars.end()) {
+          unsafe = true;
+          add(LintSeverity::kError, LintCheck::kUnsafeNegation, rule_id,
+              "variable " + datalog::TermToString(t, dict) +
+                  " occurs only under negation: " + RuleToString(rule, dict));
+        }
+      }
+    }
+
+    // Other malformations (empty body, quantified/body overlap, ...),
+    // unless the failure was already attributed to unsafe negation.
+    if (!unsafe) {
+      Status valid = rule.Validate();
+      if (!valid.ok()) {
+        add(LintSeverity::kError, LintCheck::kMalformedRule, rule_id,
+            valid.message() + ": " + RuleToString(rule, dict));
+      }
+    }
+
+    // Head variables that are silently existential.
+    if (!rule.IsConstraint() && !rule.declared_existentials) {
+      const std::vector<Term> existentials = rule.ExistentialVariables();
+      if (!existentials.empty()) {
+        add(LintSeverity::kWarning, LintCheck::kImplicitExistential, rule_id,
+            "head variable(s) " + VariableList(existentials, dict) +
+                " never occur in the body; if intended, write 'exists " +
+                VariableList(existentials, dict) + "': " +
+                RuleToString(rule, dict));
+      }
+    }
+
+    if (!shadow.empty() && shadow.count(CanonicalRuleText(rule, dict)) > 0) {
+      add(LintSeverity::kWarning, LintCheck::kShadowedRule, rule_id,
+          "identical (up to renaming) to a rule of the OWL 2 QL core "
+          "program the engine already runs: " +
+              RuleToString(rule, dict));
+    }
+  }
+
+  // Unused: a derived predicate nothing reads. Deterministic order via
+  // the attribution map sorted by rule index.
+  std::vector<std::pair<size_t, PredicateId>> defs(first_def.size());
+  std::transform(first_def.begin(), first_def.end(), defs.begin(),
+                 [](const auto& kv) {
+                   return std::pair<size_t, PredicateId>(kv.second, kv.first);
+                 });
+  std::sort(defs.begin(), defs.end());
+  for (const auto& [rule, pred] : defs) {
+    if (read_predicates.count(pred) > 0) continue;
+    if (options.output_predicates.count(pred) > 0) continue;
+    add(LintSeverity::kWarning, LintCheck::kUnusedPredicate,
+        static_cast<int>(rule),
+        "derived predicate '" + dict.Text(pred) +
+            "' is never read by any rule (pass it as an output predicate "
+            "if it is the answer)");
+  }
+
+  // Underivable: a read predicate with no deriving rule and no database
+  // facts — only checkable when the caller knows the EDB.
+  if (options.edb_known) {
+    std::vector<std::pair<size_t, PredicateId>> reads(first_read.size());
+    std::transform(first_read.begin(), first_read.end(), reads.begin(),
+                   [](const auto& kv) {
+                     return std::pair<size_t, PredicateId>(kv.second,
+                                                           kv.first);
+                   });
+    std::sort(reads.begin(), reads.end());
+    for (const auto& [rule, pred] : reads) {
+      if (head_predicates.count(pred) > 0) continue;
+      if (options.edb_predicates.count(pred) > 0) continue;
+      add(LintSeverity::kWarning, LintCheck::kUnderivablePredicate,
+          static_cast<int>(rule),
+          "predicate '" + dict.Text(pred) +
+              "' has no database facts and no rule derives it; this rule "
+              "can never fire");
+    }
+  }
+
+  return lints;
+}
+
+std::vector<Lint> LintProgram(const datalog::Program& program,
+                              const LintOptions& options) {
+  std::vector<Lint> lints =
+      LintRules(program.rules(), program.dict(), options);
+  auto stratification = datalog::Stratify(program.WithoutConstraints());
+  if (!stratification.ok()) {
+    lints.push_back({LintSeverity::kError, LintCheck::kNotStratified, -1,
+                     stratification.status().message()});
+  }
+  return lints;
+}
+
+}  // namespace triq::analysis

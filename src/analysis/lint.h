@@ -1,0 +1,97 @@
+#ifndef TRIQ_ANALYSIS_LINT_H_
+#define TRIQ_ANALYSIS_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "common/dictionary.h"
+#include "datalog/program.h"
+#include "datalog/rule.h"
+
+namespace triq::analysis {
+
+enum class LintSeverity { kWarning, kError };
+
+enum class LintCheck {
+  /// Rule fails the Section 3.2 well-formedness conditions (empty body,
+  /// quantified/body variable overlap, ...). Error.
+  kMalformedRule,
+  /// A variable of a negated body atom has no positive occurrence, so
+  /// negation-as-failure has no bindings to test. Error.
+  kUnsafeNegation,
+  /// One predicate used with two different arities — the relations can
+  /// never join, almost certainly a typo. Error.
+  kArityMismatch,
+  /// Recursion through negation: no stratification exists. Error.
+  kNotStratified,
+  /// Head variables absent from the body without an `exists` keyword:
+  /// legal (they are existential by definition) but usually a typo'd
+  /// variable name. Warning.
+  kImplicitExistential,
+  /// A head predicate nothing reads (no rule body, no constraint, not an
+  /// output predicate). Warning.
+  kUnusedPredicate,
+  /// A body predicate no rule derives and the database does not provide:
+  /// the rule can never fire. Warning (needs edb_known).
+  kUnderivablePredicate,
+  /// A user rule textually identical (up to variable renaming) to a rule
+  /// of the engine-attached OWL 2 QL core: it re-derives what the core
+  /// already derives. Warning.
+  kShadowedRule,
+};
+
+std::string_view LintSeverityName(LintSeverity severity);
+std::string_view LintCheckName(LintCheck check);
+
+/// One finding. `rule` indexes the analyzed rule vector, or -1 for
+/// program-level findings; `message` already embeds the offending rule's
+/// text where one is attributed.
+struct Lint {
+  LintSeverity severity = LintSeverity::kWarning;
+  LintCheck check = LintCheck::kMalformedRule;
+  int rule = -1;
+  std::string message;
+};
+
+/// `error [unsafe-negation] rule 3: ...` — one line, no trailing newline.
+std::string LintToString(const Lint& lint);
+
+struct LintOptions {
+  /// Predicates the database provides facts for. Only honored when
+  /// `edb_known` is true (a standalone file linter cannot distinguish
+  /// "no database" from "database not shown", so underivability is
+  /// checked only by callers that know the EDB — the engine does).
+  std::unordered_set<datalog::PredicateId> edb_predicates;
+  bool edb_known = false;
+
+  /// Predicates read from outside the program (answer predicates):
+  /// exempt from the unused-predicate check.
+  std::unordered_set<datalog::PredicateId> output_predicates;
+
+  /// Rules [0, exempt_prefix) are engine-attached (the OWL 2 QL core
+  /// under a reasoning regime); they are exempt from per-rule findings.
+  size_t exempt_prefix = 0;
+
+  /// When set, user rules identical to a rule of this program (up to
+  /// variable renaming) are flagged kShadowedRule. May be built over a
+  /// different Dictionary; comparison is by rendered text. Not owned;
+  /// must outlive the Lint call.
+  const datalog::Program* shadow_program = nullptr;
+};
+
+/// Per-rule and cross-rule checks over a raw rule vector (no Program
+/// needed, so even rules Program::AddRule would reject can be linted).
+std::vector<Lint> LintRules(const std::vector<datalog::Rule>& rules,
+                            const Dictionary& dict,
+                            const LintOptions& options = {});
+
+/// LintRules plus the program-level stratification check.
+std::vector<Lint> LintProgram(const datalog::Program& program,
+                              const LintOptions& options = {});
+
+}  // namespace triq::analysis
+
+#endif  // TRIQ_ANALYSIS_LINT_H_

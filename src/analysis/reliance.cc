@@ -1,0 +1,76 @@
+#include "analysis/reliance.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "datalog/atom.h"
+#include "datalog/rule.h"
+
+namespace triq::analysis {
+
+using datalog::Atom;
+using datalog::PredicateId;
+using datalog::Program;
+using datalog::Rule;
+
+RelianceGraph::RelianceGraph(const Program& program) {
+  const std::vector<Rule>& rules = program.rules();
+  const size_t n = rules.size();
+  positive_.assign(n, {});
+  negative_.assign(n, {});
+
+  // Index: predicate -> rules reading it (positively / negated).
+  std::unordered_map<PredicateId, std::vector<uint32_t>> positive_readers;
+  std::unordered_map<PredicateId, std::vector<uint32_t>> negative_readers;
+  for (size_t r = 0; r < n; ++r) {
+    for (const Atom& atom : rules[r].body) {
+      auto& readers = atom.negated ? negative_readers : positive_readers;
+      readers[atom.predicate].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  auto dedup = [](std::vector<uint32_t>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+
+  for (size_t r = 0; r < n; ++r) {
+    for (const Atom& head : rules[r].head) {
+      auto pos = positive_readers.find(head.predicate);
+      if (pos != positive_readers.end()) {
+        positive_[r].insert(positive_[r].end(), pos->second.begin(),
+                            pos->second.end());
+      }
+      auto neg = negative_readers.find(head.predicate);
+      if (neg != negative_readers.end()) {
+        negative_[r].insert(negative_[r].end(), neg->second.begin(),
+                            neg->second.end());
+      }
+    }
+    dedup(&positive_[r]);
+    dedup(&negative_[r]);
+  }
+
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (size_t r = 0; r < n; ++r) adj[r] = positive_[r];
+  scc_ = common::StronglyConnectedComponents(adj);
+}
+
+std::vector<std::vector<size_t>> RelianceGraph::OrderRules(
+    const std::vector<size_t>& rules) const {
+  // Bucket by group; std::map iteration gives ascending (= topological)
+  // group order, and push_back preserves the caller's order per group.
+  std::map<uint32_t, std::vector<size_t>> buckets;
+  for (size_t r : rules) buckets[GroupOf(r)].push_back(r);
+  std::vector<std::vector<size_t>> out;
+  out.reserve(buckets.size());
+  for (auto& [group, members] : buckets) {
+    (void)group;
+    out.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace triq::analysis

@@ -1,0 +1,313 @@
+#include "analysis/termination.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/graph.h"
+#include "datalog/atom.h"
+#include "datalog/rule.h"
+
+namespace triq::analysis {
+
+using datalog::Atom;
+using datalog::Position;
+using datalog::PositionHash;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+std::string_view TerminationName(Termination t) {
+  switch (t) {
+    case Termination::kGuaranteedTerminating: return "guaranteed-terminating";
+    case Termination::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Every position of `v` among the positive atoms of `atoms`.
+void CollectPositions(const std::vector<Atom>& atoms, Term v,
+                      std::vector<Position>* out) {
+  for (const Atom& atom : atoms) {
+    if (atom.negated) continue;
+    for (uint32_t i = 0; i < atom.args.size(); ++i) {
+      if (atom.args[i] == v) out->push_back({atom.predicate, i});
+    }
+  }
+}
+
+}  // namespace
+
+// ---- PositionGraph ----------------------------------------------------
+
+PositionGraph::PositionGraph(const Program& program) {
+  // Node ids are assigned in first-occurrence order, so witnesses are
+  // deterministic across runs.
+  std::unordered_map<Position, uint32_t, PositionHash> node_index;
+  auto node_of = [&](Position pos) {
+    auto it = node_index.find(pos);
+    if (it != node_index.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(positions_.size());
+    positions_.push_back(pos);
+    edges_.emplace_back();
+    node_index.emplace(pos, id);
+    return id;
+  };
+
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    if (rule.IsConstraint()) continue;
+    // Materialize every position so the graph covers sch(ex(Π)+) even
+    // where no edge touches it.
+    for (const Atom& atom : rule.body) {
+      if (atom.negated) continue;
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        node_of({atom.predicate, i});
+      }
+    }
+    for (const Atom& atom : rule.head) {
+      for (uint32_t i = 0; i < atom.args.size(); ++i) {
+        node_of({atom.predicate, i});
+      }
+    }
+
+    const std::vector<Term> existentials = rule.ExistentialVariables();
+    std::vector<Position> existential_heads;
+    for (Term y : existentials) {
+      CollectPositions(rule.head, y, &existential_heads);
+    }
+
+    for (Term x : rule.FrontierVariables()) {
+      std::vector<Position> body_positions;
+      CollectPositions(rule.body, x, &body_positions);
+      std::vector<Position> head_positions;
+      CollectPositions(rule.head, x, &head_positions);
+      for (Position p : body_positions) {
+        const uint32_t from = node_of(p);
+        for (Position h : head_positions) {
+          edges_[from].push_back({node_of(h), /*special=*/false, r});
+          ++num_ordinary_edges_;
+        }
+        for (Position h : existential_heads) {
+          edges_[from].push_back({node_of(h), /*special=*/true, r});
+          ++num_special_edges_;
+        }
+      }
+    }
+  }
+
+  FindWitness(program);
+}
+
+std::string PositionGraph::RenderPosition(uint32_t node,
+                                          const Program& program) const {
+  const Position pos = positions_[node];
+  return program.dict().Text(pos.predicate) + "[" +
+         std::to_string(pos.index) + "]";
+}
+
+void PositionGraph::FindWitness(const Program& program) {
+  std::vector<std::vector<uint32_t>> adj(edges_.size());
+  for (size_t u = 0; u < edges_.size(); ++u) {
+    for (const Edge& e : edges_[u]) adj[u].push_back(e.to);
+  }
+  const common::SccResult scc = common::StronglyConnectedComponents(adj);
+
+  // Weak acyclicity fails iff some special edge closes a cycle, i.e.
+  // both endpoints share a component. Take the first such edge (in
+  // deterministic rule order) and reconstruct a shortest path back from
+  // its head to its tail inside the component.
+  for (uint32_t u = 0; u < edges_.size(); ++u) {
+    for (const Edge& e : edges_[u]) {
+      if (!e.special || !scc.SameComponent(u, e.to)) continue;
+
+      // BFS e.to -> u restricted to the component, remembering the edge
+      // taken into each node.
+      constexpr uint32_t kNone = 0xffffffffu;
+      std::vector<uint32_t> parent(edges_.size(), kNone);
+      std::vector<const Edge*> via(edges_.size(), nullptr);
+      std::deque<uint32_t> queue;
+      queue.push_back(e.to);
+      parent[e.to] = e.to;
+      while (!queue.empty() && parent[u] == kNone) {
+        const uint32_t v = queue.front();
+        queue.pop_front();
+        for (const Edge& out : edges_[v]) {
+          if (!scc.SameComponent(out.to, u)) continue;
+          if (parent[out.to] != kNone) continue;
+          parent[out.to] = v;
+          via[out.to] = &out;
+          queue.push_back(out.to);
+          if (out.to == u) break;
+        }
+      }
+
+      // Unwind u <- ... <- e.to, then prepend the special edge.
+      std::vector<std::pair<const Edge*, uint32_t>> path;  // (edge, from)
+      for (uint32_t v = u; v != e.to; v = parent[v]) {
+        path.emplace_back(via[v], parent[v]);
+      }
+      std::reverse(path.begin(), path.end());
+
+      std::string text = RenderPosition(u, program);
+      std::vector<size_t> cycle_rules = {e.rule};
+      text += " ~(rule " + std::to_string(e.rule) + ")~> " +
+              RenderPosition(e.to, program);
+      for (const auto& [edge, from] : path) {
+        (void)from;
+        const char* arrow = edge->special ? ")~> " : ")-> ";
+        text += std::string(edge->special ? " ~(rule " : " -(rule ") +
+                std::to_string(edge->rule) + arrow +
+                RenderPosition(edge->to, program);
+        if (std::find(cycle_rules.begin(), cycle_rules.end(), edge->rule) ==
+            cycle_rules.end()) {
+          cycle_rules.push_back(edge->rule);
+        }
+      }
+      text += "  where  ";
+      for (size_t i = 0; i < cycle_rules.size(); ++i) {
+        if (i > 0) text += "; ";
+        text += "rule " + std::to_string(cycle_rules[i]) + ": " +
+                RuleToString(program.rules()[cycle_rules[i]], program.dict());
+      }
+      witness_ = std::move(text);
+      return;
+    }
+  }
+}
+
+// ---- ExistentialGraph -------------------------------------------------
+
+ExistentialGraph::ExistentialGraph(const Program& program) {
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (rules[r].IsConstraint()) continue;
+    for (Term y : rules[r].ExistentialVariables()) {
+      vars_.push_back({r, y});
+    }
+  }
+  if (vars_.empty()) return;
+
+  // Precompute, per rule, each frontier variable's positive-body and
+  // head positions (shared by every Mov fixpoint below).
+  struct FrontierInfo {
+    std::vector<Position> body;
+    std::vector<Position> head;
+  };
+  std::vector<std::vector<FrontierInfo>> frontiers(rules.size());
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (rules[r].IsConstraint()) continue;
+    for (Term x : rules[r].FrontierVariables()) {
+      FrontierInfo info;
+      CollectPositions(rules[r].body, x, &info.body);
+      CollectPositions(rules[r].head, x, &info.head);
+      frontiers[r].push_back(std::move(info));
+    }
+  }
+
+  // Mov(y) per existential variable, then the dependency edges.
+  std::vector<std::vector<uint32_t>> adj(vars_.size());
+  std::vector<std::unordered_set<Position, PositionHash>> mov(vars_.size());
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    std::vector<Position> heads;
+    CollectPositions(rules[vars_[i].rule].head, vars_[i].var, &heads);
+    mov[i].insert(heads.begin(), heads.end());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t r = 0; r < frontiers.size(); ++r) {
+        for (const FrontierInfo& f : frontiers[r]) {
+          const bool all_in = !f.body.empty() &&
+                              std::all_of(f.body.begin(), f.body.end(),
+                                          [&](Position p) {
+                                            return mov[i].count(p) > 0;
+                                          });
+          if (!all_in) continue;
+          for (Position h : f.head) {
+            if (mov[i].insert(h).second) changed = true;
+          }
+        }
+      }
+    }
+    for (size_t j = 0; j < vars_.size(); ++j) {
+      // y_i -> y_j iff the rule introducing y_j has a frontier variable
+      // whose body positions all lie in Mov(y_i): a null invented for
+      // y_i can reach that frontier and trigger fresh nulls for y_j.
+      const size_t rj = vars_[j].rule;
+      for (const FrontierInfo& f : frontiers[rj]) {
+        const bool all_in = !f.body.empty() &&
+                            std::all_of(f.body.begin(), f.body.end(),
+                                        [&](Position p) {
+                                          return mov[i].count(p) > 0;
+                                        });
+        if (all_in) {
+          adj[i].push_back(static_cast<uint32_t>(j));
+          break;
+        }
+      }
+    }
+  }
+
+  const common::SccResult scc = common::StronglyConnectedComponents(adj);
+  for (uint32_t i = 0; i < adj.size(); ++i) {
+    for (uint32_t j : adj[i]) {
+      if (!scc.SameComponent(i, j)) continue;
+      // Cyclic: render the offending dependency (i -> j, mutually
+      // reachable). The full cycle adds little over the two endpoints.
+      auto render = [&](uint32_t k) {
+        return datalog::TermToString(vars_[k].var, program.dict()) +
+               " (rule " + std::to_string(vars_[k].rule) + ")";
+      };
+      witness_ = render(i) + " ~> " + render(j);
+      if (i != j) witness_ += " ~> " + render(i);
+      return;
+    }
+  }
+}
+
+// ---- AnalyzeTermination ------------------------------------------------
+
+TerminationVerdict AnalyzeTermination(const Program& program) {
+  TerminationVerdict verdict;
+  bool has_existentials = false;
+  for (const Rule& rule : program.rules()) {
+    if (!rule.IsConstraint() && !rule.ExistentialVariables().empty()) {
+      has_existentials = true;
+      break;
+    }
+  }
+  if (!has_existentials) {
+    // Plain (stratified) Datalog: the chase only ever derives facts over
+    // the active domain, a finite set, so every fixpoint terminates.
+    verdict.termination = Termination::kGuaranteedTerminating;
+    verdict.method = "datalog";
+    return verdict;
+  }
+
+  PositionGraph positions(program);
+  if (positions.IsWeaklyAcyclic()) {
+    verdict.termination = Termination::kGuaranteedTerminating;
+    verdict.method = "weak-acyclicity";
+    return verdict;
+  }
+
+  ExistentialGraph existentials(program);
+  if (existentials.IsJointlyAcyclic()) {
+    verdict.termination = Termination::kGuaranteedTerminating;
+    verdict.method = "joint-acyclicity";
+    return verdict;
+  }
+
+  verdict.termination = Termination::kUnknown;
+  verdict.witness = positions.witness();
+  return verdict;
+}
+
+}  // namespace triq::analysis

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/reliance.h"
 #include "common/thread_pool.h"
 
 namespace triq::chase {
@@ -56,12 +57,43 @@ class ChaseRun {
     }
     TRIQ_ASSIGN_OR_RETURN(Stratification strat,
                           datalog::Stratify(program_.WithoutConstraints()));
+    if (stats_ != nullptr) {
+      stats_->termination =
+          analysis::AnalyzeTermination(program_).termination;
+    }
+    // SCC-ordered scheduling: saturate each reliance-graph group to its
+    // fixpoint before its dependents. Sound only where the fixpoint is
+    // schedule-independent, so it is gated to existential-free strata
+    // under partitioned semi-naive evaluation without provenance (see
+    // ChaseOptions::scc_rule_order); other strata keep the joint sweep.
+    std::unique_ptr<analysis::RelianceGraph> reliance;
+    if (options_.scc_rule_order && Partitioned() &&
+        !options_.track_provenance) {
+      reliance = std::make_unique<analysis::RelianceGraph>(program_);
+    }
     for (int s = 0; s < strat.num_strata; ++s) {
       std::vector<size_t> rule_indices = strat.RulesInStratum(program_, s);
       if (rule_indices.empty()) continue;
-      TRIQ_RETURN_IF_ERROR(SaturateStratum(rule_indices));
+      if (stats_ != nullptr) ++stats_->strata;
+      if (reliance != nullptr && ExistentialFree(rule_indices)) {
+        for (const std::vector<size_t>& group :
+             reliance->OrderRules(rule_indices)) {
+          if (stats_ != nullptr) ++stats_->rule_groups;
+          TRIQ_RETURN_IF_ERROR(SaturateStratum(group));
+        }
+      } else {
+        if (stats_ != nullptr) ++stats_->rule_groups;
+        TRIQ_RETURN_IF_ERROR(SaturateStratum(rule_indices));
+      }
     }
     return CheckConstraints();
+  }
+
+  bool ExistentialFree(const std::vector<size_t>& rule_indices) const {
+    for (size_t r : rule_indices) {
+      if (!program_.rules()[r].ExistentialVariables().empty()) return false;
+    }
+    return true;
   }
 
  private:

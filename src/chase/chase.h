@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "analysis/termination.h"
 #include "common/status.h"
 #include "chase/instance.h"
 #include "chase/match.h"
@@ -74,6 +75,21 @@ struct ChaseOptions {
   /// for every value of num_threads.
   size_t num_threads = 1;
 
+  /// Order each stratum's rule passes by the SCC condensation of the
+  /// positive reliance graph (analysis::RelianceGraph): saturate each
+  /// group of mutually recursive rules to its fixpoint before any group
+  /// that relies on it runs, instead of sweeping every rule of the
+  /// stratum each round (VLog's seminaiver_ordered schedule). Applied
+  /// only to existential-free strata under partitioned semi-naive
+  /// evaluation without provenance — there the final fact set,
+  /// `rule_firings`, `facts_derived` and null ids are provably
+  /// schedule-independent (each match is enumerated exactly once against
+  /// the same fixpoint); strata with existential rules fall back to the
+  /// joint schedule because restricted-chase firing decisions are order-
+  /// sensitive. Storage (tuple) order and `rounds` do change with the
+  /// schedule. Default off.
+  bool scc_rule_order = false;
+
   /// Safety caps. Exceeding max_facts aborts with ResourceExhausted;
   /// exceeding max_null_depth stops deriving deeper nulls and marks
   /// `ChaseStats::truncated` (the ground semantics of terminating
@@ -97,6 +113,15 @@ struct ChaseStats {
   /// Match passes that ran sharded across the thread pool (0 when
   /// num_threads <= 1 or every pass was below the sharding threshold).
   size_t sharded_passes = 0;
+  /// Non-empty strata of the minimal stratification this run scheduled.
+  size_t strata = 0;
+  /// Rule groups saturated: equals `strata` under the joint schedule;
+  /// under scc_rule_order, the reliance-graph condensation groups.
+  size_t rule_groups = 0;
+  /// Static termination verdict of the program
+  /// (analysis::AnalyzeTermination), reported for ops introspection;
+  /// kUnknown does NOT stop the run — the caps above do.
+  analysis::Termination termination = analysis::Termination::kUnknown;
   bool truncated = false;
 };
 

@@ -1,0 +1,78 @@
+#include "common/graph.h"
+
+#include <algorithm>
+
+namespace triq::common {
+
+SccResult StronglyConnectedComponents(
+    const std::vector<std::vector<uint32_t>>& adj) {
+  const uint32_t n = static_cast<uint32_t>(adj.size());
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+
+  SccResult out;
+  out.component.assign(n, kUnvisited);
+
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+
+  struct Frame {
+    uint32_t node;
+    size_t child;
+  };
+  std::vector<Frame> call;
+
+  uint32_t next_index = 0;
+  uint32_t emitted = 0;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    call.push_back({root, 0});
+    while (!call.empty()) {
+      Frame& frame = call.back();
+      const uint32_t v = frame.node;
+      if (frame.child < adj[v].size()) {
+        const uint32_t w = adj[v][frame.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back({w, 0});  // invalidates `frame`; loop re-fetches
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        const uint32_t parent = call.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+      if (lowlink[v] == index[v]) {
+        // Root of a component: everything above v on the stack (v
+        // included) is one SCC, emitted only after every component it
+        // can reach — i.e. in reverse topological order.
+        while (true) {
+          const uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          out.component[w] = emitted;
+          if (w == v) break;
+        }
+        ++emitted;
+      }
+    }
+  }
+
+  // Flip the reverse-topological emission order so that an edge crossing
+  // components always goes from a smaller id to a larger one.
+  for (uint32_t& c : out.component) c = emitted - 1 - c;
+  out.num_components = emitted;
+  return out;
+}
+
+}  // namespace triq::common

@@ -127,6 +127,7 @@ class Parser {
       if (declared_existentials.empty()) {
         return Error("'exists' must be followed by at least one variable");
       }
+      rule.declared_existentials = true;
     }
     while (true) {
       TRIQ_ASSIGN_OR_RETURN(Atom atom, ParseOneAtom());

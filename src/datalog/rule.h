@@ -21,6 +21,13 @@ struct Rule {
   std::vector<Atom> body;  // positive and negated atoms, in written order
   std::vector<Atom> head;  // empty iff constraint (→ ⊥)
 
+  /// True when the rule's source text declared its existential variables
+  /// with the `exists` keyword (set by the parser; hand-built rules
+  /// default to false). Purely diagnostic — ExistentialVariables() is
+  /// authoritative either way; the lint pass uses this to flag head
+  /// variables that are *silently* existential (usually a typo).
+  bool declared_existentials = false;
+
   bool IsConstraint() const { return head.empty(); }
 
   /// Positive body atoms (body+(ρ)).

@@ -1,6 +1,13 @@
 #include "datalog/stratify.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/graph.h"
 
 namespace triq::datalog {
 
@@ -19,44 +26,157 @@ std::vector<size_t> Stratification::RulesInStratum(const Program& program,
   return out;
 }
 
-Result<Stratification> Stratify(const Program& program) {
-  Stratification strat;
-  std::unordered_set<PredicateId> preds = program.Predicates();
-  const int max_stratum = static_cast<int>(preds.size()) + 1;
+namespace {
 
-  // Relaxation to a least fixpoint; a stratum exceeding |sch(Π)| means a
-  // cycle through negation exists.
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const Rule& rule : program.rules()) {
-      if (rule.IsConstraint()) continue;
-      int required = 0;
-      for (const Atom& a : rule.body) {
-        int s = strat.StratumOf(a.predicate);
-        required = std::max(required, a.negated ? s + 1 : s);
+/// One edge of the predicate dependency graph (body predicate -> head
+/// predicate), remembering whether the body occurrence was negated and
+/// which rule induced it, so a negative cycle can be reported as the
+/// offending rule cycle rather than a bare failure.
+struct PredEdge {
+  uint32_t to;
+  bool negative;
+  size_t rule;
+};
+
+/// Renders the cycle that makes the program unstratifiable: the negative
+/// edge `u -not-> v` lies in one SCC, so some path leads from v back to
+/// u; BFS finds a shortest one and the whole loop is printed with the
+/// rules that induce each step.
+std::string DescribeNegativeCycle(
+    uint32_t u, const PredEdge& negative_edge,
+    const std::vector<std::vector<PredEdge>>& edges,
+    const common::SccResult& scc, const Program& program,
+    const std::vector<PredicateId>& preds) {
+  const uint32_t v = negative_edge.to;
+  constexpr uint32_t kNone = 0xffffffffu;
+  std::vector<uint32_t> parent(edges.size(), kNone);
+  std::vector<const PredEdge*> via(edges.size(), nullptr);
+  std::deque<uint32_t> queue;
+  parent[v] = v;
+  queue.push_back(v);
+  while (!queue.empty() && parent[u] == kNone) {
+    const uint32_t node = queue.front();
+    queue.pop_front();
+    for (const PredEdge& e : edges[node]) {
+      if (!scc.SameComponent(e.to, u) || parent[e.to] != kNone) continue;
+      parent[e.to] = node;
+      via[e.to] = &e;
+      queue.push_back(e.to);
+    }
+  }
+
+  std::vector<const PredEdge*> path;  // v -> ... -> u, in order
+  for (uint32_t node = u; node != v; node = parent[node]) {
+    path.push_back(via[node]);
+  }
+  std::reverse(path.begin(), path.end());
+
+  const Dictionary& dict = program.dict();
+  std::string text = dict.Text(preds[u]) + " -not(rule " +
+                     std::to_string(negative_edge.rule) + ")-> " +
+                     dict.Text(preds[v]);
+  std::vector<size_t> cycle_rules = {negative_edge.rule};
+  for (const PredEdge* e : path) {
+    text += std::string(e->negative ? " -not(rule " : " -(rule ") +
+            std::to_string(e->rule) + ")-> " + dict.Text(preds[e->to]);
+    if (std::find(cycle_rules.begin(), cycle_rules.end(), e->rule) ==
+        cycle_rules.end()) {
+      cycle_rules.push_back(e->rule);
+    }
+  }
+  text += "  where  ";
+  for (size_t i = 0; i < cycle_rules.size(); ++i) {
+    if (i > 0) text += "; ";
+    text += "rule " + std::to_string(cycle_rules[i]) + ": " +
+            RuleToString(program.rules()[cycle_rules[i]], dict);
+  }
+  return text;
+}
+
+}  // namespace
+
+Result<Stratification> Stratify(const Program& program) {
+  // Dense node ids over sch(Π), assigned in rule order for determinism.
+  std::unordered_map<PredicateId, uint32_t> node_of;
+  std::vector<PredicateId> preds;
+  std::vector<std::vector<PredEdge>> edges;
+  auto node = [&](PredicateId p) {
+    auto [it, inserted] = node_of.emplace(p, preds.size());
+    if (inserted) {
+      preds.push_back(p);
+      edges.emplace_back();
+    }
+    return it->second;
+  };
+
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    if (rule.IsConstraint()) continue;
+    for (const Atom& h : rule.head) {
+      const uint32_t hn = node(h.predicate);
+      for (const Atom& b : rule.body) {
+        const uint32_t bn = node(b.predicate);
+        edges[bn].push_back({hn, b.negated, r});
       }
-      // Multi-atom heads (footnote 6 sugar) share one stratum: lift all
-      // head predicates to the same level.
-      for (const Atom& h : rule.head) {
-        required = std::max(required, strat.StratumOf(h.predicate));
-      }
-      for (const Atom& h : rule.head) {
-        if (strat.StratumOf(h.predicate) < required) {
-          strat.stratum[h.predicate] = required;
-          if (required > max_stratum) {
-            return Status::FailedPrecondition(
-                "program is not stratified: recursion through negation "
-                "involving predicate " +
-                program.dict().Text(h.predicate));
-          }
-          changed = true;
-        }
+      // Multi-atom heads (footnote 6 sugar) share one stratum:
+      // zero-weight edges both ways merge them into one SCC, which makes
+      // the longest-path assignment below give them equal strata.
+      for (const Atom& h2 : rule.head) {
+        if (h2.predicate == h.predicate) continue;
+        const uint32_t h2n = node(h2.predicate);
+        edges[h2n].push_back({hn, false, r});
       }
     }
   }
+
+  std::vector<std::vector<uint32_t>> adj(preds.size());
+  for (size_t u = 0; u < edges.size(); ++u) {
+    for (const PredEdge& e : edges[u]) adj[u].push_back(e.to);
+  }
+  const common::SccResult scc = common::StronglyConnectedComponents(adj);
+
+  // A negative edge inside one SCC is recursion through negation.
+  for (uint32_t u = 0; u < edges.size(); ++u) {
+    for (const PredEdge& e : edges[u]) {
+      if (!e.negative || !scc.SameComponent(u, e.to)) continue;
+      return Status::FailedPrecondition(
+          "program is not stratified: recursion through negation "
+          "involving predicate " +
+          program.dict().Text(preds[u]) + ": " +
+          DescribeNegativeCycle(u, e, edges, scc, program, preds));
+    }
+  }
+
+  // Minimal stratification = longest path over the condensation, where a
+  // negative edge costs 1 and a positive edge 0. Component ids ascend in
+  // topological order, so one sweep relaxing outgoing edges suffices;
+  // this reproduces exactly the least fixpoint the old relaxation loop
+  // computed (head strata >= body strata, > for negated bodies, heads of
+  // one rule equal).
+  std::vector<int> component_stratum(scc.num_components, 0);
+  std::vector<std::vector<uint32_t>> members(scc.num_components);
+  for (uint32_t u = 0; u < preds.size(); ++u) {
+    members[scc.component[u]].push_back(u);
+  }
+  Stratification strat;
   int max_seen = 0;
-  for (const auto& [pred, s] : strat.stratum) max_seen = std::max(max_seen, s);
+  for (uint32_t c = 0; c < scc.num_components; ++c) {
+    for (uint32_t u : members[c]) {
+      for (const PredEdge& e : edges[u]) {
+        const uint32_t tc = scc.component[e.to];
+        if (tc == c) continue;
+        component_stratum[tc] =
+            std::max(component_stratum[tc],
+                     component_stratum[c] + (e.negative ? 1 : 0));
+      }
+    }
+  }
+  for (uint32_t u = 0; u < preds.size(); ++u) {
+    const int s = component_stratum[scc.component[u]];
+    strat.stratum[preds[u]] = s;
+    max_seen = std::max(max_seen, s);
+  }
   strat.num_strata = max_seen + 1;
   return strat;
 }

@@ -76,6 +76,7 @@ chase::ChaseOptions EngineOptions::ToChaseOptions() const {
   options.greedy_atom_order = true;
   options.join_strategy = join_strategy;
   options.num_threads = num_threads;
+  options.scc_rule_order = scc_rule_order;
   options.max_facts = max_facts;
   options.max_null_depth = max_null_depth;
   return options;
@@ -240,6 +241,7 @@ Engine::Engine(EngineOptions options)
     // what lets every SPARQL query share one inference closure. Same
     // dictionary by construction, so Append cannot fail.
     (void)program_.Append(translate::BuildOwl2QlCoreProgram(dict_));
+    core_rule_prefix_ = program_.rules().size();
   }
   program_monotone_ = IsMonotone(program_);
 }
@@ -480,6 +482,20 @@ Status Engine::MaterializeLocked(chase::ChaseStats* stats) {
   TRIQ_RETURN_IF_ERROR(chase::ValidateChaseOptions(options));
   if (IsMaterialized()) return Status::OK();  // clean: nothing to do
 
+  if (options_.require_termination_guarantee) {
+    // Gate before any chase round: a program the analyzer cannot prove
+    // terminating is rejected outright, witness cycle attached.
+    analysis::TerminationVerdict verdict =
+        analysis::AnalyzeTermination(program_);
+    if (verdict.termination != analysis::Termination::kGuaranteedTerminating) {
+      std::string message =
+          "termination guarantee required, but static analysis cannot prove "
+          "the data program's chase terminates";
+      if (!verdict.witness.empty()) message += ": " + verdict.witness;
+      return Status::InvalidArgument(message);
+    }
+  }
+
   EngineSnapshotPtr prev = std::atomic_load(&snapshot_);
   // Incremental re-saturation resumes the published closure with exactly
   // the appended base facts as the delta. Soundness needs monotonicity
@@ -591,6 +607,29 @@ EngineStats Engine::stats() const {
   std::lock_guard<std::mutex> lock(cache_mu_);
   out.sparql_cache_size = sparql_lru_.size();
   return out;
+}
+
+analysis::ProgramAnalysis Engine::AnalyzeProgram(
+    const std::vector<std::string>& output_predicates) const {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  analysis::LintOptions lint;
+  lint.edb_known = true;
+  for (const auto& [pred, rel] : base_.relations()) {
+    lint.edb_predicates.insert(pred);
+  }
+  for (const std::string& name : output_predicates) {
+    lint.output_predicates.insert(dict_->Intern(name));
+  }
+  lint.exempt_prefix = core_rule_prefix_;
+  // The shadow program is built over a private dictionary —
+  // CanonicalRuleText compares structure, not symbol ids — so analysis
+  // never interns core vocabulary into a kNone session.
+  datalog::Program shadow(std::make_shared<Dictionary>());
+  if (options_.regime != EntailmentRegime::kNone) {
+    shadow = translate::BuildOwl2QlCoreProgram(shadow.dict_ptr());
+    lint.shadow_program = &shadow;
+  }
+  return analysis::Analyze(program_, lint);
 }
 
 // ---- Engine: queries ---------------------------------------------------

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/analyze.h"
 #include "chase/chase.h"
 #include "chase/instance.h"
 #include "common/dictionary.h"
@@ -62,6 +63,22 @@ struct EngineOptions {
   uint32_t max_null_depth = chase::ChaseOptions().max_null_depth;
   EntailmentRegime regime = EntailmentRegime::kNone;
 
+  /// Order each stratum's rule passes by the reliance-graph condensation
+  /// (see chase::ChaseOptions::scc_rule_order). Counter-equivalent to
+  /// the joint schedule; default off.
+  bool scc_rule_order = false;
+
+  /// Refuse to materialize unless static analysis proves the data
+  /// program's chase terminates (analysis::AnalyzeTermination verdict
+  /// kGuaranteedTerminating). When the verdict is kUnknown, Materialize
+  /// returns InvalidArgument carrying the witness cycle *before any
+  /// chase round runs* — the safety caps then never need to fire. Note
+  /// the analysis is sound but incomplete: programs that terminate only
+  /// under the restricted chase (τ_owl2ql_core among them) are rejected,
+  /// so this knob suits user-authored rule sets, not the reasoning
+  /// regimes.
+  bool require_termination_guarantee = false;
+
   /// Bound on the SPARQL plan cache (distinct query texts); least
   /// recently used plans are evicted beyond it. 0 = unbounded.
   size_t sparql_cache_capacity = 128;
@@ -108,6 +125,14 @@ struct EngineOptions {
   }
   EngineOptions& SetRegime(EntailmentRegime r) {
     regime = r;
+    return *this;
+  }
+  EngineOptions& SetSccRuleOrder(bool enabled) {
+    scc_rule_order = enabled;
+    return *this;
+  }
+  EngineOptions& SetRequireTerminationGuarantee(bool enabled) {
+    require_termination_guarantee = enabled;
     return *this;
   }
   EngineOptions& SetSparqlCacheCapacity(size_t capacity) {
@@ -438,6 +463,22 @@ class Engine {
   /// Session counters (materializations, SPARQL cache hit/miss/eviction).
   EngineStats stats() const;
 
+  // ---- Static analysis -----------------------------------------------
+
+  /// Runs the static analyzer (analysis::Analyze) over the session's
+  /// data program without chasing anything: termination verdict,
+  /// stratification, reliance-graph group count, and the lint pass. The
+  /// loaded base relations are treated as the EDB (so reads of loaded
+  /// predicates are not flagged underivable) and `output_predicates`
+  /// names predicates consumed externally (query heads, answer
+  /// relations) that must not be flagged unused. Under a reasoning
+  /// regime the τ_owl2ql_core rules attached at construction are exempt
+  /// from per-rule lints and act as the shadow program (user rules
+  /// duplicating a core rule are flagged). Serializes with writers;
+  /// never materializes.
+  analysis::ProgramAnalysis AnalyzeProgram(
+      const std::vector<std::string>& output_predicates = {}) const;
+
   // ---- Queries -------------------------------------------------------
 
   /// Validates (program, answer_predicate) as a TriqQuery whose head
@@ -515,6 +556,10 @@ class Engine {
   chase::Instance base_;
   datalog::Program program_;
   bool program_monotone_ = true;
+  // Rules 0..core_rule_prefix_ of program_ are the τ_owl2ql_core rules
+  // attached at construction (0 under EntailmentRegime::kNone); the lint
+  // pass exempts them from per-rule diagnostics.
+  size_t core_rule_prefix_ = 0;
   bool rules_dirty_ = false;  // rules attached since the last snapshot
   // How much of base_ the snapshot lineage has consumed: per-predicate
   // fact counts, and the base-null -> snapshot-null remapping (base and

@@ -83,6 +83,20 @@ def main():
             expect(stats.get("materializations") == "1", f"STATS: {reply}")
             expect(stats.get("sparql_cache_hits") == "1", f"STATS: {reply}")
 
+            # Static analysis of the session's data program: the attached
+            # tc rules are pure datalog, so the verdict is a guarantee.
+            reply = send(f, "ANALYZE")
+            analysis = dict(
+                line.split()[1:3] for line in reply if line.startswith("STAT")
+            )
+            expect(reply[-1] == "OK", f"ANALYZE: {reply}")
+            expect(
+                analysis.get("verdict") == "guaranteed-terminating",
+                f"ANALYZE verdict: {reply}",
+            )
+            expect(analysis.get("method") == "datalog", f"ANALYZE: {reply}")
+            expect(analysis.get("lint_errors") == "0", f"ANALYZE: {reply}")
+
         # A second concurrent-style connection still works after the first
         # closed, and SHUTDOWN stops the whole server.
         with socket.create_connection(("127.0.0.1", port), timeout=10) as s:

@@ -61,7 +61,14 @@ TEST(StratifyTest, RecursionThroughNegationFails) {
   )",
                               dict);
   ASSERT_TRUE(program.ok());
-  EXPECT_FALSE(Stratify(*program).ok());
+  auto strat = Stratify(*program);
+  ASSERT_FALSE(strat.ok());
+  // The failure names the offending cycle: both predicates and the
+  // rules whose negated atoms close it.
+  const std::string message = strat.status().message();
+  EXPECT_NE(message.find("p"), std::string::npos) << message;
+  EXPECT_NE(message.find("q"), std::string::npos) << message;
+  EXPECT_NE(message.find("rule"), std::string::npos) << message;
 }
 
 TEST(StratifyTest, SelfNegationFails) {

@@ -17,6 +17,10 @@
 //   --threads N       chase thread count (default 1; N > 1 runs the
 //                     parallel sharded executor, same answers)
 //   --classify        print the language class of the program and exit
+//   --analyze         print the static-analysis report (termination
+//                     verdict, lint findings) for the attached program
+//                     and exit without materializing; exit 1 on
+//                     error-severity findings
 //   --explain TUPLE   print a proof tree for answer tuple "a,b,c"
 #include <cstdlib>
 #include <fstream>
@@ -41,6 +45,7 @@ struct Args {
   std::string explain;
   size_t threads = 1;
   bool classify = false;
+  bool analyze = false;
 };
 
 int Fail(const std::string& message) {
@@ -86,6 +91,16 @@ int RunRuleProgram(const Args& args, triq::Engine* engine) {
 
   triq::Status attached = engine->AttachProgram(*program);
   if (!attached.ok()) return Fail(attached.ToString());
+
+  if (args.analyze) {
+    // Static analysis only: report over the attached data program (the
+    // answer predicate counts as an output), no chase rounds run.
+    triq::analysis::ProgramAnalysis analysis =
+        engine->AnalyzeProgram({answer});
+    std::cout << analysis.Report();
+    return analysis.HasErrors() ? 1 : 0;
+  }
+
   auto answers = engine->Answers(answer);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const triq::chase::Tuple& tuple : *answers) {
@@ -166,11 +181,13 @@ int main(int argc, char** argv) {
       args.explain = v;
     } else if (flag == "--classify") {
       args.classify = true;
+    } else if (flag == "--analyze") {
+      args.analyze = true;
     } else if (flag == "--help" || flag == "-h") {
       std::cout << "usage: triq_run --graph FILE"
                    " (--program FILE --answer PRED | --sparql TEXT)"
                    " [--regime none|active|all] [--threads N]"
-                   " [--classify] [--explain a,b,c]\n";
+                   " [--classify] [--analyze] [--explain a,b,c]\n";
       return 0;
     } else {
       return Fail("unknown flag " + flag);

@@ -15,6 +15,9 @@
 //   ANSWERS <predicate>       -> ROW <c1> <c2> ... per tuple, then OK <n>
 //   SPARQL <pattern text>     -> ROW <mapping> per solution, then OK <n>
 //   STATS                     -> STAT <name> <value> lines, then OK
+//   ANALYZE                   -> STAT <name> <value> lines (static
+//                                analysis of the data program: verdict,
+//                                shape, lint counts), then OK
 //   QUIT                      -> OK bye              (closes connection)
 //   SHUTDOWN                  -> OK shutting-down    (stops the server)
 //
@@ -176,6 +179,34 @@ std::string HandleCommand(Engine& engine, const std::string& line,
              std::to_string(stats.sparql_cache_evictions) + "\n";
     reply += "STAT sparql_cache_size " +
              std::to_string(stats.sparql_cache_size) + "\n";
+    reply += "OK\n";
+    return reply;
+  }
+
+  if (cmd == "ANALYZE") {
+    // Scalars only: witnesses and lint messages are multi-line prose,
+    // unfit for the one-line STAT wire format.
+    triq::analysis::ProgramAnalysis analysis = engine.AnalyzeProgram();
+    std::string reply;
+    reply += "STAT verdict " +
+             std::string(triq::analysis::TerminationName(
+                 analysis.verdict.termination)) + "\n";
+    reply += "STAT method " +
+             (analysis.verdict.method.empty() ? "none"
+                                              : analysis.verdict.method) +
+             "\n";
+    reply += "STAT rules " + std::to_string(analysis.num_rules) + "\n";
+    reply += "STAT stratified " +
+             std::string(analysis.stratified ? "true" : "false") + "\n";
+    reply += "STAT strata " + std::to_string(analysis.num_strata) + "\n";
+    reply += "STAT rule_groups " +
+             std::to_string(analysis.num_rule_groups) + "\n";
+    reply += "STAT lint_errors " +
+             std::to_string(analysis.CountSeverity(
+                 triq::analysis::LintSeverity::kError)) + "\n";
+    reply += "STAT lint_warnings " +
+             std::to_string(analysis.CountSeverity(
+                 triq::analysis::LintSeverity::kWarning)) + "\n";
     reply += "OK\n";
     return reply;
   }
