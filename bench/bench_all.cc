@@ -200,6 +200,64 @@ void SuiteChase(const Config& config, const HarnessOptions& options) {
                 });
   }
 
+  // Multi-join planner workloads: triangle enumeration (3-atom cyclic
+  // join) over a mostly-bipartite random graph and a 4-atom path query
+  // over G(n, 8/n). The bipartite shape is the regime where the
+  // planner's leapfrog multi-way merge beats binary join plans: almost
+  // no wedge closes, so a binary plan enumerates and probes E*deg
+  // wedges while leapfrog refutes each driver edge by galloping two
+  // near-disjoint adjacency lists in O(log deg). Default ChaseOptions
+  // means kAuto picks the strategy; quick mode keeps triangle/256 and
+  // path4/64 so the CI gate exercises the operator on every PR.
+  for (int n : config.quick ? std::vector<int>{128, 256}
+                            : std::vector<int>{256, 512}) {
+    auto dict = std::make_shared<Dictionary>();
+    auto program = triq::core::TriangleProgram(dict);
+    auto db = triq::core::EdgeDatabase(
+        triq::core::BipartiteTriangleEdges(n, /*deg=*/32, /*planted=*/16,
+                                           /*seed=*/7),
+        n, dict);
+    // The /binary companion is the committed ablation: the pre-planner
+    // executor (declared atom order, depth-1 merge join) on the same
+    // instance, interleaved with the kAuto run so the A/B ratio in
+    // BENCH_chase.json is measured back to back. facts_derived must be
+    // identical across the pair (the strategy-equivalence guarantee).
+    for (bool binary : {false, true}) {
+      triq::chase::ChaseOptions chase_options;
+      if (binary) {
+        chase_options.greedy_atom_order = false;
+        chase_options.join_strategy = triq::chase::JoinStrategy::kMerge;
+      }
+      std::string name = "chase/triangle/" + std::to_string(n) +
+                         (binary ? "/binary" : "");
+      harness.Run(name, [&](std::map<std::string, double>* counters) {
+        triq::chase::Instance work = triq::core::CloneInstance(db);
+        triq::chase::ChaseStats stats;
+        triq::Status st =
+            triq::chase::RunChase(program, &work, chase_options, &stats);
+        if (!st.ok()) std::abort();
+        (*counters)["facts_derived"] =
+            static_cast<double>(stats.facts_derived);
+      });
+    }
+  }
+  for (int n : config.quick ? std::vector<int>{64}
+                            : std::vector<int>{64, 256}) {
+    auto dict = std::make_shared<Dictionary>();
+    auto program = triq::core::Path4Program(dict);
+    auto db = triq::core::RandomGraphDatabase(n, 8.0 / n, /*seed=*/11, dict);
+    harness.Run("chase/path4/" + std::to_string(n),
+                [&](std::map<std::string, double>* counters) {
+                  triq::chase::Instance work = triq::core::CloneInstance(db);
+                  triq::chase::ChaseStats stats;
+                  triq::Status st =
+                      triq::chase::RunChase(program, &work, {}, &stats);
+                  if (!st.ok()) std::abort();
+                  (*counters)["facts_derived"] =
+                      static_cast<double>(stats.facts_derived);
+                });
+  }
+
   // 10^5-triple generated graph (full mode only: ~10 chase rounds over
   // 100k ternary facts). 2000 disjoint 50-edge chains keep the closure
   // bounded (2000 * C(51,2) = 2.55M reach facts) while the triple

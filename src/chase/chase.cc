@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -60,6 +61,19 @@ class ChaseRun {
     if (stats_ != nullptr) {
       stats_->termination =
           analysis::AnalyzeTermination(program_).termination;
+    }
+    if (options_.collect_plans && stats_ != nullptr) {
+      // Plans as a full-evaluation pass would execute them, recorded
+      // before the chase mutates the statistics they were costed on.
+      MatchOptions mo;
+      mo.greedy_atom_order = options_.greedy_atom_order;
+      mo.join_strategy = options_.join_strategy;
+      stats_->rule_plans.reserve(program_.rules().size());
+      for (const Rule& rule : program_.rules()) {
+        stats_->rule_plans.push_back(
+            datalog::RuleToString(rule, instance_->dict()) + "\n" +
+            ExplainMatchPlan(rule, *instance_, mo));
+      }
     }
     // SCC-ordered scheduling: saturate each reliance-graph group to its
     // fixpoint before its dependents. Sound only where the fixpoint is
@@ -356,6 +370,10 @@ class ChaseRun {
       const Relation* rel = instance_->Find(pred);
       if (rel != nullptr && pos < rel->arity()) rel->FreezeIndex(pos);
     }
+    for (const auto& [pred, key] : plan.lex_index_pairs) {
+      const Relation* rel = instance_->Find(pred);
+      if (rel != nullptr) rel->FreezeLex(key);
+    }
 
     const bool fast = existentials.empty() && !options_.track_provenance;
     // Single-head fast rules take the fully parallel commit: workers
@@ -446,7 +464,11 @@ class ChaseRun {
       batch.AddShard(stages[s].tuples.data(), stages[s].hashes.data(),
                      static_cast<uint32_t>(stages[s].matches));
     }
-    batch.Prepare();
+    // The pool also covers the rehash at capacity doublings: Prepare
+    // hands it to Relation::GrowSlots, which counting-sorts the live
+    // tuple indexes by dedup partition and reinserts the 16 disjoint
+    // slot regions in parallel (bit-identical layout to sequential).
+    batch.Prepare(pool_.get());
     pool_->ParallelFor(Relation::kDedupPartitions,
                        [&](size_t p) { batch.ScanPartition(p); });
     uint32_t winners = batch.CommitWinners();
@@ -641,7 +663,8 @@ Status ValidateChaseOptions(const ChaseOptions& options) {
   }
   if (options.join_strategy != JoinStrategy::kAuto &&
       options.join_strategy != JoinStrategy::kHash &&
-      options.join_strategy != JoinStrategy::kMerge) {
+      options.join_strategy != JoinStrategy::kMerge &&
+      options.join_strategy != JoinStrategy::kLeapfrog) {
     return Status::InvalidArgument(
         "ChaseOptions::join_strategy holds no declared enumerator");
   }
@@ -665,6 +688,23 @@ Status ResumeChase(const datalog::Program& program, Instance* instance,
                    const ChaseOptions& options, ChaseStats* stats) {
   TRIQ_RETURN_IF_ERROR(ValidateChaseOptions(options));
   return ChaseRun(program, instance, options, stats, &saturated).Run();
+}
+
+std::string ExplainProgramPlans(const datalog::Program& program,
+                                const Instance& instance,
+                                const ChaseOptions& options) {
+  MatchOptions mo;
+  mo.greedy_atom_order = options.greedy_atom_order;
+  mo.join_strategy = options.join_strategy;
+  std::string out;
+  size_t i = 0;
+  for (const Rule& rule : program.rules()) {
+    out += "rule " + std::to_string(i++) + ": " +
+           datalog::RuleToString(rule, instance.dict()) + "\n";
+    out += ExplainMatchPlan(rule, instance, mo);
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace triq::chase

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "analysis/termination.h"
 #include "common/status.h"
@@ -52,13 +54,22 @@ struct ChaseOptions {
   bool greedy_atom_order = true;
 
   /// Access-path selection for every body-matching pass (see
-  /// JoinStrategy in match.h): kAuto lets the planner choose merge join
-  /// on sorted column permutations when two atoms share a join
-  /// variable, kHash forces the posting-probe baseline, kMerge forces
-  /// the merge path wherever it is structurally available. Orthogonal
-  /// to `partition_deltas` — the four combinations are the ablation
-  /// grid for the join executor.
+  /// JoinStrategy in match.h): kAuto lets the planner choose —
+  /// leapfrog triejoin when ≥3 atoms leave ≥2 residual atoms sharing a
+  /// join variable, merge join on sorted column permutations when two
+  /// atoms share a join variable, posting probes as the fallback.
+  /// kHash forces the posting-probe baseline, kMerge forces the merge
+  /// path wherever structurally available, kLeapfrog forces the
+  /// leapfrog residual wherever ≥1 residual atom exists. Orthogonal to
+  /// `partition_deltas` — the strategy × partitioning combinations are
+  /// the ablation grid for the join executor.
   JoinStrategy join_strategy = JoinStrategy::kAuto;
+
+  /// Record the join plan chosen for every rule (full-evaluation
+  /// windows, before round 0) into ChaseStats::rule_plans — the
+  /// `--explain` surface. Off by default: rendering plans costs string
+  /// work per rule and eagerly builds the planner's sorted statistics.
+  bool collect_plans = false;
 
   /// Number of threads the chase may use for its match passes. 1 (the
   /// default) is the unsharded single-threaded executor; N > 1 spawns a
@@ -123,6 +134,11 @@ struct ChaseStats {
   /// kUnknown does NOT stop the run — the caps above do.
   analysis::Termination termination = analysis::Termination::kUnknown;
   bool truncated = false;
+  /// One rendered join plan per program rule (ExplainMatchPlan against
+  /// the initial instance, body rendered + join order + access paths +
+  /// cardinality estimates). Filled only when
+  /// ChaseOptions::collect_plans is set; constraints included.
+  std::vector<std::string> rule_plans;
 };
 
 /// Checks that `options` describes a runnable configuration: num_threads
@@ -167,6 +183,18 @@ Status ResumeChase(const datalog::Program& program, Instance* instance,
                    const SaturatedSizes& saturated,
                    const ChaseOptions& options = {},
                    ChaseStats* stats = nullptr);
+
+/// Renders the join plan of every rule of `program` (constraints
+/// included) against the current `instance`, one block per rule: the
+/// rule itself, then ExplainMatchPlan's order / access-path /
+/// estimated-cardinality lines. The plans shown are the ones a full
+/// (round-0) evaluation pass would execute with `options`'s strategy
+/// knobs — delta passes re-plan per window, so per-round plans can
+/// differ; this is the `--explain` / EXPLAIN surface, not a trace.
+/// Builds lazy sorted statistics as a side effect (same as planning).
+std::string ExplainProgramPlans(const datalog::Program& program,
+                                const Instance& instance,
+                                const ChaseOptions& options = {});
 
 }  // namespace triq::chase
 

@@ -1,6 +1,7 @@
 #include "chase/match.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <limits>
 
 #include "datalog/atom.h"
@@ -22,17 +23,22 @@ constexpr size_t kAutoMergeMinWindow = 32;
 /// after all positive atoms).
 ///
 /// The join order and each atom's access path are planned once up
-/// front: the greedy most-bound-first order depends only on *which*
-/// variables are bound at each depth — never on their values — so it is
-/// identical across all branches of the search. On top of the order the
-/// planner picks access paths (see JoinStrategy): when the first two
-/// atoms share a join variable, the driver's window is enumerated in
-/// value order of that variable (a sorted-range slice of its column)
-/// and the second atom is read through a monotone galloping cursor on
-/// its sorted permutation — a merge join on sorted posting lists.
-/// Deeper atoms, and both atoms under kHash, use per-binding posting
-/// probes: binary-searched Equal() ranges of the sorted permutations,
-/// intersecting the two shortest.
+/// front, and both depend only on *which* variables are bound at each
+/// depth plus per-relation statistics — never on bound values — so the
+/// plan is identical across all branches of the search, across join
+/// strategies, and across thread counts. The order is cost-based
+/// greedy: the delta atom is pinned first (its window drives the
+/// pass), then each depth takes the atom with the smallest estimated
+/// match count given the variables bound so far — window size divided
+/// by the estimated distinct count (Relation::EstimatedDistinct) of
+/// every bound position. On top of the order the planner picks access
+/// paths (see JoinStrategy): a leapfrog-triejoin residual when the
+/// strategy calls for it (the driver enumerates as usual; the
+/// remaining atoms are joined variable-at-a-time over lexicographic
+/// permutations with galloping seeks), else a depth-1 merge cursor
+/// when the first two atoms share a variable, with per-binding posting
+/// probes — binary-searched Equal() ranges, intersecting the two
+/// shortest — as the fallback everywhere deeper.
 class Matcher {
  public:
   Matcher(const Rule& rule, const Instance& instance,
@@ -137,6 +143,21 @@ class Matcher {
     for (Term t : rule_.body[positive_[plan_[0].slot]].args) {
       if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
     }
+    if (lftj_) {
+      // Below the driver the leapfrog residual reads lex permutations;
+      // a single-position key aliases the sorted permutation, so it is
+      // frozen through probe_index_pairs like any probe. Fully
+      // restricted atoms resolve through the dedup table (no index).
+      for (const LfAtom& a : lf_atoms_) {
+        if (a.rel == nullptr || a.fully_restricted) continue;
+        if (a.key.size() == 1) {
+          out->probe_index_pairs.emplace_back(a.atom->predicate, a.key[0]);
+        } else {
+          out->lex_index_pairs.emplace_back(a.atom->predicate, a.key);
+        }
+      }
+      return;
+    }
     for (size_t depth = 1; depth < plan_.size(); ++depth) {
       const Atom& atom = rule_.body[positive_[plan_[depth].slot]];
       size_t num_bound = 0;
@@ -159,6 +180,91 @@ class Matcher {
         if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
       }
     }
+  }
+
+  /// Renders the planned join: strategy, then one line per atom in join
+  /// order with its access path and the estimate the planner ranked it
+  /// by (replaying the same boundness progression PlanJoin saw).
+  std::string Explain() {
+    std::string out = "  strategy: ";
+    if (lftj_) {
+      out += "leapfrog";
+    } else if (plan_.size() >= 2 && plan_[1].merge_cursor) {
+      out += "merge";
+    } else {
+      out += "hash";
+    }
+    switch (options_.join_strategy) {
+      case JoinStrategy::kAuto:
+        out += " (auto)";
+        break;
+      case JoinStrategy::kHash:
+      case JoinStrategy::kMerge:
+      case JoinStrategy::kLeapfrog:
+        out += " (forced)";
+        break;
+    }
+    out += "\n";
+    std::vector<Term> bound;
+    if (options_.seed != nullptr) {
+      for (const auto& [var, val] : options_.seed->entries()) {
+        bound.push_back(var);
+      }
+    }
+    auto is_bound = [&](Term t) {
+      return !t.IsVariable() ||
+             std::find(bound.begin(), bound.end(), t) != bound.end();
+    };
+    for (size_t depth = 0; depth < plan_.size(); ++depth) {
+      int slot = plan_[depth].slot;
+      const Atom& atom = rule_.body[positive_[slot]];
+      size_t num_bound = 0;
+      size_t size = 0;
+      double est = EstimateAtom(slot, is_bound, &num_bound, &size);
+      std::string access;
+      if (depth == 0) {
+        access = positive_[slot] == options_.delta_body_index
+                     ? "delta-scan"
+                     : "scan";
+        if (num_bound > 0) {
+          access = "postings";
+        } else if (plan_[depth].sorted_driver) {
+          access = "sorted-scan(pos " +
+                   std::to_string(plan_[depth].driver_pos) + ")";
+        }
+      } else if (lftj_) {
+        const LfAtom& a = lf_atoms_[depth - 1];
+        if (a.fully_restricted) {
+          access = "find-index";
+        } else {
+          access = "leapfrog[";
+          for (size_t i = 0; i < a.key.size(); ++i) {
+            if (i > 0) access += ",";
+            access += std::to_string(a.key[i]);
+          }
+          access += "]";
+        }
+      } else if (plan_[depth].merge_cursor) {
+        access = "merge-cursor(pos " +
+                 std::to_string(plan_[depth].cursor_pos) + ")";
+      } else if (num_bound == atom.args.size() && !atom.args.empty()) {
+        access = "find-index";
+      } else if (num_bound > 0) {
+        access = "postings";
+      } else {
+        access = "scan";
+      }
+      char est_buf[32];
+      std::snprintf(est_buf, sizeof(est_buf), "%.3g", est);
+      out += "  " + std::to_string(depth) + ": " +
+             AtomToString(atom, instance_.dict()) + "  " + access +
+             "  rows~" + est_buf + " (window " + std::to_string(size) +
+             ")\n";
+      for (Term t : atom.args) {
+        if (t.IsVariable() && !is_bound(t)) bound.push_back(t);
+      }
+    }
+    return out;
   }
 
  private:
@@ -204,6 +310,10 @@ class Matcher {
     if (options_.join_strategy == JoinStrategy::kHash || plan_.size() < 2) {
       return;
     }
+    if (ShouldLeapfrog(seed_vars)) {
+      PlanLeapfrog(seed_vars);
+      return;
+    }
     // Merge join needs a driver that full-scans its window (no bound
     // argument — probes would enumerate in tuple-index order) and a
     // second atom sharing one of the driver's variables. The shared
@@ -236,9 +346,51 @@ class Matcher {
     }
   }
 
-  // Greedy heuristic: prefer the delta atom first (it usually has the
-  // smallest extension), then the unprocessed atom with the most bound
-  // arguments, tie-broken by smaller relation.
+  /// Estimated number of matching tuples for slot `i` per intermediate
+  /// binding, given which variables are bound: the atom's effective
+  /// window size divided by the estimated distinct count of every
+  /// statically-bound position (the Trident/RDF-3X
+  /// selectivity-from-index-statistics model, read off the O(1)
+  /// per-position sketches so estimating never syncs an index). Value-
+  /// independent, hence identical across strategies and thread counts.
+  /// A fully bound atom caps at one row — it resolves through the dedup
+  /// table. Also reports the bound-position count and window size for
+  /// the deterministic tie-breaks.
+  template <typename BoundFn>
+  double EstimateAtom(int i, const BoundFn& is_bound, size_t* bound_out,
+                      size_t* size_out) const {
+    const Atom& atom = rule_.body[positive_[i]];
+    const Relation* rel = instance_.Find(atom.predicate);
+    bool usable = rel != nullptr && rel->arity() == atom.args.size();
+    size_t size = 0;
+    if (usable) {
+      auto [begin, end] = SlotWindow(i);
+      end = std::min(end, rel->size());
+      size = end > begin ? end - begin : 0;
+    }
+    double est = static_cast<double>(size);
+    size_t num_bound = 0;
+    for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+      if (!is_bound(atom.args[pos])) continue;
+      ++num_bound;
+      if (usable && size > 0) {
+        est /= std::max(1.0, rel->EstimatedDistinct(pos));
+      }
+    }
+    if (num_bound == atom.args.size() && !atom.args.empty()) {
+      est = std::min(est, 1.0);
+    }
+    *bound_out = num_bound;
+    *size_out = size;
+    return est;
+  }
+
+  // Cost-based greedy ordering: the delta atom is pinned first (its
+  // window is the pass's driver), then each depth takes the unprocessed
+  // atom with the smallest estimated match count under the variables
+  // bound so far. Ties break deterministically: more bound positions,
+  // then smaller window, then lower slot index — never a value or an
+  // address.
   template <typename BoundFn>
   int PickNextAtom(const std::vector<bool>& used,
                    const BoundFn& is_bound) const {
@@ -253,21 +405,23 @@ class Matcher {
       }
     }
     int best = -1;
+    double best_est = 0.0;
     size_t best_bound = 0;
-    size_t best_size = std::numeric_limits<size_t>::max();
+    size_t best_size = 0;
     for (size_t i = 0; i < positive_.size(); ++i) {
       if (used[i]) continue;
-      const Atom& atom = rule_.body[positive_[i]];
       if (positive_[i] == options_.delta_body_index) return static_cast<int>(i);
       size_t num_bound = 0;
-      for (Term t : atom.args) {
-        if (is_bound(t)) ++num_bound;
-      }
-      const Relation* rel = instance_.Find(atom.predicate);
-      size_t size = rel == nullptr ? 0 : rel->size();
-      if (best == -1 || num_bound > best_bound ||
-          (num_bound == best_bound && size < best_size)) {
+      size_t size = 0;
+      double est =
+          EstimateAtom(static_cast<int>(i), is_bound, &num_bound, &size);
+      bool better = best == -1 || est < best_est ||
+                    (est == best_est &&
+                     (num_bound > best_bound ||
+                      (num_bound == best_bound && size < best_size)));
+      if (better) {
         best = static_cast<int>(i);
+        best_est = est;
         best_bound = num_bound;
         best_size = size;
       }
@@ -275,9 +429,284 @@ class Matcher {
     return best;
   }
 
+  /// Whether the plan runs the residual (every atom below the driver)
+  /// as one leapfrog triejoin. kLeapfrog forces it whenever there is a
+  /// residual; kAuto requires ≥3 positive atoms and ≥2 residual atoms
+  /// sharing a variable the driver leaves unbound — the shape where a
+  /// binary plan materializes an intermediate result the multi-way
+  /// intersection never builds. Value-independent.
+  bool ShouldLeapfrog(const std::vector<Term>& seed_vars) const {
+    if (options_.join_strategy == JoinStrategy::kLeapfrog) return true;
+    if (options_.join_strategy != JoinStrategy::kAuto) return false;
+    if (plan_.size() < 3) return false;
+    std::vector<Term> bound = seed_vars;
+    for (Term t : rule_.body[positive_[plan_[0].slot]].args) {
+      if (t.IsVariable() &&
+          std::find(bound.begin(), bound.end(), t) == bound.end()) {
+        bound.push_back(t);
+      }
+    }
+    auto is_free = [&](Term t) {
+      return t.IsVariable() &&
+             std::find(bound.begin(), bound.end(), t) == bound.end();
+    };
+    for (size_t d1 = 1; d1 < plan_.size(); ++d1) {
+      const Atom& a1 = rule_.body[positive_[plan_[d1].slot]];
+      for (Term v : a1.args) {
+        if (!is_free(v)) continue;
+        for (size_t d2 = d1 + 1; d2 < plan_.size(); ++d2) {
+          const Atom& a2 = rule_.body[positive_[plan_[d2].slot]];
+          for (Term t : a2.args) {
+            if (t == v) return true;
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  /// Builds the leapfrog residual plan: per residual atom a trie key —
+  /// restricted positions (constants and variables the seed or driver
+  /// binds) in ascending position order, then each leapfrog variable's
+  /// occurrence positions as one contiguous level group — and per
+  /// variable its participant list. Variables are ordered by first
+  /// unbound occurrence across the residual in join order. All of it is
+  /// value-independent; the lex permutations are pre-built here (plan
+  /// time runs on the scheduling thread) and re-frozen via
+  /// DriverPlan::lex_index_pairs before parallel fan-out.
+  void PlanLeapfrog(const std::vector<Term>& seed_vars) {
+    lftj_ = true;
+    std::vector<Term> bound = seed_vars;
+    for (Term t : rule_.body[positive_[plan_[0].slot]].args) {
+      if (t.IsVariable() &&
+          std::find(bound.begin(), bound.end(), t) == bound.end()) {
+        bound.push_back(t);
+      }
+    }
+    auto is_bound = [&](Term t) {
+      return !t.IsVariable() ||
+             std::find(bound.begin(), bound.end(), t) != bound.end();
+    };
+    std::vector<Term> order;  // leapfrog variables, first occurrence
+    for (size_t depth = 1; depth < plan_.size(); ++depth) {
+      for (Term t : rule_.body[positive_[plan_[depth].slot]].args) {
+        if (!is_bound(t) &&
+            std::find(order.begin(), order.end(), t) == order.end()) {
+          order.push_back(t);
+        }
+      }
+    }
+    lf_vars_.resize(order.size());
+    for (size_t vi = 0; vi < order.size(); ++vi) lf_vars_[vi].var = order[vi];
+
+    for (size_t depth = 1; depth < plan_.size(); ++depth) {
+      int slot = plan_[depth].slot;
+      const Atom& atom = rule_.body[positive_[slot]];
+      LfAtom a;
+      a.slot = slot;
+      a.atom = &atom;
+      const Relation* rel = instance_.Find(atom.predicate);
+      if (rel != nullptr && rel->arity() == atom.args.size()) a.rel = rel;
+      if (a.rel == nullptr) lf_possible_ = false;
+      auto [begin, end] = SlotWindow(slot);
+      a.window_end = a.rel == nullptr ? 0 : std::min(end, a.rel->size());
+      (void)begin;  // residual atoms scan [0, end) — the delta drives
+      for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+        if (is_bound(atom.args[pos])) {
+          a.levels.push_back(LfLevel{pos, atom.args[pos], -1, nullptr});
+        }
+      }
+      a.num_restricted = a.levels.size();
+      int atom_index = static_cast<int>(lf_atoms_.size());
+      for (size_t vi = 0; vi < order.size(); ++vi) {
+        LfOcc occ;
+        occ.atom = atom_index;
+        occ.level_begin = 0;
+        bool found = false;
+        for (uint32_t pos = 0; pos < atom.args.size(); ++pos) {
+          if (atom.args[pos] != order[vi]) continue;
+          if (!found) {
+            occ.level_begin = static_cast<uint32_t>(a.levels.size());
+            found = true;
+          }
+          a.levels.push_back(
+              LfLevel{pos, atom.args[pos], static_cast<int>(vi), nullptr});
+        }
+        if (found) {
+          occ.level_end = static_cast<uint32_t>(a.levels.size());
+          lf_vars_[vi].occs.push_back(occ);
+        }
+      }
+      a.fully_restricted = a.num_restricted == a.levels.size();
+      for (const LfLevel& level : a.levels) a.key.push_back(level.pos);
+      if (a.rel != nullptr && !a.fully_restricted) {
+        a.perm = &a.rel->LexPerm(a.key);
+        for (LfLevel& level : a.levels) {
+          level.col = a.rel->Column(level.pos).begin();
+        }
+      }
+      lf_atoms_.push_back(std::move(a));
+    }
+  }
+
+  /// Runs the leapfrog residual for the current depth-0 binding:
+  /// narrows every atom's trie slice through its restricted prefix,
+  /// resolves fully-restricted atoms through the dedup table, then
+  /// intersects variable by variable. Returns false only to propagate
+  /// the callback's early stop.
+  bool RunLeapfrog() {
+    for (LfAtom& a : lf_atoms_) {
+      if (a.fully_restricted) {
+        // Every position bound: O(1) membership witness, no trie walk.
+        probe_tuple_.clear();
+        for (Term arg : a.atom->args) {
+          probe_tuple_.push_back(binding_.Apply(arg));
+        }
+        uint32_t idx = a.rel->FindIndex(probe_tuple_);
+        if (idx == Relation::kNotFound || idx >= a.window_end) return true;
+        refs_[a.slot] = FactRef{a.atom->predicate, idx};
+        continue;
+      }
+      const std::vector<uint32_t>& perm = *a.perm;
+      a.lo = perm.data();
+      a.hi = perm.data() + perm.size();
+      for (size_t d = 0; d < a.num_restricted; ++d) {
+        Term v = binding_.Apply(a.levels[d].pattern);
+        SortedRange eq = SortedRange(a.lo, a.hi, a.levels[d].col).Equal(v);
+        if (eq.empty()) return true;
+        a.lo = eq.begin();
+        a.hi = eq.end();
+      }
+    }
+    return LeapfrogVar(0);
+  }
+
+  /// The leapfrog loop for one join variable: gallop every participant's
+  /// cursor to the running max of the current level until all agree,
+  /// narrow each participant through the variable's occurrence levels,
+  /// bind and recurse, then resume past the value. Scratch lives in
+  /// member stacks (mark/restore) so the hot path never allocates.
+  bool LeapfrogVar(size_t vi) {
+    if (vi == lf_vars_.size()) return LeapfrogLeaf();
+    const LfVar& var = lf_vars_[vi];
+    const size_t k = var.occs.size();
+    const size_t save_mark = lf_save_.size();
+    for (const LfOcc& occ : var.occs) {
+      lf_save_.push_back(lf_atoms_[occ.atom].lo);
+      lf_save_.push_back(lf_atoms_[occ.atom].hi);
+    }
+    // Per-participant scratch: [3j] = resume point past the current
+    // value, [3j+1] / [3j+2] = the narrowed child slice.
+    const size_t ptr_mark = lf_ptrs_.size();
+    lf_ptrs_.resize(ptr_mark + 3 * k);
+    bool keep_going = true;
+    for (;;) {
+      // Current max over the participants' first-occurrence levels.
+      Term vmax;
+      bool exhausted = false;
+      for (size_t j = 0; j < k; ++j) {
+        const LfAtom& a = lf_atoms_[var.occs[j].atom];
+        if (a.lo == a.hi) {
+          exhausted = true;
+          break;
+        }
+        Term v = a.levels[var.occs[j].level_begin].col[*a.lo];
+        if (j == 0 || vmax < v) vmax = v;
+      }
+      if (exhausted) break;
+      // Gallop everyone to >= vmax; an overshoot raises the max and
+      // restarts the alignment round.
+      bool aligned = true;
+      for (size_t j = 0; j < k; ++j) {
+        LfAtom& a = lf_atoms_[var.occs[j].atom];
+        const Term* col = a.levels[var.occs[j].level_begin].col;
+        a.lo = SortedRange(a.lo, a.hi, col).SeekValue(a.lo, vmax);
+        if (a.lo == a.hi) {
+          exhausted = true;
+          break;
+        }
+        if (col[*a.lo] != vmax) aligned = false;
+      }
+      if (exhausted) break;
+      if (!aligned) continue;
+      // All participants sit on vmax: slice out its equal range (the
+      // resume point is its end) and narrow through any repeated
+      // occurrences of the variable in the same atom.
+      bool all_nonempty = true;
+      for (size_t j = 0; j < k; ++j) {
+        LfAtom& a = lf_atoms_[var.occs[j].atom];
+        const LfOcc& occ = var.occs[j];
+        SortedRange eq =
+            SortedRange(a.lo, a.hi, a.levels[occ.level_begin].col)
+                .Equal(vmax);
+        lf_ptrs_[ptr_mark + 3 * j] = eq.end();
+        const uint32_t* nlo = eq.begin();
+        const uint32_t* nhi = eq.end();
+        for (uint32_t d = occ.level_begin + 1;
+             d < occ.level_end && nlo != nhi; ++d) {
+          SortedRange sub =
+              SortedRange(nlo, nhi, a.levels[d].col).Equal(vmax);
+          nlo = sub.begin();
+          nhi = sub.end();
+        }
+        lf_ptrs_[ptr_mark + 3 * j + 1] = nlo;
+        lf_ptrs_[ptr_mark + 3 * j + 2] = nhi;
+        if (nlo == nhi) all_nonempty = false;
+      }
+      if (all_nonempty) {
+        for (size_t j = 0; j < k; ++j) {
+          LfAtom& a = lf_atoms_[var.occs[j].atom];
+          a.lo = lf_ptrs_[ptr_mark + 3 * j + 1];
+          a.hi = lf_ptrs_[ptr_mark + 3 * j + 2];
+        }
+        const size_t bind_mark = binding_.size();
+        binding_.Bind(var.var, vmax);
+        keep_going = LeapfrogVar(vi + 1);
+        binding_.PopTo(bind_mark);
+        if (!keep_going) break;
+      }
+      // Resume past vmax: cursor to the equal range's end, slice end
+      // back to the pre-loop bound.
+      for (size_t j = 0; j < k; ++j) {
+        LfAtom& a = lf_atoms_[var.occs[j].atom];
+        a.lo = lf_ptrs_[ptr_mark + 3 * j];
+        a.hi = lf_save_[save_mark + 2 * j + 1];
+      }
+    }
+    // Restore the participants' slices for the caller's next value.
+    for (size_t j = 0; j < k; ++j) {
+      LfAtom& a = lf_atoms_[var.occs[j].atom];
+      a.lo = lf_save_[save_mark + 2 * j];
+      a.hi = lf_save_[save_mark + 2 * j + 1];
+    }
+    lf_save_.resize(save_mark);
+    lf_ptrs_.resize(ptr_mark);
+    return keep_going;
+  }
+
+  /// Every leapfrog variable is bound: each non-restricted atom's slice
+  /// is fully narrowed, and duplicate-free storage makes it a singleton
+  /// witness. Window checks happen here — slices are value-ordered, so
+  /// the tuple-index cap can only be enforced on the witness itself.
+  bool LeapfrogLeaf() {
+    for (const LfAtom& a : lf_atoms_) {
+      if (a.fully_restricted) continue;  // resolved in RunLeapfrog
+      if (a.lo == a.hi) return true;
+      uint32_t idx = *a.lo;
+      if (idx >= a.window_end) return true;
+      refs_[a.slot] = FactRef{a.atom->predicate, idx};
+    }
+    return EmitIfNegativesHold();
+  }
+
   // Returns false to propagate early termination.
   bool Recurse(size_t depth) {
     if (depth == positive_.size()) return EmitIfNegativesHold();
+    if (lftj_ && depth == 1) {
+      // The whole residual runs as one leapfrog join per driver tuple.
+      // An absent residual relation means no matches at all.
+      return lf_possible_ ? RunLeapfrog() : true;
+    }
     return EnumerateCandidates(depth);
   }
 
@@ -519,6 +948,53 @@ class Matcher {
   SortedRange cursor_range_;         // depth-1 sorted permutation
   const uint32_t* cursor_ = nullptr;
   bool merge_active_ = false;
+
+  /// One trie level of a leapfrog atom: the column position it walks,
+  /// the atom argument at that position (a constant or a variable), the
+  /// leapfrog variable index that owns the level (-1 = restricted), and
+  /// the column base pointer (resolved at plan time; storage never
+  /// moves during a pass).
+  struct LfLevel {
+    uint32_t pos;
+    Term pattern;
+    int var;
+    const Term* col;
+  };
+  /// One residual atom in the leapfrog plan: its trie key (level
+  /// positions), its lex permutation, and the current slice [lo, hi)
+  /// into that permutation as the join descends.
+  struct LfAtom {
+    int slot = -1;
+    const Atom* atom = nullptr;
+    const Relation* rel = nullptr;
+    size_t window_end = 0;
+    std::vector<uint32_t> key;
+    std::vector<LfLevel> levels;
+    size_t num_restricted = 0;
+    bool fully_restricted = false;
+    const std::vector<uint32_t>* perm = nullptr;
+    const uint32_t* lo = nullptr;
+    const uint32_t* hi = nullptr;
+  };
+  /// One occurrence group: `atom`'s levels [level_begin, level_end) all
+  /// carry the same leapfrog variable.
+  struct LfOcc {
+    int atom = 0;
+    uint32_t level_begin = 0;
+    uint32_t level_end = 0;
+  };
+  struct LfVar {
+    Term var;
+    std::vector<LfOcc> occs;
+  };
+  bool lftj_ = false;        // residual runs as a leapfrog triejoin
+  bool lf_possible_ = true;  // false: a residual relation is absent
+  std::vector<LfAtom> lf_atoms_;
+  std::vector<LfVar> lf_vars_;
+  // Recursion scratch stacks (see LeapfrogVar); grown once, reused.
+  std::vector<const uint32_t*> lf_save_;
+  std::vector<const uint32_t*> lf_ptrs_;
+
   Binding binding_;
   Status status_ = Status::OK();
 };
@@ -536,6 +1012,13 @@ DriverPlan PlanMatchDriver(const datalog::Rule& rule,
                            const MatchOptions& options) {
   std::function<bool(const Match&)> noop = [](const Match&) { return true; };
   return Matcher(rule, instance, options, noop).MakeDriverPlan();
+}
+
+std::string ExplainMatchPlan(const datalog::Rule& rule,
+                             const Instance& instance,
+                             const MatchOptions& options) {
+  std::function<bool(const Match&)> noop = [](const Match&) { return true; };
+  return Matcher(rule, instance, options, noop).Explain();
 }
 
 bool HasMatch(const std::vector<datalog::Atom>& atoms,

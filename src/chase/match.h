@@ -73,10 +73,18 @@ inline constexpr size_t kNoTupleLimit = static_cast<size_t>(-1);
 ///    atom's window is enumerated in value order of that variable and
 ///    the second atom is read through a monotone galloping cursor on
 ///    its sorted permutation instead of per-binding probes.
-///  * kAuto — the planner picks: merge join when available and the
-///    driver window is large enough to amortize sorting it, posting
-///    probes otherwise.
-enum class JoinStrategy : uint8_t { kAuto, kHash, kMerge };
+///  * kLeapfrog — leapfrog-triejoin residual: the depth-0 driver atom
+///    enumerates as usual (preserving the delta window and sharding
+///    contracts), and the remaining atoms are joined simultaneously,
+///    variable at a time, by galloping k sorted lexicographic
+///    permutations (Relation::LexPerm) to their next common value.
+///  * kAuto — the planner picks: leapfrog when ≥3 positive atoms leave
+///    ≥2 residual atoms sharing a variable the driver does not bind
+///    (triangle/clique-shaped joins, where binary plans churn through
+///    intermediate results no output ever needs); otherwise merge join
+///    when available and the driver window is large enough to amortize
+///    sorting it; posting probes as the fallback.
+enum class JoinStrategy : uint8_t { kAuto, kHash, kMerge, kLeapfrog };
 
 /// Options for a body-matching pass.
 ///
@@ -161,6 +169,14 @@ struct DriverPlan {
   /// tc(X,Z) :- edge(X,Y), tc(Y,Z) that is an O(|tc|) merge per pass
   /// for indexes only the driver's delta window ever needed.
   std::vector<std::pair<datalog::PredicateId, uint32_t>> probe_index_pairs;
+  /// The multi-position lexicographic permutations a leapfrog residual
+  /// join walks below depth 0 (Relation::LexPerm keys). The scheduler
+  /// must freeze exactly these (Relation::FreezeLex) before concurrent
+  /// fan-out; single-position leapfrog keys alias the sorted
+  /// permutation and appear in probe_index_pairs instead. Empty unless
+  /// the plan engages the leapfrog operator.
+  std::vector<std::pair<datalog::PredicateId, std::vector<uint32_t>>>
+      lex_index_pairs;
 };
 
 /// Plans the depth-0 enumeration for (rule, instance, options). Runs on
@@ -185,6 +201,16 @@ Status MatchBody(const datalog::Rule& rule, const Instance& instance,
 /// least one homomorphism into `instance` extending `seed`.
 bool HasMatch(const std::vector<datalog::Atom>& atoms,
               const Instance& instance, const Binding& seed);
+
+/// Renders the join plan MatchBody would execute for (rule, instance,
+/// options): one line per positive body atom in join order with its
+/// access path and estimated cardinality per intermediate binding, plus
+/// the chosen strategy. Reads the same statistics the planner reads
+/// (Relation::EstimatedDistinct), so the output reflects the actual
+/// decision, not a re-derivation.
+std::string ExplainMatchPlan(const datalog::Rule& rule,
+                             const Instance& instance,
+                             const MatchOptions& options);
 
 }  // namespace triq::chase
 

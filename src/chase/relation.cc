@@ -1,6 +1,9 @@
 #include "chase/relation.h"
 
 #include <cassert>
+#include <cmath>
+
+#include "common/thread_pool.h"
 
 namespace triq::chase {
 
@@ -11,6 +14,8 @@ namespace {
 constexpr uint32_t kInitialSubSlots = 16;
 // Initial column capacity (tuples per column).
 constexpr uint32_t kInitialCapacity = 16;
+// Below this many stored tuples a rehash is too cheap to fan out.
+constexpr uint32_t kParallelRehashMinTuples = 1u << 15;
 
 // Keep every partition's sub-table below 7/8 load.
 inline bool Overloaded(uint32_t entries, uint32_t sub_size) {
@@ -69,20 +74,52 @@ uint32_t Relation::FindIndex(TupleView t) const {
   return kNotFound;
 }
 
-void Relation::GrowSlots() {
+void Relation::GrowSlots(common::ThreadPool* pool) {
   uint32_t sub = slots_.empty() ? kInitialSubSlots : sub_size() * 2;
   slots_.assign(static_cast<size_t>(sub) * kDedupPartitions, 0);
   std::fill(part_counts_.begin(), part_counts_.end(), 0);
   uint32_t mask = sub - 1;
-  for (uint32_t idx = 0; idx < count_; ++idx) {
+  auto reprobe = [&](uint32_t idx, uint32_t p) {
     uint32_t h = hashes_[idx];
-    uint32_t p = PartitionOf(h);
     size_t base = static_cast<size_t>(p) * sub;
     size_t i = base + (h & mask);
     while (slots_[i] != 0) i = base + ((i - base + 1) & mask);
     slots_[i] = idx + 1;
-    ++part_counts_[p];
+  };
+  if (pool == nullptr || count_ < kParallelRehashMinTuples) {
+    for (uint32_t idx = 0; idx < count_; ++idx) {
+      uint32_t p = PartitionOf(hashes_[idx]);
+      reprobe(idx, p);
+      ++part_counts_[p];
+    }
+    return;
   }
+  // Counting-sort the tuple indices by partition (a stable pass, so each
+  // bucket ascends), then let each partition re-probe its own disjoint
+  // slot region. Probe order within a partition is ascending tuple index
+  // either way, so the rebuilt table is bit-identical to the serial one.
+  std::vector<uint32_t> bucketed(count_);
+  uint32_t counts[kDedupPartitions] = {0};
+  for (uint32_t idx = 0; idx < count_; ++idx) {
+    ++counts[PartitionOf(hashes_[idx])];
+  }
+  uint32_t offsets[kDedupPartitions];
+  uint32_t running = 0;
+  for (uint32_t p = 0; p < kDedupPartitions; ++p) {
+    offsets[p] = running;
+    running += counts[p];
+  }
+  uint32_t cursor[kDedupPartitions];
+  std::copy(offsets, offsets + kDedupPartitions, cursor);
+  for (uint32_t idx = 0; idx < count_; ++idx) {
+    bucketed[cursor[PartitionOf(hashes_[idx])]++] = idx;
+  }
+  pool->ParallelFor(kDedupPartitions, [&](size_t p) {
+    const uint32_t* it = bucketed.data() + offsets[p];
+    const uint32_t* end = it + counts[p];
+    for (; it != end; ++it) reprobe(*it, static_cast<uint32_t>(p));
+    part_counts_[p] = counts[p];
+  });
 }
 
 void Relation::GrowStore(uint32_t needed) {
@@ -143,6 +180,7 @@ bool Relation::Insert(TupleView t, uint32_t* index_out) {
   slots_[i] = idx + 1;
   ++part_counts_[p];
   ++count_;
+  NoteAppend(TupleView(insert_scratch_));
   if (index_out != nullptr) *index_out = idx;
   return true;
 }
@@ -223,6 +261,85 @@ void Relation::SortWindow(uint32_t position, uint32_t begin, uint32_t end,
   index.window_end = end;
 }
 
+// ---- cardinality statistics -------------------------------------------
+
+double Relation::DistinctSketch::Estimate() const {
+  // Standard HLL estimate with the small-range linear-counting
+  // correction; m = 64 registers, alpha_64 ≈ 0.709.
+  constexpr double kM = 64.0;
+  constexpr double kAlpha = 0.709;
+  double sum = 0.0;
+  uint32_t zeros = 0;
+  for (uint8_t r : reg) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double raw = kAlpha * kM * kM / sum;
+  if (raw <= 2.5 * kM && zeros > 0) {
+    return kM * std::log(kM / zeros);
+  }
+  return raw;
+}
+
+double Relation::EstimatedDistinct(uint32_t position) const {
+  assert(position < arity_);
+  if (count_ == 0) return 0.0;
+  double est = sketches_[position].Estimate();
+  return std::min(std::max(est, 1.0), static_cast<double>(count_));
+}
+
+size_t Relation::DistinctValues(uint32_t position) const {
+  assert(position < arity_);
+  if (count_ == 0) return 0;
+  PositionIndex& index = sorted_[position];
+  if (index.distinct_at == count_) return index.distinct;
+  SyncSorted(position);
+  const Term* column = ColumnData(position);
+  const std::vector<uint32_t>& perm = index.perm;
+  uint32_t distinct = 1;
+  for (size_t i = 1; i < perm.size(); ++i) {
+    if (column[perm[i]] != column[perm[i - 1]]) ++distinct;
+  }
+  index.distinct = distinct;
+  index.distinct_at = count_;
+  return distinct;
+}
+
+const std::vector<uint32_t>& Relation::LexPerm(
+    const std::vector<uint32_t>& key) const {
+  assert(!key.empty());
+  for (uint32_t pos : key) {
+    assert(pos < arity_);
+    (void)pos;
+  }
+  if (key.size() == 1) {
+    // A one-position lex order IS the sorted permutation (same value
+    // order, same tuple-index tiebreak) — alias it instead of holding a
+    // second copy of the index.
+    SyncSorted(key[0]);
+    return sorted_[key[0]].perm;
+  }
+  std::vector<uint32_t>& perm = lex_[key];
+  uint32_t synced = static_cast<uint32_t>(perm.size());
+  if (synced == count_) return perm;
+  perm.resize(count_);
+  for (uint32_t idx = synced; idx < count_; ++idx) perm[idx] = idx;
+  auto by_lex = [this, &key](uint32_t a, uint32_t b) {
+    for (uint32_t pos : key) {
+      Term va = Value(pos, a);
+      Term vb = Value(pos, b);
+      if (va != vb) return va < vb;
+    }
+    return a < b;
+  };
+  std::sort(perm.begin() + synced, perm.end(), by_lex);
+  if (synced > 0) {
+    std::inplace_merge(perm.begin(), perm.begin() + synced, perm.end(),
+                       by_lex);
+  }
+  return perm;
+}
+
 // ---- BatchInserter ----------------------------------------------------
 
 void BatchInserter::AddShard(const Term* tuples, const uint32_t* hashes,
@@ -231,7 +348,7 @@ void BatchInserter::AddShard(const Term* tuples, const uint32_t* hashes,
   total_ += n;
 }
 
-void BatchInserter::Prepare() {
+void BatchInserter::Prepare(common::ThreadPool* pool) {
   Relation& rel = *rel_;
   assert(static_cast<uint64_t>(rel.count_) + total_ < kStagedTag);
   // Size the column store once for the all-new worst case. The hash
@@ -260,7 +377,7 @@ void BatchInserter::Prepare() {
     }
     return false;
   };
-  while (needs_grow()) rel.GrowSlots();
+  while (needs_grow()) rel.GrowSlots(pool);
 }
 
 void BatchInserter::ScanPartition(uint32_t partition) {
@@ -345,6 +462,7 @@ uint32_t BatchInserter::CommitWinners() {
     }
     rel.hashes_.push_back(w.hash);
     ++rel.count_;
+    rel.NoteAppend(TupleView(tuple, arity));
     w.index = idx;
   }
   // Rebucket by SLOT partition so FinalizeSlots(p) touches only its own

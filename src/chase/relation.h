@@ -2,11 +2,17 @@
 #define TRIQ_CHASE_RELATION_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <iterator>
+#include <map>
 #include <vector>
 
 #include "datalog/term.h"
+
+namespace triq::common {
+class ThreadPool;
+}  // namespace triq::common
 
 namespace triq::chase {
 
@@ -177,7 +183,10 @@ class Relation {
   static constexpr uint32_t kDedupPartitions = 1u << kDedupPartitionBits;
 
   explicit Relation(uint32_t arity)
-      : arity_(arity), part_counts_(kDedupPartitions, 0), sorted_(arity) {}
+      : arity_(arity),
+        part_counts_(kDedupPartitions, 0),
+        sorted_(arity),
+        sketches_(arity) {}
 
   uint32_t arity() const { return arity_; }
   size_t size() const { return count_; }
@@ -293,6 +302,38 @@ class Relation {
   void SortWindow(uint32_t position, uint32_t begin, uint32_t end,
                   std::vector<uint32_t>* out) const;
 
+  /// Estimated number of distinct values in `position`'s column — an
+  /// O(1) read off a small per-position HyperLogLog sketch maintained on
+  /// every append. The sketch is order-independent: relations holding
+  /// the same fact set report the same estimate regardless of insertion
+  /// order or thread count, so planner decisions built on it are
+  /// deterministic across join strategies and parallel schedules. Never
+  /// syncs a permutation index (estimating must not perturb what it
+  /// plans). Clamped to [1, size()] for a non-empty relation.
+  double EstimatedDistinct(uint32_t position) const;
+
+  /// Exact distinct-value count of `position`'s column: syncs the sorted
+  /// permutation and counts value transitions, cached until the next
+  /// insert. The explain surface and tests read this; the planner reads
+  /// EstimatedDistinct instead to stay off the index-sync path.
+  size_t DistinctValues(uint32_t position) const;
+
+  /// The lexicographic permutation of all stored tuple indices ordered
+  /// by the column values at key[0], then key[1], ..., with tuple index
+  /// as the final tiebreak — the trie a leapfrog join walks level by
+  /// level (each level's slice is a SortedRange over the next key
+  /// position). Built lazily and extended incrementally like Sorted():
+  /// the insertion tail is sorted and merged with the synced prefix. A
+  /// single-position key aliases Sorted(key[0]) — same order, no second
+  /// index. The returned reference is valid until the next insert.
+  const std::vector<uint32_t>& LexPerm(const std::vector<uint32_t>& key) const;
+
+  /// Syncs the lex permutation for `key` so concurrent matchers can read
+  /// it without touching mutable state — the multi-position counterpart
+  /// of FreezeIndex, driven by DriverPlan::lex_index_pairs before
+  /// parallel fan-out.
+  void FreezeLex(const std::vector<uint32_t>& key) const { LexPerm(key); }
+
  private:
   friend class BatchInserter;
 
@@ -330,8 +371,27 @@ class Relation {
     }
     return true;
   }
-  void GrowSlots();
+  /// Rebuilds the dedup table at the next power-of-two sub-table size.
+  /// With a pool, the re-probe runs partition-parallel: tuple indices
+  /// are bucketed by partition first (ascending order preserved), then
+  /// each partition fills its own disjoint slot region — the resulting
+  /// layout is bit-identical to the sequential rebuild.
+  void GrowSlots(common::ThreadPool* pool = nullptr);
   void GrowStore(uint32_t needed);
+  /// Feeds one appended tuple's terms into the per-position sketches.
+  void NoteAppend(TupleView t) {
+    for (uint32_t pos = 0; pos < arity_; ++pos) {
+      sketches_[pos].Add(MixTerm(t[pos].raw()));
+    }
+  }
+  static uint64_t MixTerm(uint64_t x) {
+    // splitmix64 finalizer: the sketch needs well-mixed high bits, and
+    // raw term ids are small sequential integers.
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
   /// Extends sorted_[pos].perm to cover all count_ tuples (sort the new
   /// tail, merge with the sorted prefix).
   void SyncSorted(uint32_t pos) const;
@@ -358,8 +418,38 @@ class Relation {
     std::vector<uint32_t> window_perm;
     uint32_t window_begin = 0;
     uint32_t window_end = 0;
+    // Exact distinct count over the first `distinct_at` tuples;
+    // distinct_at != count_ means stale (invalidated by insert).
+    uint32_t distinct = 0;
+    uint32_t distinct_at = UINT32_MAX;
   };
   mutable std::vector<PositionIndex> sorted_;
+  // One HyperLogLog sketch per position (64 registers — coarse, but the
+  // planner only needs the right order of magnitude, and 64 bytes per
+  // column keeps the per-append cost to one mix + one max).
+  struct DistinctSketch {
+    std::array<uint8_t, 64> reg{};
+    void Add(uint64_t h) {
+      uint32_t r = static_cast<uint32_t>(h >> 58);  // top 6 bits
+      uint64_t w = h << 6;
+      uint8_t rank = 1;
+      if (w == 0) {
+        rank = 59;
+      } else {
+        while ((w & (1ULL << 63)) == 0) {
+          w <<= 1;
+          ++rank;
+        }
+      }
+      if (rank > reg[r]) reg[r] = rank;
+    }
+    double Estimate() const;
+  };
+  std::vector<DistinctSketch> sketches_;
+  // Multi-position lex permutations, keyed by position sequence; built
+  // and extended lazily (FreezeLex pre-builds before parallel fan-out;
+  // std::map so extending one key never moves another's storage).
+  mutable std::map<std::vector<uint32_t>, std::vector<uint32_t>> lex_;
   Tuple insert_scratch_;  // gather buffer: Insert sources may alias store_
 };
 
@@ -398,7 +488,9 @@ class BatchInserter {
   /// Staged tuples so far across shards.
   size_t total() const { return total_; }
 
-  void Prepare();
+  /// With a pool, a dedup-table doubling triggered by the staged volume
+  /// rebuilds partition-parallel (same layout as the serial rebuild).
+  void Prepare(common::ThreadPool* pool = nullptr);
   void ScanPartition(uint32_t partition);
   /// Appends the winners in stream order; returns how many were new.
   uint32_t CommitWinners();

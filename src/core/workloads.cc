@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <random>
+#include <set>
 #include <string>
 
 #include "datalog/parser.h"
@@ -196,6 +197,77 @@ datalog::Program TripleReachProgram(std::shared_ptr<Dictionary> dict) {
     reach(?X, ?Y), triple(?Y, e, ?Z) -> reach(?X, ?Z) .
   )",
                    std::move(dict));
+}
+
+datalog::Program TriangleProgram(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    e(?X, ?Y), e(?Y, ?Z), e(?Z, ?X) -> tri(?X, ?Y, ?Z) .
+  )",
+                   std::move(dict));
+}
+
+datalog::Program Path4Program(std::shared_ptr<Dictionary> dict) {
+  return MustParse(R"(
+    e(?X, ?Y), e(?Y, ?Z), e(?Z, ?W), e(?W, ?V) -> p4(?X, ?V) .
+  )",
+                   std::move(dict));
+}
+
+std::vector<std::pair<int, int>> BipartiteTriangleEdges(int n, int deg,
+                                                        int planted,
+                                                        uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  const int half = n / 2;
+  std::set<std::pair<int, int>> seen;
+  std::vector<std::pair<int, int>> edges;
+  std::uniform_int_distribution<int> right(half, n - 1);
+  for (int a = 0; a < half; ++a) {
+    int added = 0;
+    while (added < deg) {
+      int b = right(rng);
+      if (seen.insert({a, b}).second) {
+        edges.emplace_back(a, b);
+        ++added;
+      }
+    }
+  }
+  // Plant triangles as intra-left chords so the answer is nonempty:
+  // (a, b) within the left side plus a common right neighbor r.
+  std::uniform_int_distribution<int> left(0, half - 1);
+  int done = 0;
+  while (done < planted) {
+    int a = left(rng);
+    int b = left(rng);
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    int r = right(rng);
+    if (!seen.insert({a, b}).second) continue;
+    edges.emplace_back(a, b);
+    if (seen.insert({a, r}).second) edges.emplace_back(a, r);
+    if (seen.insert({b, r}).second) edges.emplace_back(b, r);
+    ++done;
+  }
+  return edges;
+}
+
+chase::Instance EdgeDatabase(const std::vector<std::pair<int, int>>& edges,
+                             int n, std::shared_ptr<Dictionary> dict) {
+  dict->Reserve(dict->size() + static_cast<size_t>(n) + 2);
+  // Intern the node universe in index order so sorted-permutation scans
+  // and galloping seeks see ids in graph order (left block before right
+  // block for the bipartite builder).
+  for (int v = 0; v < n; ++v) dict->Intern(Node(v));
+  chase::Instance db(std::move(dict));
+  for (const auto& [a, b] : edges) {
+    db.AddFact("e", {Node(a), Node(b)});
+    db.AddFact("e", {Node(b), Node(a)});
+  }
+  return db;
+}
+
+chase::Instance RandomGraphDatabase(int n, double p, uint64_t seed,
+                                    std::shared_ptr<Dictionary> dict) {
+  return EdgeDatabase(RandomGraphEdges(n, p, seed), n, std::move(dict));
 }
 
 }  // namespace triq::core

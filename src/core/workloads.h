@@ -74,6 +74,45 @@ std::string MultiChainTurtle(int chains, int chain_len);
 /// TransitiveClosureProgram (answer predicate `reach`).
 datalog::Program TripleReachProgram(std::shared_ptr<Dictionary> dict);
 
+/// ---- Multi-join planner workloads ------------------------------------
+
+/// Triangle enumeration, the canonical 3-atom cyclic join:
+///   e(?X, ?Y), e(?Y, ?Z), e(?Z, ?X) -> tri(?X, ?Y, ?Z) .
+/// Binary join plans must materialize every wedge (length-2 path)
+/// before checking the closing edge; the leapfrog strategy intersects
+/// the two adjacency lists directly, so this is the headline workload
+/// for the cost-based planner (answer predicate `tri`).
+datalog::Program TriangleProgram(std::shared_ptr<Dictionary> dict);
+
+/// Four-atom path query (answer predicate `p4`):
+///   e(?X, ?Y), e(?Y, ?Z), e(?Z, ?W), e(?W, ?V) -> p4(?X, ?V) .
+/// Exercises greedy ordering and the multi-way merge on a chain of
+/// shared variables rather than a cycle.
+datalog::Program Path4Program(std::shared_ptr<Dictionary> dict);
+
+/// Mostly-bipartite random graph, the triangle-bench input: nodes
+/// 0..n/2-1 (left) each pick `deg` distinct random right neighbors
+/// from n/2..n-1, then `planted` triangles are added via intra-left
+/// chords. Wedge count is E*deg while almost no wedge closes, which is
+/// the regime that separates join strategies on cyclic queries: a
+/// binary plan must enumerate and probe every wedge, whereas the
+/// leapfrog merge gallops two adjacency lists over near-disjoint id
+/// ranges and refutes each candidate in O(log deg). Uniform G(n, p)
+/// degrees do NOT separate them (both plans are Theta(E*deg) there) —
+/// measured, not just theory.
+std::vector<std::pair<int, int>> BipartiteTriangleEdges(int n, int deg,
+                                                        int planted,
+                                                        uint64_t seed);
+
+/// Directed instance over predicate `e`: both orientations of each
+/// undirected edge. Input for TriangleProgram / Path4Program.
+chase::Instance EdgeDatabase(const std::vector<std::pair<int, int>>& edges,
+                             int n, std::shared_ptr<Dictionary> dict);
+
+/// EdgeDatabase over RandomGraphEdges(n, p, seed).
+chase::Instance RandomGraphDatabase(int n, double p, uint64_t seed,
+                                    std::shared_ptr<Dictionary> dict);
+
 }  // namespace triq::core
 
 #endif  // TRIQ_CORE_WORKLOADS_H_

@@ -746,25 +746,9 @@ Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
     // not serialize behind them.
     TRIQ_ASSIGN_OR_RETURN(auto pattern,
                           sparql::ParsePattern(sparql_text, dict_.get()));
-    translate::TranslationOptions translation;
-    switch (options_.regime) {
-      case EntailmentRegime::kNone:
-        translation.regime = translate::Regime::kPlain;
-        break;
-      case EntailmentRegime::kActiveDomain:
-        translation.regime = translate::Regime::kActiveDomain;
-        break;
-      case EntailmentRegime::kAll:
-        translation.regime = translate::Regime::kAll;
-        break;
-    }
-    // τ_owl2ql_core is part of the engine's data program (attached at
-    // construction under a reasoning regime) and is materialized once —
-    // the per-query program carries only the pattern's own rules.
-    translation.include_owl2ql_core = false;
     TRIQ_ASSIGN_OR_RETURN(
         translate::TranslatedQuery translated,
-        TranslatePattern(*pattern, dict_, translation));
+        TranslatePattern(*pattern, dict_, QueryTranslationOptions()));
     datalog::Program query_program = std::move(translated.program);
     translated.program = datalog::Program(dict_);
     TRIQ_ASSIGN_OR_RETURN(
@@ -806,6 +790,51 @@ Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
     entry->snapshot = pinned.snapshot;
   }
   return entry->mappings;
+}
+
+// ---- Engine: explain ---------------------------------------------------
+
+translate::TranslationOptions Engine::QueryTranslationOptions() const {
+  translate::TranslationOptions translation;
+  switch (options_.regime) {
+    case EntailmentRegime::kNone:
+      translation.regime = translate::Regime::kPlain;
+      break;
+    case EntailmentRegime::kActiveDomain:
+      translation.regime = translate::Regime::kActiveDomain;
+      break;
+    case EntailmentRegime::kAll:
+      translation.regime = translate::Regime::kAll;
+      break;
+  }
+  // τ_owl2ql_core is part of the engine's data program (attached at
+  // construction under a reasoning regime) and is materialized once —
+  // the per-query program carries only the pattern's own rules.
+  translation.include_owl2ql_core = false;
+  return translation;
+}
+
+Result<std::string> Engine::ExplainProgram() {
+  TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, CurrentSnapshot());
+  // program_ is writer-side state; the snapshot's instance is immutable.
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  return chase::ExplainProgramPlans(program_, snap->instance,
+                                    chase_options());
+}
+
+Result<std::string> Engine::ExplainQuery(const std::string& sparql_text) {
+  TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, CurrentSnapshot());
+  // Parse + translate only — no claim acquisition and no plan-cache
+  // entry: EXPLAIN must not affect (or be limited by) query execution
+  // state. The translated program's plans are costed against the
+  // materialized snapshot the query would actually join over.
+  TRIQ_ASSIGN_OR_RETURN(auto pattern,
+                        sparql::ParsePattern(sparql_text, dict_.get()));
+  TRIQ_ASSIGN_OR_RETURN(
+      translate::TranslatedQuery translated,
+      TranslatePattern(*pattern, dict_, QueryTranslationOptions()));
+  return chase::ExplainProgramPlans(translated.program, snap->instance,
+                                    QueryChaseOptions());
 }
 
 }  // namespace triq

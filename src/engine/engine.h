@@ -504,6 +504,19 @@ class Engine {
   /// Thread-safe.
   Result<sparql::MappingSet> Query(const std::string& sparql_text);
 
+  /// Renders the join plan of every data-program rule against the
+  /// current materialized snapshot (chase::ExplainProgramPlans): one
+  /// block per rule with join order, access paths and cardinality
+  /// estimates under the session's chase options. Materializes first if
+  /// needed — plans are costed on real relation statistics.
+  Result<std::string> ExplainProgram();
+
+  /// Translates `sparql_text` under the session's entailment regime
+  /// (without caching or claiming predicates) and renders the join plan
+  /// of every rule of the translated query program against the current
+  /// snapshot. The EXPLAIN counterpart of Query().
+  Result<std::string> ExplainQuery(const std::string& sparql_text);
+
  private:
   friend class PreparedQuery;
 
@@ -516,6 +529,10 @@ class Engine {
   /// chase_options() plus the per-query wall-clock deadline (anchored at
   /// the call, so every evaluation gets a fresh budget).
   chase::ChaseOptions QueryChaseOptions() const;
+
+  /// The SPARQL translation options for the session's entailment regime
+  /// (the regime switch Query() and ExplainQuery() share).
+  translate::TranslationOptions QueryTranslationOptions() const;
 
   /// Builds and publishes the next snapshot. Requires writer_mu_; a
   /// no-op when the session is clean. `stats` may be null.

@@ -70,10 +70,80 @@ TEST(MergeJoinMatchTest, StrategiesEnumerateTheSameMatches) {
   hash.join_strategy = chase::JoinStrategy::kHash;
   chase::MatchOptions merge;
   merge.join_strategy = chase::JoinStrategy::kMerge;
+  chase::MatchOptions leapfrog;
+  leapfrog.join_strategy = chase::JoinStrategy::kLeapfrog;
   chase::MatchOptions automatic;  // default
   auto expected = MatchFingerprint(rule, db, hash);
   EXPECT_FALSE(expected.empty());
   EXPECT_EQ(MatchFingerprint(rule, db, merge), expected);
+  EXPECT_EQ(MatchFingerprint(rule, db, leapfrog), expected);
+  EXPECT_EQ(MatchFingerprint(rule, db, automatic), expected);
+}
+
+/// The leapfrog residual on the workload it was built for: a 3-atom
+/// cyclic (triangle) rule, where kAuto engages it. All strategies
+/// enumerate the identical match set, with and without delta/atom_end
+/// windows on the driver.
+TEST(MergeJoinMatchTest, TriangleStrategiesAgreeUnderWindows) {
+  auto dict = Dict();
+  chase::Instance db(dict);
+  std::mt19937 rng(23);
+  for (int i = 0; i < 300; ++i) {
+    db.AddFact("e", {"n" + std::to_string(rng() % 24),
+                     "n" + std::to_string(rng() % 24)});
+  }
+  datalog::Rule rule =
+      ParseR("e(?X, ?Y), e(?Y, ?Z), e(?Z, ?X) -> t(?X, ?Z)", dict.get());
+  chase::MatchOptions base;
+  for (size_t delta_begin : {chase::kNoTupleLimit, size_t{0}, size_t{150}}) {
+    chase::MatchOptions opts = base;
+    if (delta_begin != chase::kNoTupleLimit) {
+      opts.delta_body_index = 0;
+      opts.delta_begin = delta_begin;
+      opts.delta_end = delta_begin + 120;
+      opts.atom_end = {chase::kNoTupleLimit, 280, 260};
+    }
+    chase::MatchOptions hash = opts;
+    hash.join_strategy = chase::JoinStrategy::kHash;
+    chase::MatchOptions merge = opts;
+    merge.join_strategy = chase::JoinStrategy::kMerge;
+    chase::MatchOptions leapfrog = opts;
+    leapfrog.join_strategy = chase::JoinStrategy::kLeapfrog;
+    chase::MatchOptions automatic = opts;  // kAuto: engages the leapfrog
+    auto expected = MatchFingerprint(rule, db, hash);
+    EXPECT_FALSE(expected.empty());
+    EXPECT_EQ(MatchFingerprint(rule, db, merge), expected)
+        << "delta_begin=" << delta_begin;
+    EXPECT_EQ(MatchFingerprint(rule, db, leapfrog), expected)
+        << "delta_begin=" << delta_begin;
+    EXPECT_EQ(MatchFingerprint(rule, db, automatic), expected)
+        << "delta_begin=" << delta_begin;
+  }
+}
+
+/// A 4-atom star join (shared center variable) through the leapfrog
+/// residual, with a repeated predicate and a constant restriction.
+TEST(MergeJoinMatchTest, StarJoinStrategiesAgree) {
+  auto dict = Dict();
+  chase::Instance db(dict);
+  std::mt19937 rng(31);
+  for (int i = 0; i < 200; ++i) {
+    db.AddFact("a", {"c" + std::to_string(rng() % 8),
+                     "x" + std::to_string(rng() % 40)});
+    db.AddFact("b", {"c" + std::to_string(rng() % 8),
+                     "y" + std::to_string(rng() % 6)});
+  }
+  datalog::Rule rule = ParseR(
+      "a(?C, ?X), b(?C, ?Y), a(?C, ?Z), b(?C, y3) -> s(?X, ?Y, ?Z)",
+      dict.get());
+  chase::MatchOptions hash;
+  hash.join_strategy = chase::JoinStrategy::kHash;
+  chase::MatchOptions leapfrog;
+  leapfrog.join_strategy = chase::JoinStrategy::kLeapfrog;
+  chase::MatchOptions automatic;
+  auto expected = MatchFingerprint(rule, db, hash);
+  EXPECT_FALSE(expected.empty());
+  EXPECT_EQ(MatchFingerprint(rule, db, leapfrog), expected);
   EXPECT_EQ(MatchFingerprint(rule, db, automatic), expected);
 }
 
@@ -156,10 +226,14 @@ class RandomDatalog {
 
 class JoinStrategySweep : public ::testing::TestWithParam<int> {};
 
-/// Naive, hash-probe and merge-join evaluation fix the identical
-/// instance, and the partitioned strategies enumerate the identical
-/// number of matches (`rule_firings`), on random stratified programs.
-TEST_P(JoinStrategySweep, ThreeWayEquivalence) {
+/// The full ablation grid on random stratified programs: every join
+/// strategy × delta partitioning × threads {1, 4} fixes the instance
+/// the naive fixpoint fixes (plain Datalog: exact ToString, so tuple
+/// order too), and for a fixed partitioning mode the match counts
+/// (`rule_firings`, `facts_derived`) are identical across strategies
+/// and thread counts — the match SET of every pass is
+/// strategy-independent.
+TEST_P(JoinStrategySweep, StrategyGridEquivalence) {
   uint64_t seed = static_cast<uint64_t>(GetParam());
   RandomDatalog gen(seed);
   auto dict = Dict();
@@ -174,33 +248,89 @@ TEST_P(JoinStrategySweep, ThreeWayEquivalence) {
   naive.seminaive = false;
   naive.partition_deltas = false;
   naive.join_strategy = chase::JoinStrategy::kHash;
-  chase::ChaseOptions hash;
-  hash.join_strategy = chase::JoinStrategy::kHash;
-  chase::ChaseOptions merge;
-  merge.join_strategy = chase::JoinStrategy::kMerge;
-  chase::ChaseOptions automatic;  // kAuto, the default
-
   chase::Instance naive_db = db.CloneFacts();
-  chase::Instance hash_db = db.CloneFacts();
-  chase::Instance merge_db = db.CloneFacts();
-  chase::Instance auto_db = db.CloneFacts();
-  chase::ChaseStats hash_stats, merge_stats, auto_stats;
   ASSERT_TRUE(RunChase(*program, &naive_db, naive).ok());
-  ASSERT_TRUE(RunChase(*program, &hash_db, hash, &hash_stats).ok());
-  ASSERT_TRUE(RunChase(*program, &merge_db, merge, &merge_stats).ok());
-  ASSERT_TRUE(RunChase(*program, &auto_db, automatic, &auto_stats).ok());
+  const std::string expected = naive_db.ToString();
 
-  EXPECT_EQ(merge_db.ToString(), naive_db.ToString()) << program->ToString();
-  EXPECT_EQ(merge_db.ToString(), hash_db.ToString()) << program->ToString();
-  EXPECT_EQ(auto_db.ToString(), hash_db.ToString()) << program->ToString();
-  // The match SET is strategy-independent, so the firing counts are
-  // exactly equal across the partitioned runs.
-  EXPECT_EQ(merge_stats.rule_firings, hash_stats.rule_firings);
-  EXPECT_EQ(auto_stats.rule_firings, hash_stats.rule_firings);
-  EXPECT_EQ(merge_stats.facts_derived, hash_stats.facts_derived);
+  const chase::JoinStrategy strategies[] = {
+      chase::JoinStrategy::kHash, chase::JoinStrategy::kMerge,
+      chase::JoinStrategy::kLeapfrog, chase::JoinStrategy::kAuto};
+  for (bool partition : {true, false}) {
+    // Reference counters for this partitioning mode: hash, 1 thread.
+    chase::ChaseStats ref_stats;
+    bool have_ref = false;
+    for (chase::JoinStrategy strategy : strategies) {
+      for (size_t threads : {size_t{1}, size_t{4}}) {
+        chase::ChaseOptions options;
+        options.partition_deltas = partition;
+        options.join_strategy = strategy;
+        options.num_threads = threads;
+        chase::Instance run_db = db.CloneFacts();
+        chase::ChaseStats stats;
+        ASSERT_TRUE(RunChase(*program, &run_db, options, &stats).ok());
+        std::string label = "strategy=" +
+                            std::to_string(static_cast<int>(strategy)) +
+                            " partition=" + std::to_string(partition) +
+                            " threads=" + std::to_string(threads);
+        EXPECT_EQ(run_db.ToString(), expected)
+            << label << "\n" << program->ToString();
+        if (!have_ref) {
+          ref_stats = stats;
+          have_ref = true;
+        } else {
+          EXPECT_EQ(stats.rule_firings, ref_stats.rule_firings) << label;
+          EXPECT_EQ(stats.facts_derived, ref_stats.facts_derived) << label;
+          EXPECT_EQ(stats.rounds, ref_stats.rounds) << label;
+        }
+      }
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JoinStrategySweep, ::testing::Range(1, 21));
+
+/// Triangle closure end-to-end through the chase: the 3-atom cyclic
+/// rule that kAuto routes to the leapfrog operator, on a random graph,
+/// across all strategies and thread counts — identical instances and
+/// exact counter equality (plain Datalog).
+TEST(MergeJoinChaseTest, TriangleAgreesAcrossStrategiesAndThreads) {
+  auto dict = Dict();
+  auto program = datalog::ParseProgram(
+      "e(?X, ?Y), e(?Y, ?Z), e(?Z, ?X) -> tri(?X, ?Y, ?Z) .", dict);
+  ASSERT_TRUE(program.ok());
+  chase::Instance db(dict);
+  std::mt19937 rng(5);
+  for (int i = 0; i < 600; ++i) {
+    db.AddFact("e", {"n" + std::to_string(rng() % 40),
+                     "n" + std::to_string(rng() % 40)});
+  }
+
+  chase::ChaseOptions hash;
+  hash.join_strategy = chase::JoinStrategy::kHash;
+  chase::Instance hash_db = db.CloneFacts();
+  chase::ChaseStats hash_stats;
+  ASSERT_TRUE(RunChase(*program, &hash_db, hash, &hash_stats).ok());
+  ASSERT_GT(hash_db.Find("tri")->size(), 0u);
+
+  for (chase::JoinStrategy strategy :
+       {chase::JoinStrategy::kMerge, chase::JoinStrategy::kLeapfrog,
+        chase::JoinStrategy::kAuto}) {
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+      chase::ChaseOptions options;
+      options.join_strategy = strategy;
+      options.num_threads = threads;
+      chase::Instance run_db = db.CloneFacts();
+      chase::ChaseStats stats;
+      ASSERT_TRUE(RunChase(*program, &run_db, options, &stats).ok());
+      std::string label = "strategy=" +
+                          std::to_string(static_cast<int>(strategy)) +
+                          " threads=" + std::to_string(threads);
+      EXPECT_EQ(run_db.ToString(), hash_db.ToString()) << label;
+      EXPECT_EQ(stats.rule_firings, hash_stats.rule_firings) << label;
+      EXPECT_EQ(stats.facts_derived, hash_stats.facts_derived) << label;
+    }
+  }
+}
 
 /// Transitive closure on a chain — the workload the merge join was
 /// built for — derives the same closure with the same exact counters

@@ -197,6 +197,65 @@ TEST(ParallelChaseTest, RandomGraphStrategyAndThreadSweep) {
   }
 }
 
+TEST(ParallelChaseTest, ParallelRehashMatchesSequentialInserts) {
+  // Drives Relation's partition-parallel rehash directly: a relation
+  // already holding 40k tuples (above the 32k parallel-rehash
+  // threshold) takes a batch whose staged influx overloads the dedup
+  // table, so BatchInserter::Prepare doubles it through the pool. The
+  // committed relation must be indistinguishable from plain sequential
+  // Insert()s of the same stream: same tuples at the same indexes, and
+  // every tuple findable through the rebuilt table.
+  using chase::Relation;
+  auto term = [](uint32_t v) { return datalog::Term::Constant(v); };
+  Relation rel(2), ref(2);
+  for (uint32_t i = 0; i < 40000; ++i) {
+    chase::Tuple t = {term(i % 9000), term(i)};
+    rel.Insert(t);
+    ref.Insert(t);
+  }
+  ASSERT_EQ(rel.size(), 40000u);
+
+  // Staged stream: fresh tuples, repeats of stored tuples, in-stream
+  // duplicates — row-major with precomputed Hash32, as the sharded
+  // chase commit stages them.
+  std::vector<chase::Term> flat;
+  auto stage = [&](uint32_t a, uint32_t b) {
+    flat.push_back(term(a));
+    flat.push_back(term(b));
+  };
+  for (uint32_t i = 0; i < 20000; ++i) {
+    stage(i % 9000, 40000 + i);                   // fresh
+    if (i % 5 == 0) stage(i % 9000, i);           // already stored
+    if (i % 7 == 0) stage(i % 9000, 40000 + i);   // in-stream duplicate
+  }
+  uint32_t n = static_cast<uint32_t>(flat.size() / 2);
+  std::vector<uint32_t> hashes(n);
+  for (uint32_t j = 0; j < n; ++j) {
+    hashes[j] = Relation::Hash32(flat.data() + 2 * j, 2);
+  }
+
+  common::ThreadPool pool(3);
+  chase::BatchInserter batch(&rel);
+  batch.AddShard(flat.data(), hashes.data(), n);
+  batch.Prepare(&pool);
+  pool.ParallelFor(Relation::kDedupPartitions,
+                   [&](size_t p) { batch.ScanPartition(p); });
+  batch.CommitWinners();
+  pool.ParallelFor(Relation::kDedupPartitions,
+                   [&](size_t p) { batch.FinalizeSlots(p); });
+
+  for (uint32_t j = 0; j < n; ++j) {
+    ref.Insert(chase::Tuple{flat[2 * j], flat[2 * j + 1]});
+  }
+  ASSERT_EQ(rel.size(), ref.size());
+  EXPECT_EQ(rel.size(), 60000u);
+  for (uint32_t i = 0; i < rel.size(); i += 13) {
+    EXPECT_EQ(rel.tuple(i)[0], ref.tuple(i)[0]) << i;
+    EXPECT_EQ(rel.tuple(i)[1], ref.tuple(i)[1]) << i;
+    EXPECT_EQ(rel.FindIndex(rel.tuple(i)), i) << i;
+  }
+}
+
 TEST(ParallelChaseTest, LargeRunActuallyShards) {
   auto dict = std::make_shared<Dictionary>();
   auto program = core::TransitiveClosureProgram(dict);

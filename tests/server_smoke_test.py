@@ -97,6 +97,41 @@ def main():
             expect(analysis.get("method") == "datalog", f"ANALYZE: {reply}")
             expect(analysis.get("lint_errors") == "0", f"ANALYZE: {reply}")
 
+            # EXPLAIN renders one PLAN line per join-plan line: the rule,
+            # its strategy, and one access-path line per body atom with a
+            # cardinality estimate.
+            reply = send(f, "EXPLAIN")
+            plans = [line for line in reply if line.startswith("PLAN")]
+            expect(reply[-1] == "OK", f"EXPLAIN: {reply}")
+            expect(
+                any("strategy:" in line for line in plans),
+                f"EXPLAIN shows no strategy: {reply}",
+            )
+            expect(
+                any("rows~" in line for line in plans),
+                f"EXPLAIN shows no estimates: {reply}",
+            )
+            expect(
+                any("tc(?X, ?Y), triple(?Y, edge, ?Z)" in line for line in plans),
+                f"EXPLAIN misses the tc rule: {reply}",
+            )
+
+            # EXPLAIN <pattern>: the translated SPARQL query's plans — a
+            # triangle pattern must engage the leapfrog operator.
+            reply = send(
+                f, "EXPLAIN { ?x edge ?y . ?y edge ?z . ?z edge ?x }"
+            )
+            expect(reply[-1] == "OK", f"EXPLAIN pattern: {reply}")
+            expect(
+                any("leapfrog" in line for line in reply),
+                f"EXPLAIN pattern chose no leapfrog: {reply}",
+            )
+
+            # An EXPLAIN parse error must not wedge the session either.
+            reply = send(f, "EXPLAIN not a pattern")
+            expect(reply[0].startswith("ERR"), f"bad EXPLAIN accepted: {reply}")
+            expect(send(f, "PING") == ["OK pong"], "PING after bad EXPLAIN")
+
         # A second concurrent-style connection still works after the first
         # closed, and SHUTDOWN stops the whole server.
         with socket.create_connection(("127.0.0.1", port), timeout=10) as s:

@@ -21,7 +21,11 @@
 //                     verdict, lint findings) for the attached program
 //                     and exit without materializing; exit 1 on
 //                     error-severity findings
-//   --explain TUPLE   print a proof tree for answer tuple "a,b,c"
+//   --explain         print the per-rule join plans (order, access
+//                     paths, cardinality estimates) the chase and the
+//                     query executor chose against the materialized
+//                     instance, then the answers
+//   --prove TUPLE     print a proof tree for answer tuple "a,b,c"
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -42,10 +46,11 @@ struct Args {
   std::string answer_predicate;
   std::string pattern;
   std::string regime = "none";
-  std::string explain;
+  std::string prove;
   size_t threads = 1;
   bool classify = false;
   bool analyze = false;
+  bool explain = false;
 };
 
 int Fail(const std::string& message) {
@@ -101,6 +106,12 @@ int RunRuleProgram(const Args& args, triq::Engine* engine) {
     return analysis.HasErrors() ? 1 : 0;
   }
 
+  if (args.explain) {
+    auto plans = engine->ExplainProgram();
+    if (!plans.ok()) return Fail(plans.status().ToString());
+    std::cout << *plans;
+  }
+
   auto answers = engine->Answers(answer);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const triq::chase::Tuple& tuple : *answers) {
@@ -112,11 +123,11 @@ int RunRuleProgram(const Args& args, triq::Engine* engine) {
   }
   std::cerr << answers->size() << " answer(s)\n";
 
-  if (!args.explain.empty()) {
+  if (!args.prove.empty()) {
     triq::datalog::Atom goal;
     goal.predicate = engine->dict().Intern(answer);
     for (const std::string& part :
-         triq::SplitAndTrim(args.explain, ',')) {
+         triq::SplitAndTrim(args.prove, ',')) {
       goal.args.push_back(
           triq::datalog::Term::Constant(engine->dict().Intern(part)));
     }
@@ -131,6 +142,11 @@ int RunRuleProgram(const Args& args, triq::Engine* engine) {
 }
 
 int RunPattern(const Args& args, triq::Engine* engine) {
+  if (args.explain) {
+    auto plans = engine->ExplainQuery(args.pattern);
+    if (!plans.ok()) return Fail(plans.status().ToString());
+    std::cout << *plans;
+  }
   auto answers = engine->Query(args.pattern);
   if (!answers.ok()) return Fail(answers.status().ToString());
   for (const triq::sparql::SparqlMapping& m : answers->mappings()) {
@@ -175,10 +191,12 @@ int main(int argc, char** argv) {
       int parsed = std::atoi(v);
       if (parsed < 1) return Fail("--threads must be >= 1");
       args.threads = static_cast<size_t>(parsed);
-    } else if (flag == "--explain") {
+    } else if (flag == "--prove") {
       const char* v = next();
-      if (!v) return Fail("--explain needs a value");
-      args.explain = v;
+      if (!v) return Fail("--prove needs a value");
+      args.prove = v;
+    } else if (flag == "--explain") {
+      args.explain = true;
     } else if (flag == "--classify") {
       args.classify = true;
     } else if (flag == "--analyze") {
@@ -187,7 +205,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: triq_run --graph FILE"
                    " (--program FILE --answer PRED | --sparql TEXT)"
                    " [--regime none|active|all] [--threads N]"
-                   " [--classify] [--analyze] [--explain a,b,c]\n";
+                   " [--classify] [--analyze] [--explain] [--prove a,b,c]\n";
       return 0;
     } else {
       return Fail("unknown flag " + flag);
@@ -211,7 +229,7 @@ int main(int argc, char** argv) {
 
   triq::Engine engine(triq::EngineOptions()
                           .SetNumThreads(args.threads)
-                          .SetTrackProvenance(!args.explain.empty())
+                          .SetTrackProvenance(!args.prove.empty())
                           .SetRegime(regime));
   triq::Status loaded = engine.LoadTurtleFile(args.graph_file);
   if (!loaded.ok()) return Fail(loaded.ToString());

@@ -18,6 +18,10 @@
 //   ANALYZE                   -> STAT <name> <value> lines (static
 //                                analysis of the data program: verdict,
 //                                shape, lint counts), then OK
+//   EXPLAIN                   -> PLAN <line> per join-plan line of every
+//                                data-program rule (order, access paths,
+//                                cardinality estimates), then OK
+//   EXPLAIN <pattern text>    -> same, for the translated SPARQL query
 //   QUIT                      -> OK bye              (closes connection)
 //   SHUTDOWN                  -> OK shutting-down    (stops the server)
 //
@@ -207,6 +211,24 @@ std::string HandleCommand(Engine& engine, const std::string& line,
     reply += "STAT lint_warnings " +
              std::to_string(analysis.CountSeverity(
                  triq::analysis::LintSeverity::kWarning)) + "\n";
+    reply += "OK\n";
+    return reply;
+  }
+
+  if (cmd == "EXPLAIN") {
+    // No argument: the data program's plans. With a pattern: the
+    // translated SPARQL query's plans. Both are costed against the
+    // current materialized snapshot (materializing first if needed).
+    auto plans =
+        rest.empty() ? engine.ExplainProgram() : engine.ExplainQuery(rest);
+    if (!plans.ok()) return "ERR " + Flatten(plans.status()) + "\n";
+    std::string reply;
+    std::istringstream in(*plans);
+    std::string plan_line;
+    while (std::getline(in, plan_line)) {
+      if (plan_line.empty()) continue;  // rule-block separators
+      reply += "PLAN " + plan_line + "\n";
+    }
     reply += "OK\n";
     return reply;
   }
