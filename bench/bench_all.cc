@@ -20,13 +20,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <sys/stat.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "harness.h"
@@ -524,6 +527,100 @@ void SuiteEngine(const Config& config, const HarnessOptions& options) {
         (*counters)["write_p50_us"] = percentile(write_us, 0.50);
         (*counters)["write_p99_us"] = percentile(write_us, 0.99);
       });
+
+  // Crash-recovery cost: replaying a journal of single-fact appends and
+  // re-materializing, vs cold-loading a binary dump of the finished
+  // closure. Both are timed inside one iteration so the JSON records
+  // their ratio on identical hardware. The journal is rebuilt from a
+  // pristine byte image before every iteration because a successful
+  // Materialize() checkpoints (and thereby empties) the journal.
+  {
+    constexpr int kRecovered = 128;
+    const std::string wal = "/tmp/triq_bench_recovery_" +
+                            std::to_string(::getpid()) + ".wal";
+    const char* rules =
+        "triple(?X, edge, ?Y) -> tc(?X, ?Y) .\n"
+        "tc(?X, ?Y), triple(?Y, edge, ?Z) -> tc(?X, ?Z) .";
+    auto cleanup = [&] {
+      std::remove(wal.c_str());
+      std::remove((wal + ".ckpt").c_str());
+      std::remove((wal + ".ckpt.tmp").c_str());
+    };
+    cleanup();
+    triq::EngineOptions jopts;
+    jopts.SetJournalPath(wal).SetJournalFsync(triq::JournalFsync::kNever);
+    {
+      auto opened = triq::Engine::Open(jopts);
+      if (!opened.ok()) std::abort();
+      for (int i = 0; i < kRecovered; ++i) {
+        std::string a = "v" + std::to_string(i);
+        std::string b = "v" + std::to_string(i + 1);
+        if (!(*opened)->AddTriple(a, "edge", b).ok()) std::abort();
+      }
+      if (!(*opened)->AttachRules(rules).ok()) std::abort();
+      // No Materialize: the journal must still hold every record.
+    }
+    std::string journal_image;
+    {
+      std::ifstream in(wal, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      journal_image = buf.str();
+    }
+    // The cold-load comparator: the same closure, already materialized,
+    // in the binary fact-dump format.
+    std::string dump;
+    {
+      auto dict = std::make_shared<Dictionary>();
+      triq::chase::Instance db(dict);
+      for (int i = 0; i < kRecovered; ++i) {
+        db.AddFact("triple", {"v" + std::to_string(i), "edge",
+                              "v" + std::to_string(i + 1)});
+      }
+      auto program = triq::datalog::ParseProgram(rules, dict);
+      if (!program.ok()) std::abort();
+      if (!triq::chase::RunChase(*program, &db).ok()) std::abort();
+      if (!triq::chase::SaveFactsToString(db, &dump).ok()) std::abort();
+    }
+
+    harness.Run(
+        "engine/recovery/" + std::to_string(kRecovered),
+        [&](std::map<std::string, double>* counters) {
+          std::remove((wal + ".ckpt").c_str());
+          std::remove((wal + ".ckpt.tmp").c_str());
+          {
+            std::ofstream out(wal, std::ios::binary | std::ios::trunc);
+            out << journal_image;
+          }
+          using Clock = std::chrono::steady_clock;
+          auto begin = Clock::now();
+          auto reopened = triq::Engine::Open(jopts);
+          if (!reopened.ok()) std::abort();
+          if (!(*reopened)->Materialize().ok()) std::abort();
+          auto answers = (*reopened)->Answers("tc");
+          if (!answers.ok()) std::abort();
+          auto mid = Clock::now();
+          auto loaded = triq::chase::LoadFactsFromString(
+              dump, std::make_shared<Dictionary>(), "<bench>");
+          if (!loaded.ok()) std::abort();
+          auto end = Clock::now();
+
+          const auto stats = (*reopened)->stats();
+          // Exact: the journal holds one record per AddTriple plus the
+          // AttachRules record, and the closure size is determined.
+          (*counters)["recovered_records"] =
+              static_cast<double>(stats.journal_recovered_records);
+          (*counters)["final_tc"] = static_cast<double>(answers->size());
+          (*counters)["dump_facts"] = static_cast<double>(loaded->TotalFacts());
+          // Measurements.
+          (*counters)["replay_us"] =
+              std::chrono::duration<double, std::micro>(mid - begin)
+                  .count();
+          (*counters)["cold_load_us"] =
+              std::chrono::duration<double, std::micro>(end - mid).count();
+        });
+    cleanup();
+  }
 
   auto st = WriteJsonFile(config.out_dir + "/BENCH_engine.json", "engine",
                           options, harness.results());

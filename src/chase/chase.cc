@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "analysis/reliance.h"
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace triq::chase {
@@ -183,6 +184,12 @@ class ChaseRun {
     }
 
     while (changed) {
+      // Fault-injection point for crash/durability tests: an abort
+      // between rounds must surface as an error so the caller (the
+      // Engine) publishes nothing and the prior snapshot keeps serving.
+      TRIQ_FAILPOINT_RETURN(
+          "chase.round.abort",
+          Status::Internal("failpoint chase.round.abort: aborted mid-chase"));
       SizeSnapshot cur_start = Snapshot();
       size_t round_before = instance_->TotalFacts();
       for (size_t r : rule_indices) {
@@ -248,6 +255,10 @@ class ChaseRun {
     MatchOptions effective = match_options;
     effective.greedy_atom_order = options_.greedy_atom_order;
     effective.join_strategy = options_.join_strategy;
+    // Let the matcher's inner loops (notably the leapfrog gallop, which
+    // can run long without emitting a single match) trip the deadline
+    // themselves instead of relying on the every-1024-matches callback.
+    if (deadline_set_) effective.deadline = options_.deadline;
 
     if (pool_ != nullptr) {
       TRIQ_ASSIGN_OR_RETURN(

@@ -1,6 +1,7 @@
 #ifndef TRIQ_CHASE_FACT_DUMP_H_
 #define TRIQ_CHASE_FACT_DUMP_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -22,6 +23,9 @@ namespace triq::chase {
 ///   num_relations, then per relation (ascending file predicate id):
 ///     predicate symbol id, arity, tuple count,
 ///     arity * count term words, column-major
+///   footer (version >= 2): CRC32 of every preceding byte — a torn or
+///     bit-flipped dump fails closed as DataLoss instead of loading
+///     silently wrong
 /// Term words use the Term bit packing with FILE-local symbol/null ids;
 /// LoadFacts remaps them into the target dictionary, so a dump can be
 /// loaded next to already-interned symbols.
@@ -29,16 +33,38 @@ namespace triq::chase {
 /// Derivations (provenance) are not serialized: dumps carry database
 /// snapshots, not chase traces.
 
-/// Writes `instance`'s facts to `path` (overwriting). Fails if any
-/// stored term is a variable (corrupt instance).
+/// Serializes `instance`'s facts into `out` (replacing its contents).
+/// Fails if any stored term is a variable (corrupt instance).
+Status SaveFactsToString(const Instance& instance, std::string* out);
+
+/// Writes `instance`'s facts to `path` (overwriting). Failpoint
+/// "fact_dump.save.short" truncates the write partway and errors,
+/// simulating a crash mid-save.
 Status SaveFacts(const Instance& instance, const std::string& path);
 
-/// Reads a dump written by SaveFacts into a fresh Instance over `dict`
-/// (symbols are interned into it; nulls are allocated fresh, preserving
-/// depths and identity sharing). Returns InvalidArgument on a
-/// missing/foreign/corrupt file.
+/// Decodes a dump image into a fresh Instance over `dict` (symbols are
+/// interned into it; nulls are allocated fresh, preserving depths and
+/// identity sharing). Because SaveFacts emits the symbol table in
+/// dictionary-id order, loading into a dictionary that already holds
+/// exactly those symbols reproduces the original term ids bit for bit.
+/// Returns InvalidArgument for foreign/structurally invalid images and
+/// DataLoss for truncation or checksum mismatch. `context` names the
+/// source in error messages.
+Result<Instance> LoadFactsFromString(const std::string& bytes,
+                                     std::shared_ptr<Dictionary> dict,
+                                     const std::string& context = "<buffer>");
+
+/// Reads a dump file written by SaveFacts (see LoadFactsFromString).
 Result<Instance> LoadFacts(const std::string& path,
                            std::shared_ptr<Dictionary> dict);
+
+/// Order-canonical fingerprint of an instance's ground facts: a 64-bit
+/// hash over the sorted textual rendering plus the labeled-null depth
+/// table. Invariant under dictionary-id permutation (two instances with
+/// the same facts interned in different orders fingerprint equal), so
+/// recovery tests can compare a replayed engine against the uncrashed
+/// run even when replay interned extra symbols.
+uint64_t FactFingerprint(const Instance& instance);
 
 }  // namespace triq::chase
 

@@ -1,6 +1,7 @@
 #include "chase/match.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <limits>
 
@@ -60,6 +61,8 @@ class Matcher {
   }
 
   Status Run() {
+    deadline_set_ =
+        options_.deadline != std::chrono::steady_clock::time_point{};
     Recurse(0);
     return status_;
   }
@@ -601,6 +604,14 @@ class Matcher {
     lf_ptrs_.resize(ptr_mark + 3 * k);
     bool keep_going = true;
     for (;;) {
+      // The gallop can align cursors for a long time without emitting a
+      // single match (so the chase's per-match deadline check would
+      // never run): poll the clock here, once per 1024 alignment
+      // rounds across the whole pass.
+      if (DeadlineTripped()) {
+        keep_going = false;
+        break;
+      }
       // Current max over the participants' first-occurrence levels.
       Term vmax;
       bool exhausted = false;
@@ -994,6 +1005,19 @@ class Matcher {
   // Recursion scratch stacks (see LeapfrogVar); grown once, reused.
   std::vector<const uint32_t*> lf_save_;
   std::vector<const uint32_t*> lf_ptrs_;
+
+  /// Polls the pass deadline every 1024 calls; on expiry records
+  /// ResourceExhausted in status_ and returns true so the caller
+  /// unwinds through the usual early-stop path.
+  bool DeadlineTripped() {
+    if (!deadline_set_ || (++deadline_steps_ & 1023u) != 0) return false;
+    if (std::chrono::steady_clock::now() < options_.deadline) return false;
+    status_ = Status::ResourceExhausted("match pass exceeded the deadline");
+    return true;
+  }
+
+  bool deadline_set_ = false;
+  uint64_t deadline_steps_ = 0;
 
   Binding binding_;
   Status status_ = Status::OK();

@@ -1,6 +1,7 @@
 #ifndef TRIQ_CHASE_MATCH_H_
 #define TRIQ_CHASE_MATCH_H_
 
+#include <chrono>
 #include <cstddef>
 #include <functional>
 #include <utility>
@@ -118,6 +119,12 @@ struct MatchOptions {
   /// Composes freely with the window contract above: merge-joined atoms
   /// still respect their delta / atom_end windows.
   JoinStrategy join_strategy = JoinStrategy::kAuto;
+  /// Deadline for the whole pass (epoch = disabled). Checked inside the
+  /// matcher's own inner loops — in particular the leapfrog gallop,
+  /// which can align cursors for a long time without emitting a match,
+  /// so a callback-side check alone would never fire. Trips as
+  /// ResourceExhausted.
+  std::chrono::steady_clock::time_point deadline{};
 
   /// Depth-0 shard injection (the parallel chase scheduler, chase.cc).
   /// When `driver_order` is non-null, the join's first atom enumerates

@@ -1,0 +1,19 @@
+#ifndef TRIQ_COMMON_CRC32_H_
+#define TRIQ_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace triq {
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320), table-driven.
+/// Used to checksum journal records and fact-dump footers; not a
+/// cryptographic hash, only a torn/bit-rot detector.
+///
+/// `seed` allows incremental computation: Crc32(b, n2, Crc32(a, n1))
+/// equals Crc32 over the concatenation a||b.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace triq
+
+#endif  // TRIQ_COMMON_CRC32_H_

@@ -1,0 +1,118 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+namespace triq {
+namespace failpoint_internal {
+
+std::atomic<bool> g_any_active{false};
+std::atomic<bool> g_configured{false};
+
+namespace {
+
+struct Point {
+  uint64_t trigger = 0;      // fire on this evaluation (1-based); 0 = unarmed
+  uint64_t evaluations = 0;  // counted whenever any config is active
+  bool fired = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Point> points;
+  bool env_loaded = false;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+// "name[:N][;name[:N]]...". Whitespace is not tolerated: the spec is
+// machine-written by tests or a shell one-liner.
+bool ParseSpec(const std::string& spec, std::map<std::string, Point>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    size_t colon = entry.find(':');
+    std::string name = entry.substr(0, colon == std::string::npos ? entry.size()
+                                                                  : colon);
+    if (name.empty()) return false;
+    uint64_t trigger = 1;
+    if (colon != std::string::npos) {
+      const std::string count = entry.substr(colon + 1);
+      if (count.empty()) return false;
+      char* parse_end = nullptr;
+      trigger = std::strtoull(count.c_str(), &parse_end, 10);
+      if (*parse_end != '\0' || trigger == 0) return false;
+    }
+    Point point;
+    point.trigger = trigger;
+    (*out)[name] = point;
+  }
+  return true;
+}
+
+void InstallLocked(Registry& registry, std::map<std::string, Point> points) {
+  registry.points = std::move(points);
+  g_any_active.store(!registry.points.empty(), std::memory_order_relaxed);
+  g_configured.store(true, std::memory_order_relaxed);
+}
+
+void LoadFromEnvLocked(Registry& registry) {
+  registry.env_loaded = true;
+  const char* spec = std::getenv("TRIQ_FAILPOINTS");
+  std::map<std::string, Point> points;
+  if (spec != nullptr) ParseSpec(spec, &points);  // malformed env -> disarmed
+  InstallLocked(registry, std::move(points));
+}
+
+}  // namespace
+
+bool Evaluate(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (!registry.env_loaded) LoadFromEnvLocked(registry);
+  Point& point = registry.points[name];  // unarmed sites still count
+  ++point.evaluations;
+  if (point.trigger != 0 && !point.fired && point.evaluations == point.trigger) {
+    point.fired = true;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace failpoint_internal
+
+bool FailpointsConfigure(const std::string& spec) {
+  namespace fi = failpoint_internal;
+  std::map<std::string, fi::Point> points;
+  if (!fi::ParseSpec(spec, &points)) return false;
+  fi::Registry& registry = fi::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.env_loaded = true;  // explicit config overrides the environment
+  fi::InstallLocked(registry, std::move(points));
+  return true;
+}
+
+void FailpointsReset() {
+  namespace fi = failpoint_internal;
+  fi::Registry& registry = fi::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  fi::LoadFromEnvLocked(registry);
+}
+
+uint64_t FailpointEvaluations(const char* name) {
+  namespace fi = failpoint_internal;
+  fi::Registry& registry = fi::GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.evaluations;
+}
+
+}  // namespace triq

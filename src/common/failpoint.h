@@ -1,0 +1,74 @@
+#ifndef TRIQ_COMMON_FAILPOINT_H_
+#define TRIQ_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace triq {
+
+/// Deterministic fault injection for crash/recovery tests.
+///
+/// A *failpoint* is a named site in library code that normally does
+/// nothing. When the process is configured with a spec such as
+///
+///   TRIQ_FAILPOINTS=journal.write.short:1;chase.round.abort:3
+///
+/// the named site "fires" on its Nth evaluation (1-based; a bare name
+/// means N=1) and the call site decides what failing means there — a
+/// short write, an error Status, or an immediate _Exit() simulating
+/// kill -9. Each configured failpoint fires exactly once per
+/// configuration; every evaluation is counted either way, so tests can
+/// sweep "crash at hit k" for k = 1..FailpointEvaluations(name).
+///
+/// Failpoints are compiled in unconditionally. The inactive fast path
+/// is one relaxed atomic load of a global "anything configured?" flag,
+/// so production builds pay effectively nothing.
+///
+/// The registry is configured from the TRIQ_FAILPOINTS environment
+/// variable at first use, or programmatically via FailpointsConfigure()
+/// (which replaces the whole configuration and resets all counters).
+
+namespace failpoint_internal {
+extern std::atomic<bool> g_any_active;
+extern std::atomic<bool> g_configured;
+bool Evaluate(const char* name);
+}  // namespace failpoint_internal
+
+/// Evaluates the named failpoint: increments its hit counter and
+/// returns true iff it fires this time. Near-free when nothing is
+/// configured. The very first evaluation in a process falls through to
+/// the slow path so the TRIQ_FAILPOINTS environment spec gets loaded —
+/// the fast path alone must never short-circuit an env-armed site.
+inline bool FailpointHit(const char* name) {
+  if (failpoint_internal::g_configured.load(std::memory_order_relaxed) &&
+      !failpoint_internal::g_any_active.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return failpoint_internal::Evaluate(name);
+}
+
+/// Replaces the active configuration with `spec`
+/// ("name[:N][;name[:N]]..."; empty string disarms everything) and
+/// resets all evaluation counters. Returns false on a malformed spec
+/// (the previous configuration is kept).
+bool FailpointsConfigure(const std::string& spec);
+
+/// Re-reads TRIQ_FAILPOINTS from the environment (empty/unset disarms).
+void FailpointsReset();
+
+/// Number of times the named failpoint has been evaluated since the
+/// last (re)configuration — configured or not, sites always count once
+/// anything is active. Lets a sweep discover how many injection points
+/// a workload passes through.
+uint64_t FailpointEvaluations(const char* name);
+
+/// Convenience for "fail by returning a Status" sites.
+#define TRIQ_FAILPOINT_RETURN(name, status)       \
+  do {                                            \
+    if (::triq::FailpointHit(name)) return (status); \
+  } while (0)
+
+}  // namespace triq
+
+#endif  // TRIQ_COMMON_FAILPOINT_H_

@@ -20,6 +20,11 @@ enum class StatusCode {
   /// The database is inconsistent w.r.t. the program's constraints:
   /// the paper's special answer symbol "⊤" (Section 3.2).
   kInconsistent,
+  /// Unrecoverable data corruption: a checksum mismatch or structurally
+  /// impossible on-disk record. Distinct from kInvalidArgument (a
+  /// malformed request) — kDataLoss means bytes we previously wrote (or
+  /// were handed as ours) no longer decode.
+  kDataLoss,
 };
 
 /// A cheap, copyable success-or-error value. `Status::OK()` is the
@@ -52,6 +57,9 @@ class Status {
   static Status Inconsistent(std::string msg) {
     return Status(StatusCode::kInconsistent, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -69,6 +77,7 @@ class Status {
       case StatusCode::kUnimplemented: name = "Unimplemented"; break;
       case StatusCode::kInternal: name = "Internal"; break;
       case StatusCode::kInconsistent: name = "Inconsistent"; break;
+      case StatusCode::kDataLoss: name = "DataLoss"; break;
     }
     return name + ": " + message_;
   }

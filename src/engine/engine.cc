@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 #include <functional>
+#include <sstream>
 #include <unordered_set>
 #include <utility>
 
@@ -246,7 +247,95 @@ Engine::Engine(EngineOptions options)
   program_monotone_ = IsMonotone(program_);
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // Best-effort flush of batched appends; nothing to report to.
+  if (journal_ != nullptr) (void)journal_->Sync();
+}
+
+Result<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
+  auto engine = std::make_unique<Engine>(options);
+  if (options.journal_path.empty()) return engine;
+
+  Journal::Recovery recovery;
+  TRIQ_ASSIGN_OR_RETURN(
+      std::unique_ptr<Journal> journal,
+      Journal::Open(options.journal_path, options.journal_fsync,
+                    options.journal_batch_interval, &recovery));
+
+  // Rebuild the session with the journal still detached, so replay runs
+  // the ordinary mutators without re-appending: first the checkpoint
+  // image (base facts, user rules, and the materialized flag), then the
+  // tail records in append order.
+  if (recovery.has_checkpoint) {
+    TRIQ_ASSIGN_OR_RETURN(
+        chase::Instance image,
+        chase::LoadFactsFromString(recovery.checkpoint_blob, engine->dict_,
+                                   "journal checkpoint"));
+    TRIQ_RETURN_IF_ERROR(engine->LoadDatabase(std::move(image)));
+    if (!recovery.checkpoint_rules.empty()) {
+      TRIQ_RETURN_IF_ERROR(engine->AttachRules(recovery.checkpoint_rules));
+    }
+    if (recovery.checkpoint_materialized) {
+      Result<chase::ChaseStats> stats = engine->Materialize();
+      if (!stats.ok()) return stats.status();
+    }
+  }
+  for (const Journal::Record& record : recovery.records) {
+    TRIQ_RETURN_IF_ERROR(engine->ReplayRecord(record));
+  }
+
+  std::lock_guard<std::mutex> lock(engine->writer_mu_);
+  engine->journal_recovered_records_ = recovery.records.size();
+  engine->journal_truncated_bytes_ = recovery.truncated_bytes;
+  engine->journal_ = std::move(journal);
+  return engine;
+}
+
+Status Engine::ReplayRecord(const Journal::Record& record) {
+  auto field = [&](size_t i) -> const std::string& {
+    static const std::string kEmpty;
+    return i < record.fields.size() ? record.fields[i] : kEmpty;
+  };
+  switch (record.op) {
+    case Journal::Op::kAddTriple:
+      if (record.fields.size() != 3) break;
+      return AddTriple(field(0), field(1), field(2));
+    case Journal::Op::kLoadTurtle:
+      if (record.fields.size() != 1) break;
+      return LoadTurtle(field(0));
+    case Journal::Op::kAttachRules:
+      if (record.fields.size() != 1) break;
+      return AttachRules(field(0));
+    case Journal::Op::kLoadFactsBlob: {
+      if (record.fields.size() != 2) break;
+      // Field 0 records whether the source shared the engine dictionary:
+      // decoding over dict_ then reproduces the original term ids
+      // exactly, while a foreign source decodes over a stand-in
+      // dictionary (same dense ids as the original foreign one) and
+      // re-interns through the same append path as the original call.
+      const bool engine_dict = field(0) == "1";
+      std::shared_ptr<Dictionary> target =
+          engine_dict ? dict_ : std::make_shared<Dictionary>();
+      TRIQ_ASSIGN_OR_RETURN(
+          chase::Instance loaded,
+          chase::LoadFactsFromString(field(1), std::move(target),
+                                     "journal record"));
+      return LoadDatabase(std::move(loaded));
+    }
+    case Journal::Op::kMaterialize: {
+      Result<chase::ChaseStats> stats = Materialize();
+      return stats.ok() ? Status::OK() : stats.status();
+    }
+  }
+  return Status::DataLoss("journal record op " +
+                          std::to_string(static_cast<int>(record.op)) +
+                          " has malformed fields");
+}
+
+Status Engine::JournalOp(Journal::Op op, std::vector<std::string> fields) {
+  if (journal_ == nullptr) return Status::OK();
+  return journal_->Append(op, fields);
+}
 
 chase::ChaseOptions Engine::QueryChaseOptions() const {
   chase::ChaseOptions options = options_.ToChaseOptions();
@@ -335,6 +424,10 @@ Status Engine::CheckLoadable(const chase::Instance& src) const {
 
 Status Engine::Ingest(const chase::Instance& src) {
   TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
+  return IngestValidated(src);
+}
+
+Status Engine::IngestValidated(const chase::Instance& src) {
   TRIQ_RETURN_IF_ERROR(AppendFacts(src, &base_));
   // Only a successful load dirties the session: a rejected one left the
   // base untouched, so the published closure is still exact.
@@ -342,14 +435,45 @@ Status Engine::Ingest(const chase::Instance& src) {
   return Status::OK();
 }
 
+Status Engine::IngestJournaled(const chase::Instance& src) {
+  // WAL ordering: validate, journal, apply. A record lands in the
+  // journal only for a mutation that will succeed, and a mutation
+  // applies only once its record is written — so recovery replay is
+  // exactly the applied prefix of the op sequence.
+  TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
+  if (journal_ != nullptr) {
+    std::string blob;
+    TRIQ_RETURN_IF_ERROR(chase::SaveFactsToString(src, &blob));
+    const bool engine_dict = src.dict_ptr().get() == dict_.get();
+    TRIQ_RETURN_IF_ERROR(
+        JournalOp(Journal::Op::kLoadFactsBlob,
+                  {engine_dict ? "1" : "0", std::move(blob)}));
+  }
+  return IngestValidated(src);
+}
+
 Status Engine::LoadTurtle(std::string_view text) {
   rdf::Graph graph(dict_);
   TRIQ_RETURN_IF_ERROR(rdf::ParseTurtle(text, &graph));
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return Ingest(chase::Instance::FromGraph(graph));
+  chase::Instance src = chase::Instance::FromGraph(graph);
+  TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
+  TRIQ_RETURN_IF_ERROR(
+      JournalOp(Journal::Op::kLoadTurtle, {std::string(text)}));
+  return IngestValidated(src);
 }
 
 Status Engine::LoadTurtleFile(const std::string& path) {
+  if (journal_ != nullptr) {
+    // The journal must capture the file's *content* (the file may be
+    // rewritten or gone by recovery time), so the journaled session
+    // trades the streaming parse for an in-memory one.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::InvalidArgument("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return LoadTurtle(buf.str());
+  }
   std::ifstream in(path);
   if (!in) {
     return Status::InvalidArgument("cannot open " + path);
@@ -361,6 +485,19 @@ Status Engine::LoadTurtleFile(const std::string& path) {
 }
 
 Status Engine::LoadFacts(const std::string& path) {
+  if (journal_ != nullptr) {
+    // Journal the dump image itself: replay decodes the same bytes over
+    // the engine dictionary, reproducing this load exactly.
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::InvalidArgument("cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = buf.str();
+    TRIQ_ASSIGN_OR_RETURN(chase::Instance loaded,
+                          chase::LoadFactsFromString(bytes, dict_, path));
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    return LoadDatabaseLocked(std::move(loaded), &bytes);
+  }
   // LoadFacts interns straight into the engine dictionary, so the merge
   // below sees no foreign symbols — only nulls need re-allocation.
   TRIQ_ASSIGN_OR_RETURN(chase::Instance loaded,
@@ -370,21 +507,35 @@ Status Engine::LoadFacts(const std::string& path) {
 
 Status Engine::LoadDatabase(chase::Instance database) {
   std::lock_guard<std::mutex> lock(writer_mu_);
+  return LoadDatabaseLocked(std::move(database), nullptr);
+}
+
+Status Engine::LoadDatabaseLocked(chase::Instance database,
+                                  const std::string* raw_dump) {
   if (database.dict_ptr().get() == dict_.get() &&
       std::atomic_load(&snapshot_) == nullptr && base_.TotalFacts() == 0 &&
       base_.null_count() == 0) {
     // Empty session: adopt the storage wholesale (claims still apply —
     // queries may be prepared before any facts arrive).
     TRIQ_RETURN_IF_ERROR(CheckLoadable(database));
+    if (journal_ != nullptr) {
+      std::string blob;
+      if (raw_dump == nullptr) {
+        TRIQ_RETURN_IF_ERROR(chase::SaveFactsToString(database, &blob));
+        raw_dump = &blob;
+      }
+      TRIQ_RETURN_IF_ERROR(
+          JournalOp(Journal::Op::kLoadFactsBlob, {"1", *raw_dump}));
+    }
     base_ = std::move(database);
     return Status::OK();
   }
-  return Ingest(database);
+  return IngestJournaled(database);
 }
 
 Status Engine::LoadGraph(const rdf::Graph& graph) {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return Ingest(chase::Instance::FromGraph(graph));
+  return IngestJournaled(chase::Instance::FromGraph(graph));
 }
 
 Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
@@ -392,7 +543,12 @@ Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
   rdf::Graph graph(dict_);
   graph.Add(subject, predicate, object);
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return Ingest(chase::Instance::FromGraph(graph));
+  chase::Instance src = chase::Instance::FromGraph(graph);
+  TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
+  TRIQ_RETURN_IF_ERROR(JournalOp(
+      Journal::Op::kAddTriple,
+      {std::string(subject), std::string(predicate), std::string(object)}));
+  return IngestValidated(src);
 }
 
 // ---- Engine: ontologies and rule programs ------------------------------
@@ -401,7 +557,7 @@ Status Engine::AttachOntology(const owl::Ontology& ontology) {
   rdf::Graph graph(dict_);
   owl::OntologyToGraph(ontology, &graph);
   std::lock_guard<std::mutex> lock(writer_mu_);
-  return Ingest(chase::Instance::FromGraph(graph));
+  return IngestJournaled(chase::Instance::FromGraph(graph));
 }
 
 Status Engine::AttachProgram(const datalog::Program& program) {
@@ -422,6 +578,13 @@ Status Engine::AttachProgram(const datalog::Program& program) {
           "query; rename it (query-derived relations never feed the data "
           "program)");
     }
+  }
+  if (journal_ != nullptr || !options_.journal_path.empty()) {
+    // ToString() emits parseable datalog syntax, so replaying the
+    // record through AttachRules reattaches exactly these rules.
+    std::string text = program.ToString();
+    TRIQ_RETURN_IF_ERROR(JournalOp(Journal::Op::kAttachRules, {text}));
+    journal_rules_text_ += text;
   }
   TRIQ_RETURN_IF_ERROR(program_.Append(program));
   program_monotone_ = IsMonotone(program_);
@@ -551,6 +714,20 @@ Status Engine::MaterializeLocked(chase::ChaseStats* stats) {
   std::atomic_store(&snapshot_,
                     EngineSnapshotPtr(std::move(snap)));
   needs_materialize_.store(false, std::memory_order_release);
+  if (journal_ != nullptr) {
+    // Compact: a materialization subsumes the whole journaled history,
+    // so checkpoint the pristine base + rules and reset the journal.
+    // kMaterialize lands first so a crash *during* the checkpoint still
+    // replays the materialization from the old journal. A checkpoint
+    // failure is surfaced but the closure above stays published — the
+    // session is consistent, merely un-compacted (or, on _Exit
+    // failpoints, recomputable from the previous checkpoint).
+    TRIQ_RETURN_IF_ERROR(JournalOp(Journal::Op::kMaterialize, {}));
+    std::string blob;
+    TRIQ_RETURN_IF_ERROR(chase::SaveFactsToString(base_, &blob));
+    TRIQ_RETURN_IF_ERROR(
+        journal_->Checkpoint(journal_rules_text_, blob, true));
+  }
   return Status::OK();
 }
 
@@ -604,6 +781,18 @@ EngineStats Engine::stats() const {
       sparql_cache_misses_.load(std::memory_order_relaxed);
   out.sparql_cache_evictions =
       sparql_cache_evictions_.load(std::memory_order_relaxed);
+  if (journal_ != nullptr) {
+    // journal_ is set once inside Open before the engine is shared, so
+    // this lock-free read is safe; the stats themselves are atomics.
+    out.journal_enabled = true;
+    JournalStats js = journal_->stats();
+    out.journal_records = js.records_appended;
+    out.journal_bytes = js.bytes_appended;
+    out.journal_syncs = js.syncs;
+    out.journal_checkpoints = js.checkpoints;
+    out.journal_recovered_records = journal_recovered_records_;
+    out.journal_truncated_bytes = journal_truncated_bytes_;
+  }
   std::lock_guard<std::mutex> lock(cache_mu_);
   out.sparql_cache_size = sparql_lru_.size();
   return out;

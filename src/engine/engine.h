@@ -21,6 +21,7 @@
 #include "common/result.h"
 #include "core/triq.h"
 #include "datalog/program.h"
+#include "engine/journal.h"
 #include "owl/ontology.h"
 #include "rdf/graph.h"
 #include "sparql/mapping.h"
@@ -90,6 +91,18 @@ struct EngineOptions {
   /// never deadlined — a half-built closure serves nobody.
   std::chrono::milliseconds query_deadline{0};
 
+  /// Write-ahead journal file ("" = no durability, the default). Every
+  /// mutation is journaled before it applies, and Engine::Open replays
+  /// the journal (checkpoint + tail) back into an identical session.
+  /// Journaling requires constructing the engine through Engine::Open —
+  /// the plain constructor ignores this field (it cannot report
+  /// recovery errors).
+  std::string journal_path;
+  /// When journal appends reach the disk (see JournalFsync).
+  JournalFsync journal_fsync = JournalFsync::kBatch;
+  /// Appends between fsyncs under JournalFsync::kBatch.
+  size_t journal_batch_interval = 64;
+
   EngineOptions& SetChaseMode(chase::ChaseOptions::Mode mode) {
     chase_mode = mode;
     return *this;
@@ -141,6 +154,18 @@ struct EngineOptions {
   }
   EngineOptions& SetQueryDeadline(std::chrono::milliseconds deadline) {
     query_deadline = deadline;
+    return *this;
+  }
+  EngineOptions& SetJournalPath(std::string path) {
+    journal_path = std::move(path);
+    return *this;
+  }
+  EngineOptions& SetJournalFsync(JournalFsync policy) {
+    journal_fsync = policy;
+    return *this;
+  }
+  EngineOptions& SetJournalBatchInterval(size_t interval) {
+    journal_batch_interval = interval;
     return *this;
   }
 
@@ -321,6 +346,16 @@ struct EngineStats {
   uint64_t sparql_cache_misses = 0;
   uint64_t sparql_cache_evictions = 0;
   size_t sparql_cache_size = 0;
+  /// Journal activity (all zero without a journal): appends/bytes/syncs
+  /// and checkpoints since Open, plus what recovery found at Open —
+  /// replayed tail records and torn bytes truncated.
+  bool journal_enabled = false;
+  uint64_t journal_records = 0;
+  uint64_t journal_bytes = 0;
+  uint64_t journal_syncs = 0;
+  uint64_t journal_checkpoints = 0;
+  uint64_t journal_recovered_records = 0;
+  uint64_t journal_truncated_bytes = 0;
 };
 
 /// The materialize-once / query-many session facade over the whole
@@ -355,6 +390,18 @@ class Engine {
  public:
   explicit Engine(EngineOptions options = {});
   ~Engine();
+
+  /// Constructs an engine with crash recovery: when
+  /// options.journal_path is set, loads the latest checkpoint, replays
+  /// the journal tail (truncating at the first torn record), and
+  /// attaches the journal so every further mutation is logged before it
+  /// applies. Replay reproduces the original call sequence through the
+  /// public mutators, so the rebuilt base is bit-identical for
+  /// engine-dictionary sources and fact/null-identical (dictionary ids
+  /// possibly permuted) for foreign-dictionary ones — either way
+  /// chase::FactFingerprint matches the uncrashed run. With an empty
+  /// journal_path this is just the constructor.
+  static Result<std::unique_ptr<Engine>> Open(EngineOptions options = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -562,6 +609,28 @@ class Engine {
   /// session for re-materialization. Requires writer_mu_.
   Status Ingest(const chase::Instance& src);
 
+  /// Ingest minus the CheckLoadable gate (already run by the caller,
+  /// who journaled in between). Requires writer_mu_.
+  Status IngestValidated(const chase::Instance& src);
+
+  /// Validates, journals (a kLoadFactsBlob record), and ingests one
+  /// already-built source instance. Requires writer_mu_.
+  Status IngestJournaled(const chase::Instance& src);
+
+  /// LoadDatabase's body. `raw_dump` — the serialized image of
+  /// `database`, when the caller already has one (Engine::LoadFacts) —
+  /// is journaled as-is instead of re-serializing. Requires writer_mu_.
+  Status LoadDatabaseLocked(chase::Instance database,
+                            const std::string* raw_dump);
+
+  /// Appends one record to the journal; a no-op without one. A failed
+  /// append means the mutation it guards must not apply. Requires
+  /// writer_mu_.
+  Status JournalOp(Journal::Op op, std::vector<std::string> fields);
+
+  /// Applies one recovered journal record through the public mutators.
+  Status ReplayRecord(const Journal::Record& record);
+
   Result<PreparedQuery> PrepareInternal(datalog::Program program,
                                         std::string_view answer_predicate);
 
@@ -588,6 +657,15 @@ class Engine {
   // so fingerprint equality is exactly program identity (no hash
   // collisions deciding soundness).
   std::unordered_map<std::string, uint64_t> fingerprint_ids_;
+  // The write-ahead journal (null = no durability). Set once by Open
+  // before the engine is shared; appends happen under writer_mu_.
+  std::unique_ptr<Journal> journal_;
+  // Accumulated user-attached rule text (datalog syntax) — the rules
+  // half of the next checkpoint image. Maintained only when journaling.
+  std::string journal_rules_text_;
+  // What recovery found at Open (surfaced through stats()).
+  uint64_t journal_recovered_records_ = 0;
+  uint64_t journal_truncated_bytes_ = 0;
 
   // ---- Published state (atomic) --------------------------------------
   // The current snapshot, accessed with std::atomic_load/atomic_store.

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <set>
 #include <string>
 #include <thread>
@@ -298,6 +299,94 @@ TEST(EngineConcurrencyTest, QueryDeadlineTripsAndLeavesSessionUsable) {
   auto read_answers = reader->Evaluate();
   ASSERT_TRUE(read_answers.ok());
   EXPECT_EQ(read_answers->size(), 30u * 31u / 2u);
+}
+
+TEST(EngineConcurrencyTest, QueryDeadlineTripsInsideLeapfrogJoin) {
+  // Same contract as above but with the leapfrog triejoin forced: the
+  // deadline must be polled inside the leapfrog alignment/gallop loop
+  // itself, because a single match pass over a chained self-join of the
+  // closure can run far past the budget without ever returning to the
+  // per-pass check.
+  Engine engine(EngineOptions()
+                    .SetJoinStrategy(triq::chase::JoinStrategy::kLeapfrog)
+                    .SetQueryDeadline(std::chrono::milliseconds(5)));
+  LoadChain(&engine, 120);
+  ASSERT_TRUE(engine.Materialize().ok());
+
+  auto heavy = engine.Prepare(
+      "tc(?A, ?B), tc(?B, ?C), tc(?C, ?D) -> big(?A, ?D) .", "big");
+  ASSERT_TRUE(heavy.ok());
+  auto blown = heavy->Evaluate();
+  ASSERT_FALSE(blown.ok());
+  EXPECT_EQ(blown.status().code(), StatusCode::kResourceExhausted);
+
+  // The deadline tripped mid-leapfrog, not mid-session: reads still
+  // serve the published closure.
+  EXPECT_TRUE(engine.IsMaterialized());
+  auto tc = engine.Answers("tc");
+  ASSERT_TRUE(tc.ok());
+  EXPECT_EQ(tc->size(), 120u * 121u / 2u);
+}
+
+TEST(EngineConcurrencyTest, JournaledWritesRaceReadersCleanly) {
+  // TSan coverage for the journal path: one writer appending journaled
+  // mutations (and checkpointing through Materialize) while readers
+  // hammer Answers() and the journal stats. The invariants are the same
+  // as the journal-less stress above — consistent snapshots — plus
+  // monotone journal counters and a faithful recovery at the end.
+  const std::string wal = ::testing::TempDir() + "/race.wal";
+  std::remove(wal.c_str());
+  std::remove((wal + ".ckpt").c_str());
+  std::remove((wal + ".ckpt.tmp").c_str());
+
+  auto opened = Engine::Open(EngineOptions()
+                                 .SetJournalPath(wal)
+                                 .SetJournalBatchInterval(4));
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Engine& engine = **opened;
+  LoadChain(&engine, 4);
+  ASSERT_TRUE(engine.Materialize().ok());
+
+  constexpr int kFinalLength = 32;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      uint64_t last_records = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        auto tc = engine.Answers("tc");
+        EXPECT_TRUE(tc.ok());
+        EngineStats stats = engine.stats();
+        EXPECT_TRUE(stats.journal_enabled);
+        EXPECT_GE(stats.journal_records, last_records);
+        last_records = stats.journal_records;
+      }
+    });
+  }
+  for (int i = 4; i < kFinalLength; ++i) {
+    ASSERT_TRUE(engine.AddTriple(Node(i), "edge", Node(i + 1)).ok());
+    if (i % 8 == 0) {
+      ASSERT_TRUE(engine.Materialize().ok());
+    }
+  }
+  ASSERT_TRUE(engine.Materialize().ok());
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+
+  auto tc = engine.Answers("tc");
+  ASSERT_TRUE(tc.ok());
+  const size_t expect = kFinalLength * (kFinalLength + 1) / 2;
+  EXPECT_EQ(tc->size(), expect);
+  EngineStats stats = engine.stats();
+  EXPECT_GE(stats.journal_checkpoints, 1u);
+
+  // Recovery sees everything the live session saw.
+  opened->reset();
+  auto reopened = Engine::Open(EngineOptions().SetJournalPath(wal));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  auto recovered_tc = (*reopened)->Answers("tc");
+  ASSERT_TRUE(recovered_tc.ok());
+  EXPECT_EQ(recovered_tc->size(), expect);
 }
 
 }  // namespace

@@ -1,0 +1,104 @@
+// Deterministic corruption fuzzing for the binary fact-dump reader
+// (satellite of the durability work): 50 truncations and 50 bit flips
+// of a real dump must every one be REJECTED with a clean error — no
+// crash, no hang, no silently mis-loaded instance. Run under
+// ASan/UBSan in CI, this is the harness that proves LoadFacts cannot be
+// walked out of bounds by hostile bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+
+#include "chase/chase.h"
+#include "chase/fact_dump.h"
+#include "datalog/parser.h"
+
+namespace triq {
+namespace {
+
+/// A dump with some meat on it: several relations, mixed arities,
+/// literals, and chase-produced labeled nulls (the null table is its
+/// own section in the format, so it must be fuzzed too).
+std::string BuildDump() {
+  auto dict = std::make_shared<Dictionary>();
+  chase::Instance db(dict);
+  for (int i = 0; i < 20; ++i) {
+    db.AddFact("edge", {"n" + std::to_string(i), "n" + std::to_string(i + 1)});
+    db.AddFact("label", {"n" + std::to_string(i), "\"node " +
+                         std::to_string(i) + "\""});
+  }
+  db.AddFact("wide", {"a", "b", "c", "d", "e"});
+  auto program =
+      datalog::ParseProgram("edge(?X, ?Y) -> exists ?Z hop(?Y, ?Z) .\n", dict);
+  EXPECT_TRUE(program.ok());
+  EXPECT_TRUE(RunChase(*program, &db).ok());
+  EXPECT_GT(db.null_count(), 0u);
+
+  std::string bytes;
+  EXPECT_TRUE(chase::SaveFactsToString(db, &bytes).ok());
+  return bytes;
+}
+
+Result<chase::Instance> TryLoad(const std::string& bytes) {
+  return chase::LoadFactsFromString(bytes, std::make_shared<Dictionary>(),
+                                    "<fuzz>");
+}
+
+TEST(FactDumpFuzzTest, PristineBytesLoad) {
+  const std::string bytes = BuildDump();
+  auto loaded = TryLoad(bytes);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+}
+
+TEST(FactDumpFuzzTest, FiftyTruncationsAllRejected) {
+  const std::string bytes = BuildDump();
+  ASSERT_GT(bytes.size(), 50u);
+  // Fixed seed: every CI run fuzzes the same 50 cut points, so a
+  // failure here reproduces locally byte for byte.
+  std::mt19937 rng(0xD0D0F00Du);
+  for (int i = 0; i < 50; ++i) {
+    const size_t cut = rng() % bytes.size();  // strictly shorter than full
+    auto loaded = TryLoad(bytes.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "truncation to " << cut << " of "
+                              << bytes.size() << " bytes loaded";
+    if (loaded.ok()) continue;
+    const StatusCode code = loaded.status().code();
+    EXPECT_TRUE(code == StatusCode::kDataLoss ||
+                code == StatusCode::kInvalidArgument)
+        << loaded.status().ToString();
+  }
+}
+
+TEST(FactDumpFuzzTest, FiftyBitFlipsAllRejected) {
+  const std::string bytes = BuildDump();
+  std::mt19937 rng(0xBADC0DEu);
+  for (int i = 0; i < 50; ++i) {
+    std::string mutated = bytes;
+    const size_t at = rng() % mutated.size();
+    mutated[at] = static_cast<char>(mutated[at] ^ (1u << (rng() % 8)));
+    // The CRC32 footer covers the whole image, so EVERY single-bit flip
+    // must be caught — including flips inside the footer itself.
+    auto loaded = TryLoad(mutated);
+    EXPECT_FALSE(loaded.ok())
+        << "bit flip at byte " << at << " loaded anyway";
+  }
+}
+
+TEST(FactDumpFuzzTest, StructuralGarbageRejectedNotCrashed) {
+  // Hand-picked nasties beyond random flips: empty input, magic only, a
+  // header promising far more than the buffer holds.
+  EXPECT_FALSE(TryLoad("").ok());
+  EXPECT_FALSE(TryLoad("TRIQ").ok());
+  EXPECT_FALSE(TryLoad(std::string(4096, '\0')).ok());
+  const std::string bytes = BuildDump();
+  // Keep the prefix (magic/version survive) but swap in a huge length
+  // field region by repeating the tail — CRC catches the splice.
+  std::string spliced = bytes.substr(0, bytes.size() / 2) +
+                        bytes.substr(0, bytes.size() / 2);
+  EXPECT_FALSE(TryLoad(spliced).ok());
+}
+
+}  // namespace
+}  // namespace triq

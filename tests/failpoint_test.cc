@@ -1,0 +1,87 @@
+// The deterministic fault-injection registry: spec parsing, Nth-hit
+// firing, fire-once semantics, evaluation counting, and env reload.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/failpoint.h"
+
+namespace triq {
+namespace {
+
+// Every test leaves the registry disarmed so failpoints never leak into
+// other tests in the binary.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ASSERT_TRUE(FailpointsConfigure("")); }
+};
+
+TEST_F(FailpointTest, DisarmedByDefaultAndFree) {
+  ASSERT_TRUE(FailpointsConfigure(""));
+  EXPECT_FALSE(FailpointHit("some.site"));
+  // Nothing armed: sites are not even counted (the fast path).
+  EXPECT_EQ(FailpointEvaluations("some.site"), 0u);
+}
+
+TEST_F(FailpointTest, BareNameFiresOnFirstEvaluationOnlyOnce) {
+  ASSERT_TRUE(FailpointsConfigure("a.site"));
+  EXPECT_TRUE(FailpointHit("a.site"));
+  EXPECT_FALSE(FailpointHit("a.site"));  // fires exactly once
+  EXPECT_FALSE(FailpointHit("a.site"));
+  EXPECT_EQ(FailpointEvaluations("a.site"), 3u);
+}
+
+TEST_F(FailpointTest, FiresOnNthEvaluation) {
+  ASSERT_TRUE(FailpointsConfigure("a.site:3"));
+  EXPECT_FALSE(FailpointHit("a.site"));
+  EXPECT_FALSE(FailpointHit("a.site"));
+  EXPECT_TRUE(FailpointHit("a.site"));
+  EXPECT_FALSE(FailpointHit("a.site"));
+}
+
+TEST_F(FailpointTest, MultipleSitesIndependent) {
+  ASSERT_TRUE(FailpointsConfigure("first:1;second:2"));
+  EXPECT_TRUE(FailpointHit("first"));
+  EXPECT_FALSE(FailpointHit("second"));
+  EXPECT_TRUE(FailpointHit("second"));
+}
+
+TEST_F(FailpointTest, UnarmedSitesStillCountedWhenAnythingActive) {
+  ASSERT_TRUE(FailpointsConfigure("armed:1"));
+  EXPECT_FALSE(FailpointHit("other.site"));
+  EXPECT_FALSE(FailpointHit("other.site"));
+  // The sweep driver relies on this: it discovers how many injection
+  // points a workload passes through by arming anything and counting.
+  EXPECT_EQ(FailpointEvaluations("other.site"), 2u);
+}
+
+TEST_F(FailpointTest, ReconfigureResetsCounters) {
+  ASSERT_TRUE(FailpointsConfigure("a.site:2"));
+  EXPECT_FALSE(FailpointHit("a.site"));
+  ASSERT_TRUE(FailpointsConfigure("a.site:2"));
+  EXPECT_EQ(FailpointEvaluations("a.site"), 0u);
+  EXPECT_FALSE(FailpointHit("a.site"));
+  EXPECT_TRUE(FailpointHit("a.site"));
+}
+
+TEST_F(FailpointTest, MalformedSpecRejectedAndPreviousKept) {
+  ASSERT_TRUE(FailpointsConfigure("keep.me:1"));
+  EXPECT_FALSE(FailpointsConfigure("bad:0"));       // trigger must be >= 1
+  EXPECT_FALSE(FailpointsConfigure("bad:zebra"));   // not a number
+  EXPECT_FALSE(FailpointsConfigure(":3"));          // empty name
+  EXPECT_TRUE(FailpointHit("keep.me"));  // previous config survived intact
+}
+
+TEST_F(FailpointTest, ResetReadsEnvironment) {
+  ::setenv("TRIQ_FAILPOINTS", "env.site:2", 1);
+  FailpointsReset();
+  EXPECT_FALSE(FailpointHit("env.site"));
+  EXPECT_TRUE(FailpointHit("env.site"));
+  ::unsetenv("TRIQ_FAILPOINTS");
+  FailpointsReset();
+  EXPECT_FALSE(FailpointHit("env.site"));
+  EXPECT_EQ(FailpointEvaluations("env.site"), 0u);
+}
+
+}  // namespace
+}  // namespace triq

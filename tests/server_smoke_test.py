@@ -1,14 +1,38 @@
 #!/usr/bin/env python3
-"""Smoke test for tools/triq_server: start it on an ephemeral port, run a
-scripted client session exercising every command (including an error
-that must NOT wedge the connection), then shut it down cleanly.
+"""Smoke test for tools/triq_server.
+
+Phase 1: start it on an ephemeral port, run a scripted client session
+exercising every command (including an error that must NOT wedge the
+connection), then shut it down cleanly with SHUTDOWN.
+
+Phase 2: restart it with the hardening limits dialed down and play a
+misbehaving-client mix against it — an oversized line (must get ERR, not
+unbounded buffering), a connection over --max-conns (must be shed with
+ERR BUSY, not queued), an idle client (must be reaped), and finally a
+SIGTERM with a connection still open (must drain and exit 0).
 
 Usage: server_smoke_test.py <path-to-triq_server>
 """
 
+import signal
 import socket
 import subprocess
 import sys
+import time
+
+
+def connect(port, attempts=8):
+    """Connects with exponential backoff: the accept loop may briefly lag
+    the LISTENING banner, and transient refusals must not flake CI."""
+    delay = 0.05
+    for attempt in range(attempts):
+        try:
+            return socket.create_connection(("127.0.0.1", port), timeout=10)
+        except OSError:
+            if attempt == attempts - 1:
+                raise
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
 
 
 def send(f, command):
@@ -31,19 +55,48 @@ def expect(condition, message):
         raise AssertionError(message)
 
 
-def main():
-    server = sys.argv[1]
+def expect_closed(f, message):
+    """EOF or RST both count: closing with unread client bytes still in
+    the kernel buffer (the oversized-line case) resets rather than FINs."""
+    try:
+        expect(f.readline() == "", message)
+    except ConnectionResetError:
+        pass
+
+
+def admitted_connect(port):
+    """Connects AND gets past admission control: under --max-conns 1 the
+    worker may still be tearing down the previous connection, so retry
+    on ERR BUSY until a PING round-trips."""
+    delay = 0.05
+    for _ in range(20):
+        s = connect(port)
+        f = s.makefile("rw")
+        f.write("PING\n")
+        f.flush()
+        if f.readline().strip() == "OK pong":
+            return s, f
+        s.close()
+        time.sleep(delay)
+        delay = min(delay * 2, 0.5)
+    raise AssertionError("never admitted past ERR BUSY")
+
+
+def start_server(server, *extra_flags):
     proc = subprocess.Popen(
-        [server, "--port", "0", "--workers", "3"],
+        [server, "--port", "0", "--workers", "3", *extra_flags],
         stdout=subprocess.PIPE,
         text=True,
     )
-    try:
-        banner = proc.stdout.readline().split()
-        expect(banner[0] == "LISTENING", f"bad banner: {banner}")
-        port = int(banner[1])
+    banner = proc.stdout.readline().split()
+    expect(banner and banner[0] == "LISTENING", f"bad banner: {banner}")
+    return proc, int(banner[1])
 
-        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+
+def scripted_session(server):
+    proc, port = start_server(server)
+    try:
+        with connect(port) as s:
             f = s.makefile("rw")
             expect(send(f, "PING") == ["OK pong"], "PING failed")
             expect(send(f, "ADD a edge b") == ["OK added"], "ADD failed")
@@ -82,6 +135,7 @@ def main():
             )
             expect(stats.get("materializations") == "1", f"STATS: {reply}")
             expect(stats.get("sparql_cache_hits") == "1", f"STATS: {reply}")
+            expect(stats.get("journal_enabled") == "false", f"STATS: {reply}")
 
             # Static analysis of the session's data program: the attached
             # tc rules are pure datalog, so the verdict is a guarantee.
@@ -134,7 +188,7 @@ def main():
 
         # A second concurrent-style connection still works after the first
         # closed, and SHUTDOWN stops the whole server.
-        with socket.create_connection(("127.0.0.1", port), timeout=10) as s:
+        with connect(port) as s:
             f = s.makefile("rw")
             expect(send(f, "PING") == ["OK pong"], "second connection PING")
             expect(
@@ -143,11 +197,82 @@ def main():
 
         proc.wait(timeout=15)
         expect(proc.returncode == 0, f"server exit code {proc.returncode}")
-        print("server smoke test passed")
     finally:
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+
+
+def misbehaving_clients(server):
+    proc, port = start_server(
+        server,
+        "--max-conns", "1",
+        "--idle-timeout-ms", "600",
+        "--max-line", "1024",
+        "--write-timeout-ms", "2000",
+    )
+    try:
+        # Admission control: while one connection is held open, a second
+        # must be shed immediately with ERR BUSY — not queued behind it.
+        with connect(port) as held:
+            hf = held.makefile("rw")
+            expect(send(hf, "PING") == ["OK pong"], "held connection PING")
+            with connect(port) as shed:
+                sf = shed.makefile("rw")
+                line = sf.readline().strip()
+                expect(
+                    line.startswith("ERR BUSY"), f"expected ERR BUSY, got {line!r}"
+                )
+                expect_closed(sf, "shed connection not closed")
+            # The held connection was untouched by the shedding.
+            expect(send(hf, "PING") == ["OK pong"], "held PING after shed")
+
+        # Oversized line: a newline-free flood past --max-line gets an ERR
+        # and a close, never unbounded buffering or a hang.
+        s, f = admitted_connect(port)
+        with s:
+            f.write("x" * 5000)
+            f.flush()
+            line = f.readline().strip()
+            expect(
+                line.startswith("ERR line too long"),
+                f"expected ERR line too long, got {line!r}",
+            )
+            expect_closed(f, "oversized-line connection not closed")
+
+        # Idle reaping: a silent client is told why and disconnected.
+        s, f = admitted_connect(port)
+        with s:
+            start = time.monotonic()
+            line = f.readline().strip()  # blocks until the reaper speaks
+            waited = time.monotonic() - start
+            expect(
+                line.startswith("ERR idle timeout"),
+                f"expected ERR idle timeout, got {line!r}",
+            )
+            expect(waited >= 0.3, f"reaped suspiciously fast ({waited:.2f}s)")
+            expect_closed(f, "idle connection not closed")
+
+        # Graceful drain: SIGTERM with a connection still open must stop
+        # accepting, close out, and exit 0 — the systemd-stop path.
+        s, f = admitted_connect(port)
+        with s:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=15)
+            expect(
+                proc.returncode == 0, f"SIGTERM exit code {proc.returncode}"
+            )
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def main():
+    server = sys.argv[1]
+    scripted_session(server)
+    misbehaving_clients(server)
+    print("server smoke test passed")
 
 
 if __name__ == "__main__":

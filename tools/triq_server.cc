@@ -23,13 +23,32 @@
 //                                cardinality estimates), then OK
 //   EXPLAIN <pattern text>    -> same, for the translated SPARQL query
 //   QUIT                      -> OK bye              (closes connection)
-//   SHUTDOWN                  -> OK shutting-down    (stops the server)
+//   SHUTDOWN                  -> OK shutting-down    (drains the server)
 //
 // Errors reply `ERR <status>` (newlines flattened); the connection
 // stays usable — a failed query must never wedge a session, which is
 // exactly the session-hygiene guarantee the engine layer makes.
 //
-// Usage: triq_server [--port P] [--workers N] [--regime R]
+// Hardening against misbehaving clients:
+//  * --max-conns N    admission control: a connection over the cap is
+//                     shed immediately with `ERR BUSY ...` + close,
+//                     never queued behind a hog (0 = unlimited).
+//  * --idle-timeout-ms  a connection that sends nothing for this long
+//                     is told `ERR idle timeout` and reaped (0 = never).
+//  * --max-line N     a line longer than N bytes (no newline yet) gets
+//                     `ERR line too long` + close — unbounded buffering
+//                     is a memory DoS.
+//  * --write-timeout-ms  a client that stops reading its replies is cut
+//                     off once a send stalls this long.
+//  * SIGTERM / SHUTDOWN  graceful drain: stop accepting, let in-flight
+//                     commands finish, flush the journal, exit 0.
+//
+// Durability (see engine/journal.h):
+//  * --journal PATH   open the engine through Engine::Open with a
+//                     write-ahead journal at PATH; a restart replays it.
+//  * --fsync never|batch|always   journal fsync policy.
+//
+// Usage: triq_server [--port P] [--workers N] [--regime R] [hardening...]
 // `--port 0` (the default) binds an ephemeral port; the chosen port is
 // announced on stdout as `LISTENING <port>` so test harnesses can
 // connect without racing.
@@ -37,17 +56,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 
@@ -58,6 +81,17 @@ using triq::EngineOptions;
 using triq::EngineStats;
 
 std::atomic<bool> g_shutdown{false};
+std::atomic<size_t> g_active_conns{0};
+
+void HandleSigterm(int) { g_shutdown.store(true, std::memory_order_release); }
+
+/// Everything the per-connection loops need to know about limits.
+struct ServerConfig {
+  size_t max_conns = 0;        // 0 = unlimited
+  int idle_timeout_ms = 0;     // 0 = never reap idle connections
+  int write_timeout_ms = 5000; // stall budget for one reply
+  size_t max_line = 1 << 20;   // bytes buffered without a newline
+};
 
 /// One status line, safe for the wire: newlines become spaces.
 std::string Flatten(const triq::Status& status) {
@@ -68,13 +102,33 @@ std::string Flatten(const triq::Status& status) {
   return text;
 }
 
-bool SendAll(int fd, const std::string& data) {
+/// Sends all of `data`, tolerating a non-blocking socket: a full kernel
+/// buffer polls for writability, but only up to `timeout_ms` total — a
+/// client that stops reading must not wedge a worker.
+bool SendAll(int fd, const std::string& data, int timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
   size_t sent = 0;
   while (sent < data.size()) {
     ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
                        MSG_NOSIGNAL);
-    if (n <= 0) return false;
-    sent += static_cast<size_t>(n);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+      if (left <= 0) return false;  // slow client: give up
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(left < 100 ? left : 100));
+      if (ready < 0 && errno != EINTR) return false;
+      continue;
+    }
+    return false;
   }
   return true;
 }
@@ -183,6 +237,25 @@ std::string HandleCommand(Engine& engine, const std::string& line,
              std::to_string(stats.sparql_cache_evictions) + "\n";
     reply += "STAT sparql_cache_size " +
              std::to_string(stats.sparql_cache_size) + "\n";
+    reply += "STAT active_conns " +
+             std::to_string(g_active_conns.load(std::memory_order_relaxed)) +
+             "\n";
+    reply += "STAT journal_enabled " +
+             std::string(stats.journal_enabled ? "true" : "false") + "\n";
+    if (stats.journal_enabled) {
+      reply += "STAT journal_records " +
+               std::to_string(stats.journal_records) + "\n";
+      reply += "STAT journal_bytes " + std::to_string(stats.journal_bytes) +
+               "\n";
+      reply += "STAT journal_syncs " + std::to_string(stats.journal_syncs) +
+               "\n";
+      reply += "STAT journal_checkpoints " +
+               std::to_string(stats.journal_checkpoints) + "\n";
+      reply += "STAT journal_recovered_records " +
+               std::to_string(stats.journal_recovered_records) + "\n";
+      reply += "STAT journal_truncated_bytes " +
+               std::to_string(stats.journal_truncated_bytes) + "\n";
+    }
     reply += "OK\n";
     return reply;
   }
@@ -249,19 +322,37 @@ std::string HandleCommand(Engine& engine, const std::string& line,
 
 /// Serves one connection to completion: newline-delimited commands in,
 /// replies out. Returns when the peer disconnects, QUIT/SHUTDOWN is
-/// received, or the server is shutting down.
-void ServeConnection(Engine& engine, int fd) {
+/// received, a limit trips (idle, line length, write stall), or the
+/// server is draining. An in-flight command always finishes and its
+/// reply is flushed before a drain closes the connection.
+void ServeConnection(Engine& engine, int fd, const ServerConfig& cfg) {
+  using Clock = std::chrono::steady_clock;
   std::string buffer;
   char chunk[4096];
   bool quit = false;
+  Clock::time_point last_activity = Clock::now();
   while (!quit && !g_shutdown.load(std::memory_order_acquire)) {
-    // Poll so a shutdown from another worker's connection unblocks us.
+    // Poll so a drain from SIGTERM or another connection unblocks us.
     struct pollfd pfd = {fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR) break;
-    if (ready <= 0) continue;
+    if (ready <= 0) {
+      if (cfg.idle_timeout_ms > 0 &&
+          Clock::now() - last_activity >=
+              std::chrono::milliseconds(cfg.idle_timeout_ms)) {
+        SendAll(fd, "ERR idle timeout, closing connection\n",
+                cfg.write_timeout_ms);
+        break;
+      }
+      continue;
+    }
     ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-    if (n <= 0) break;  // peer closed (or error): done
+    if (n == 0) break;  // peer closed: done
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      break;
+    }
+    last_activity = Clock::now();
     buffer.append(chunk, static_cast<size_t>(n));
     size_t pos;
     while (!quit && (pos = buffer.find('\n')) != std::string::npos) {
@@ -269,25 +360,49 @@ void ServeConnection(Engine& engine, int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       buffer.erase(0, pos + 1);
       std::string reply = HandleCommand(engine, line, &quit);
-      if (!reply.empty() && !SendAll(fd, reply)) {
+      if (!reply.empty() && !SendAll(fd, reply, cfg.write_timeout_ms)) {
         quit = true;
       }
+    }
+    if (!quit && buffer.size() > cfg.max_line) {
+      // A newline-free flood would otherwise buffer without bound.
+      SendAll(fd,
+              "ERR line too long (max " + std::to_string(cfg.max_line) +
+                  " bytes), closing connection\n",
+              cfg.write_timeout_ms);
+      break;
     }
   }
   ::close(fd);
 }
 
 /// One worker's accept loop: poll the shared listening socket, serve
-/// each accepted connection serially, exit on shutdown.
-void WorkerLoop(Engine& engine, int listen_fd) {
+/// each accepted connection serially, exit on shutdown. Admission
+/// control happens here — a connection over --max-conns is shed with
+/// `ERR BUSY` instead of queuing behind a busy worker.
+void WorkerLoop(Engine& engine, int listen_fd, const ServerConfig& cfg) {
   while (!g_shutdown.load(std::memory_order_acquire)) {
     struct pollfd pfd = {listen_fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, 100);
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
-    int fd = ::accept(listen_fd, nullptr, nullptr);
+    // Non-blocking connections let SendAll enforce write deadlines.
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
     if (fd < 0) continue;  // another worker won the race (EAGAIN)
-    ServeConnection(engine, fd);
+    if (triq::FailpointHit("server.accept.fail")) {
+      ::close(fd);
+      continue;
+    }
+    size_t active = g_active_conns.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (cfg.max_conns > 0 && active > cfg.max_conns) {
+      SendAll(fd, "ERR BUSY server at --max-conns, try again later\n",
+              cfg.write_timeout_ms);
+      ::close(fd);
+      g_active_conns.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    ServeConnection(engine, fd, cfg);
+    g_active_conns.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
@@ -297,23 +412,65 @@ int main(int argc, char** argv) {
   int port = 0;
   size_t workers = 4;
   EngineOptions options;
+  ServerConfig cfg;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
-    if (arg == "--port") {
+    auto want = [&](const char* flag) -> const char* {
       const char* v = next();
-      if (v == nullptr) { std::fprintf(stderr, "--port wants a value\n"); return 2; }
+      if (v == nullptr) std::fprintf(stderr, "%s wants a value\n", flag);
+      return v;
+    };
+    if (arg == "--port") {
+      const char* v = want("--port");
+      if (v == nullptr) return 2;
       port = std::atoi(v);
     } else if (arg == "--workers") {
-      const char* v = next();
-      if (v == nullptr) { std::fprintf(stderr, "--workers wants a value\n"); return 2; }
+      const char* v = want("--workers");
+      if (v == nullptr) return 2;
       workers = static_cast<size_t>(std::atoi(v));
       if (workers == 0) workers = 1;
+    } else if (arg == "--max-conns") {
+      const char* v = want("--max-conns");
+      if (v == nullptr) return 2;
+      cfg.max_conns = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = want("--idle-timeout-ms");
+      if (v == nullptr) return 2;
+      cfg.idle_timeout_ms = std::atoi(v);
+    } else if (arg == "--write-timeout-ms") {
+      const char* v = want("--write-timeout-ms");
+      if (v == nullptr) return 2;
+      cfg.write_timeout_ms = std::atoi(v);
+      if (cfg.write_timeout_ms <= 0) cfg.write_timeout_ms = 1;
+    } else if (arg == "--max-line") {
+      const char* v = want("--max-line");
+      if (v == nullptr) return 2;
+      cfg.max_line = static_cast<size_t>(std::atol(v));
+      if (cfg.max_line == 0) cfg.max_line = 1;
+    } else if (arg == "--journal") {
+      const char* v = want("--journal");
+      if (v == nullptr) return 2;
+      options.SetJournalPath(v);
+    } else if (arg == "--fsync") {
+      const char* v = want("--fsync");
+      if (v == nullptr) return 2;
+      std::string policy = v;
+      if (policy == "never") {
+        options.SetJournalFsync(triq::JournalFsync::kNever);
+      } else if (policy == "batch") {
+        options.SetJournalFsync(triq::JournalFsync::kBatch);
+      } else if (policy == "always") {
+        options.SetJournalFsync(triq::JournalFsync::kAlways);
+      } else {
+        std::fprintf(stderr, "unknown fsync policy '%s'\n", policy.c_str());
+        return 2;
+      }
     } else if (arg == "--regime") {
-      const char* v = next();
-      if (v == nullptr) { std::fprintf(stderr, "--regime wants a value\n"); return 2; }
+      const char* v = want("--regime");
+      if (v == nullptr) return 2;
       std::string regime = v;
       if (regime == "none") {
         options.SetRegime(triq::EntailmentRegime::kNone);
@@ -328,10 +485,29 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: triq_server [--port P] [--workers N] "
-                   "[--regime none|active-domain|all]\n");
+                   "[--regime none|active-domain|all] [--max-conns N] "
+                   "[--idle-timeout-ms MS] [--write-timeout-ms MS] "
+                   "[--max-line BYTES] [--journal PATH] "
+                   "[--fsync never|batch|always]\n");
       return 2;
     }
   }
+
+  // SIGTERM drains exactly like the SHUTDOWN command: stop accepting,
+  // finish in-flight commands, flush the journal, exit 0.
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSigterm;
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  // Recover the journaled session (if any) before taking traffic.
+  auto opened = Engine::Open(options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "engine open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<Engine> engine = std::move(*opened);
 
   int listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (listen_fd < 0) {
@@ -360,14 +536,18 @@ int main(int argc, char** argv) {
   std::printf("LISTENING %d\n", ntohs(addr.sin_port));
   std::fflush(stdout);
 
-  Engine engine(options);
-  // ParallelFor doubles as a fork-join worker launcher: the calling
-  // thread participates, so `workers - 1` pool threads give `workers`
-  // accept loops total.
-  triq::common::ThreadPool pool(workers - 1);
-  pool.ParallelFor(workers, [&](size_t) { WorkerLoop(engine, listen_fd); });
+  {
+    // ParallelFor doubles as a fork-join worker launcher: the calling
+    // thread participates, so `workers - 1` pool threads give `workers`
+    // accept loops total.
+    triq::common::ThreadPool pool(workers - 1);
+    pool.ParallelFor(workers,
+                     [&](size_t) { WorkerLoop(*engine, listen_fd, cfg); });
+  }
 
   ::close(listen_fd);
+  // Destroying the engine syncs the journal — the drain's flush step.
+  engine.reset();
   std::printf("STOPPED\n");
   return 0;
 }
