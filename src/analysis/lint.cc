@@ -33,6 +33,7 @@ std::string_view LintCheckName(LintCheck check) {
     case LintCheck::kUnusedPredicate: return "unused-predicate";
     case LintCheck::kUnderivablePredicate: return "underivable-predicate";
     case LintCheck::kShadowedRule: return "shadowed-rule";
+    case LintCheck::kDuplicateRule: return "duplicate-rule";
   }
   return "?";
 }
@@ -130,6 +131,9 @@ std::vector<Lint> LintRules(const std::vector<Rule>& rules,
   // attribution of the unused/underivable findings.
   std::unordered_map<PredicateId, size_t> first_def;
   std::unordered_map<PredicateId, size_t> first_read;
+  // Canonical text -> first non-exempt rule rendering it, for duplicate
+  // detection (identity up to variable renaming, like shadow detection).
+  std::unordered_map<std::string, size_t> canonical_first;
 
   for (size_t r = 0; r < rules.size(); ++r) {
     const Rule& rule = rules[r];
@@ -203,10 +207,19 @@ std::vector<Lint> LintRules(const std::vector<Rule>& rules,
       }
     }
 
-    if (!shadow.empty() && shadow.count(CanonicalRuleText(rule, dict)) > 0) {
+    // Shadow and duplicate detection share one canonical rendering.
+    const std::string canonical = CanonicalRuleText(rule, dict);
+    if (!shadow.empty() && shadow.count(canonical) > 0) {
       add(LintSeverity::kWarning, LintCheck::kShadowedRule, rule_id,
           "identical (up to renaming) to a rule of the OWL 2 QL core "
           "program the engine already runs: " +
+              RuleToString(rule, dict));
+    }
+    auto [dup_it, first_occurrence] = canonical_first.emplace(canonical, r);
+    if (!first_occurrence) {
+      add(LintSeverity::kWarning, LintCheck::kDuplicateRule, rule_id,
+          "identical (up to variable renaming) to rule " +
+              std::to_string(dup_it->second) + ": " +
               RuleToString(rule, dict));
     }
   }

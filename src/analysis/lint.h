@@ -41,6 +41,10 @@ enum class LintCheck {
   /// of the engine-attached OWL 2 QL core: it re-derives what the core
   /// already derives. Warning.
   kShadowedRule,
+  /// A rule identical (up to variable renaming) to an earlier rule of
+  /// the same rule set: it derives nothing new and doubles the match
+  /// work every round. Warning.
+  kDuplicateRule,
 };
 
 std::string_view LintSeverityName(LintSeverity severity);

@@ -1028,6 +1028,11 @@ class Matcher {
 Status MatchBody(const datalog::Rule& rule, const Instance& instance,
                  const MatchOptions& options,
                  const std::function<bool(const Match&)>& fn) {
+  // A non-null driver_order marks this call as one sharded slice of a
+  // parallel pass: every index the plan can probe was frozen before
+  // fan-out, so flag the thread and let the index builders assert the
+  // frozen-index contract (TRIQ_DCHECK_FROZEN) on any mutable build.
+  ParallelPassScope parallel_scope(options.driver_order != nullptr);
   return Matcher(rule, instance, options, fn).Run();
 }
 
@@ -1054,10 +1059,10 @@ bool HasMatch(const std::vector<datalog::Atom>& atoms,
   options.seed = &seed;
   bool found = false;
   // The probe body is positive-only, so MatchBody cannot fail.
-  (void)MatchBody(probe, instance, options, [&](const Match&) {
+  TRIQ_IGNORE_STATUS(MatchBody(probe, instance, options, [&](const Match&) {
     found = true;
     return false;  // stop at first witness
-  });
+  }));
   return found;
 }
 

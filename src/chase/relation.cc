@@ -31,7 +31,21 @@ auto ByValueThenIndex(const Term* column) {
   };
 }
 
+// Depth, not a flag: overlay matchers recurse into base-snapshot match
+// paths, and each layer may open its own scope.
+thread_local int tls_parallel_pass_depth = 0;
+
 }  // namespace
+
+ParallelPassScope::ParallelPassScope(bool active) : active_(active) {
+  if (active_) ++tls_parallel_pass_depth;
+}
+
+ParallelPassScope::~ParallelPassScope() {
+  if (active_) --tls_parallel_pass_depth;
+}
+
+bool InParallelPass() { return tls_parallel_pass_depth > 0; }
 
 const uint32_t* SortedRange::SeekValue(const uint32_t* from, Term v) const {
   // Gallop: bracket the target with doubling steps from `from`, then
@@ -190,6 +204,7 @@ void Relation::SyncSorted(uint32_t pos) const {
   std::vector<uint32_t>& perm = index.perm;
   uint32_t synced = static_cast<uint32_t>(perm.size());
   if (synced == count_) return;
+  TRIQ_DCHECK_FROZEN("sorted permutation");
   perm.resize(count_);
   auto by_value = ByValueThenIndex(ColumnData(pos));
   // Promote a memoized window run that starts exactly at the unsynced
@@ -253,6 +268,7 @@ void Relation::SortWindow(uint32_t position, uint32_t begin, uint32_t end,
     *out = index.window_perm;
     return;
   }
+  TRIQ_DCHECK_FROZEN("sort-window memo");
   out->reserve(end - begin);
   for (uint32_t idx = begin; idx < end; ++idx) out->push_back(idx);
   std::sort(out->begin(), out->end(), ByValueThenIndex(ColumnData(position)));
@@ -293,6 +309,7 @@ size_t Relation::DistinctValues(uint32_t position) const {
   if (count_ == 0) return 0;
   PositionIndex& index = sorted_[position];
   if (index.distinct_at == count_) return index.distinct;
+  TRIQ_DCHECK_FROZEN("distinct-count cache");
   SyncSorted(position);
   const Term* column = ColumnData(position);
   const std::vector<uint32_t>& perm = index.perm;
@@ -319,6 +336,16 @@ const std::vector<uint32_t>& Relation::LexPerm(
     SyncSorted(key[0]);
     return sorted_[key[0]].perm;
   }
+#ifndef NDEBUG
+  {
+    // The map insert of a missing key is itself a mutation, so check
+    // before lex_[key] rather than on the sync path below.
+    auto it = lex_.find(key);
+    if (it == lex_.end() || it->second.size() != count_) {
+      TRIQ_DCHECK_FROZEN("lex permutation");
+    }
+  }
+#endif
   std::vector<uint32_t>& perm = lex_[key];
   uint32_t synced = static_cast<uint32_t>(perm.size());
   if (synced == count_) return perm;

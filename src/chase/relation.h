@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <iterator>
 #include <map>
@@ -159,6 +160,47 @@ class SortedRange {
   const uint32_t* end_ = nullptr;
   const Term* column_ = nullptr;
 };
+
+// ---- frozen-index contract (debug-mode checked) -----------------------
+//
+// The parallel chase relies on a convention: every lazily built index a
+// sharded pass can touch (sorted permutations, lex permutations, window
+// memos, distinct-count caches) must be frozen — built via FreezeIndex /
+// FreezeLex — BEFORE fan-out, so worker threads only ever hit the
+// immutable early-return paths. ParallelPassScope marks the calling
+// thread as being inside such a sharded slice (MatchBody enters it when
+// the caller injects a driver_order shard), and the index builders
+// assert via TRIQ_DCHECK_FROZEN that no mutable build runs while the
+// mark is set. The checks compile away under NDEBUG.
+
+/// RAII marker: while alive (and constructed with active = true), the
+/// calling thread is inside a sharded parallel match. Nests.
+class ParallelPassScope {
+ public:
+  explicit ParallelPassScope(bool active);
+  ~ParallelPassScope();
+  ParallelPassScope(const ParallelPassScope&) = delete;
+  ParallelPassScope& operator=(const ParallelPassScope&) = delete;
+
+ private:
+  bool active_;
+};
+
+/// True while the calling thread is inside an active ParallelPassScope.
+bool InParallelPass();
+
+/// Asserts the frozen-index contract at an index-mutation site: building
+/// `what` during a sharded parallel pass means FreezeIndex/FreezeLex was
+/// skipped for a (relation, position) the join plan probes — a data race
+/// in release builds. No-op under NDEBUG.
+#ifndef NDEBUG
+#define TRIQ_DCHECK_FROZEN(what)                                        \
+  assert(!::triq::chase::InParallelPass() &&                            \
+         "frozen-index contract violated: " what                        \
+         " built during a sharded parallel pass (freeze before fan-out)")
+#else
+#define TRIQ_DCHECK_FROZEN(what) ((void)0)
+#endif
 
 /// The extension of one predicate: an append-only, duplicate-free fact
 /// store in column-oriented layout (VLog-style) — one contiguous column

@@ -1,7 +1,6 @@
 #include "common/dictionary.h"
 
 #include <cassert>
-#include <mutex>
 
 namespace triq {
 
@@ -23,11 +22,11 @@ Dictionary::~Dictionary() {
 
 SymbolId Dictionary::Intern(std::string_view text) {
   {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     auto it = ids_.find(text);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   auto it = ids_.find(text);
   if (it != ids_.end()) return it->second;  // raced another interner
 
@@ -54,13 +53,13 @@ SymbolId Dictionary::Intern(std::string_view text) {
 }
 
 SymbolId Dictionary::Find(std::string_view text) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = ids_.find(text);
   return it == ids_.end() ? kInvalidSymbol : it->second;
 }
 
 void Dictionary::Reserve(size_t n) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   ids_.reserve(n + 1);
 }
 

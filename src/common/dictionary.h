@@ -4,10 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "common/thread_annotations.h"
 
 namespace triq {
 
@@ -79,10 +80,10 @@ class Dictionary {
   std::unique_ptr<std::atomic<std::string*>[]> chunks_;
   std::atomic<size_t> size_{0};
 
-  mutable std::shared_mutex mu_;
-  SymbolId next_id_ = 1;  // guarded by mu_ (id 0 reserved)
+  mutable SharedMutex mu_;
+  SymbolId next_id_ TRIQ_GUARDED_BY(mu_) = 1;  // id 0 reserved
   // text -> id; keys view into the chunk storage (stable addresses).
-  std::unordered_map<std::string_view, SymbolId> ids_;  // guarded by mu_
+  std::unordered_map<std::string_view, SymbolId> ids_ TRIQ_GUARDED_BY(mu_);
 };
 
 }  // namespace triq

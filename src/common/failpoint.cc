@@ -2,7 +2,8 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
+
+#include "common/thread_annotations.h"
 
 namespace triq {
 namespace failpoint_internal {
@@ -19,9 +20,9 @@ struct Point {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::map<std::string, Point> points;
-  bool env_loaded = false;
+  Mutex mu;
+  std::map<std::string, Point> points TRIQ_GUARDED_BY(mu);
+  bool env_loaded TRIQ_GUARDED_BY(mu) = false;
 };
 
 Registry& GetRegistry() {
@@ -58,13 +59,14 @@ bool ParseSpec(const std::string& spec, std::map<std::string, Point>* out) {
   return true;
 }
 
-void InstallLocked(Registry& registry, std::map<std::string, Point> points) {
+void InstallLocked(Registry& registry, std::map<std::string, Point> points)
+    TRIQ_REQUIRES(registry.mu) {
   registry.points = std::move(points);
   g_any_active.store(!registry.points.empty(), std::memory_order_relaxed);
   g_configured.store(true, std::memory_order_relaxed);
 }
 
-void LoadFromEnvLocked(Registry& registry) {
+void LoadFromEnvLocked(Registry& registry) TRIQ_REQUIRES(registry.mu) {
   registry.env_loaded = true;
   const char* spec = std::getenv("TRIQ_FAILPOINTS");
   std::map<std::string, Point> points;
@@ -76,7 +78,7 @@ void LoadFromEnvLocked(Registry& registry) {
 
 bool Evaluate(const char* name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   if (!registry.env_loaded) LoadFromEnvLocked(registry);
   Point& point = registry.points[name];  // unarmed sites still count
   ++point.evaluations;
@@ -94,7 +96,7 @@ bool FailpointsConfigure(const std::string& spec) {
   std::map<std::string, fi::Point> points;
   if (!fi::ParseSpec(spec, &points)) return false;
   fi::Registry& registry = fi::GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   registry.env_loaded = true;  // explicit config overrides the environment
   fi::InstallLocked(registry, std::move(points));
   return true;
@@ -103,14 +105,14 @@ bool FailpointsConfigure(const std::string& spec) {
 void FailpointsReset() {
   namespace fi = failpoint_internal;
   fi::Registry& registry = fi::GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   fi::LoadFromEnvLocked(registry);
 }
 
 uint64_t FailpointEvaluations(const char* name) {
   namespace fi = failpoint_internal;
   fi::Registry& registry = fi::GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
+  MutexLock lock(registry.mu);
   auto it = registry.points.find(name);
   return it == registry.points.end() ? 0 : it->second.evaluations;
 }

@@ -11,8 +11,9 @@ namespace triq {
 
 /// A value-or-Status holder, analogous to arrow::Result / absl::StatusOr.
 /// Invariant: exactly one of {value, error status} is present.
+/// [[nodiscard]] like Status: a dropped Result hides an error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /* implicit */ Result(T value)  // NOLINT(google-explicit-constructor)
       : value_(std::move(value)) {}

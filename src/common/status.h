@@ -29,7 +29,12 @@ enum class StatusCode {
 
 /// A cheap, copyable success-or-error value. `Status::OK()` is the
 /// success singleton; errors carry a code and a human-readable message.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status return is a
+/// compile error under -Werror=unused-result (the default CI posture).
+/// Intentional drops must go through TRIQ_IGNORE_STATUS so the intent
+/// is visible at the call site.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -92,6 +97,15 @@ class Status {
   do {                                        \
     ::triq::Status _st = (expr);              \
     if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Deliberately discard a [[nodiscard]] Status. Reserve for call sites
+/// where failure genuinely cannot be acted on (e.g. best-effort fsync in
+/// a destructor) — and say why in a comment next to the macro.
+#define TRIQ_IGNORE_STATUS(expr)              \
+  do {                                        \
+    ::triq::Status _ignored_st = (expr);      \
+    (void)_ignored_st;                        \
   } while (0)
 
 }  // namespace triq

@@ -14,10 +14,10 @@ ThreadPool::ThreadPool(size_t num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -35,15 +35,15 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     ranges_[p].bits.store(Pack(begin, end), std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     ++generation_;
     active_workers_ = threads_.size();
   }
-  start_cv_.notify_all();
+  start_cv_.NotifyAll();
   RunShare(participants - 1, fn);
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return active_workers_ == 0; });
+  MutexLock lock(mu_);
+  while (active_workers_ != 0) done_cv_.Wait(mu_);
   job_ = nullptr;
 }
 
@@ -52,20 +52,20 @@ void ThreadPool::WorkerMain(size_t self) {
   for (;;) {
     const std::function<void(size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      start_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        start_cv_.Wait(mu_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
       job = job_;
     }
     RunShare(self, *job);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_workers_;
     }
-    done_cv_.notify_one();
+    done_cv_.NotifyOne();
   }
 }
 

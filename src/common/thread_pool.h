@@ -2,13 +2,13 @@
 #define TRIQ_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace triq::common {
 
@@ -62,13 +62,13 @@ class ThreadPool {
   std::vector<std::thread> threads_;
   std::vector<Range> ranges_;  // one per participant; caller is last
 
-  std::mutex mu_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t)>* job_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;                           // guarded by mu_
-  size_t active_workers_ = 0;                         // guarded by mu_
-  bool shutdown_ = false;                             // guarded by mu_
+  Mutex mu_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const std::function<void(size_t)>* job_ TRIQ_GUARDED_BY(mu_) = nullptr;
+  uint64_t generation_ TRIQ_GUARDED_BY(mu_) = 0;
+  size_t active_workers_ TRIQ_GUARDED_BY(mu_) = 0;
+  bool shutdown_ TRIQ_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace triq::common

@@ -25,6 +25,10 @@ std::vector<Term> AtomVars(const Atom& atom) {
 
 }  // namespace
 
+// Throughout the normalization passes, TRIQ_IGNORE_STATUS(out.AddRule(...))
+// re-adds rules of an already-validated program (or auxiliary rules that
+// are well-formed by construction), so AddRule's validation cannot fail.
+
 Program NormalizeSingleExistential(const Program& program) {
   Program out(program.dict_ptr());
   Dictionary& dict = out.dict();
@@ -32,7 +36,7 @@ Program NormalizeSingleExistential(const Program& program) {
   for (const Rule& rule : program.rules()) {
     std::vector<Term> existentials = rule.ExistentialVariables();
     if (existentials.size() <= 1) {
-      out.AddRule(rule);
+      TRIQ_IGNORE_STATUS(out.AddRule(rule));
       continue;
     }
     // Frontier X = var(body) ∩ var(head).
@@ -54,12 +58,12 @@ Program NormalizeSingleExistential(const Program& program) {
       Atom head{aux, carried, false};
       step.head.push_back(head);
       prev_aux = head;
-      out.AddRule(std::move(step));
+      TRIQ_IGNORE_STATUS(out.AddRule(std::move(step)));
     }
     Rule last;
     last.body.push_back(prev_aux);
     last.head = rule.head;
-    out.AddRule(std::move(last));
+    TRIQ_IGNORE_STATUS(out.AddRule(std::move(last)));
   }
   return out;
 }
@@ -73,12 +77,12 @@ Program NormalizeWardedSplit(const Program& program) {
 
   for (const Rule& rule : program.rules()) {
     if (rule.IsConstraint()) {
-      out.AddRule(rule);
+      TRIQ_IGNORE_STATUS(out.AddRule(rule));
       continue;
     }
     VariableClasses classes = analysis.Classify(rule);
     if (classes.dangerous.empty()) {
-      out.AddRule(rule);
+      TRIQ_IGNORE_STATUS(out.AddRule(rule));
       continue;
     }
     // Locate a ward: covers the dangerous variables and shares only
@@ -108,7 +112,7 @@ Program NormalizeWardedSplit(const Program& program) {
       }
     }
     if (ward_index < 0) {  // not warded: leave untouched
-      out.AddRule(rule);
+      TRIQ_IGNORE_STATUS(out.AddRule(rule));
       continue;
     }
     // Does the rest of the body contain harmful variables? If not the
@@ -124,7 +128,7 @@ Program NormalizeWardedSplit(const Program& program) {
         rest_vars.begin(), rest_vars.end(),
         [&](Term v) { return !classes.IsHarmless(v); });
     if (rest.empty() || !rest_harmful) {
-      out.AddRule(rule);
+      TRIQ_IGNORE_STATUS(out.AddRule(rule));
       continue;
     }
     // Variables of the rest that are needed downstream: shared with the
@@ -144,13 +148,13 @@ Program NormalizeWardedSplit(const Program& program) {
     Rule grounded;
     for (const Atom* a : rest) grounded.body.push_back(*a);
     grounded.head.push_back(Atom{aux, carried, false});
-    out.AddRule(std::move(grounded));
+    TRIQ_IGNORE_STATUS(out.AddRule(std::move(grounded)));
 
     Rule guarded;
     guarded.body.push_back(rule.body[ward_index]);
     guarded.body.push_back(Atom{aux, carried, false});
     guarded.head = rule.head;
-    out.AddRule(std::move(guarded));
+    TRIQ_IGNORE_STATUS(out.AddRule(std::move(guarded)));
   }
   return out;
 }

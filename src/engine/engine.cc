@@ -100,7 +100,7 @@ Status QueryClaims::Acquire(std::vector<PredicateId> heads,
                             Token* token) {
   SortUnique(&heads);
   SortUnique(&reads);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Validate every claim before recording any: a rejected Prepare must
   // leave the registry exactly as it found it.
   for (PredicateId pred : heads) {
@@ -150,7 +150,7 @@ Status QueryClaims::Acquire(std::vector<PredicateId> heads,
 
 void QueryClaims::Release(Token* token) {
   if (!token->active) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (PredicateId pred : token->heads) {
     auto it = heads_.find(pred);
     if (it != heads_.end() && --it->second.refs == 0) heads_.erase(it);
@@ -163,7 +163,7 @@ void QueryClaims::Release(Token* token) {
 }
 
 bool QueryClaims::HeadClaimed(PredicateId pred) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return heads_.count(pred) > 0;
 }
 
@@ -181,7 +181,7 @@ Result<PreparedQuery::Pinned> PreparedQuery::EvaluatePinned(
   if (stats != nullptr) *stats = chase::ChaseStats{};
   TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, engine_->CurrentSnapshot());
 
-  std::lock_guard<std::mutex> lock(eval_->mu);
+  MutexLock lock(eval_->mu);
   if (eval_->snapshot == snap) {
     // Session unchanged since this query last ran: its answers are
     // already derived. Zero chase rounds.
@@ -241,7 +241,7 @@ Engine::Engine(EngineOptions options)
     // reasoning regimes their semantics; materializing it once here is
     // what lets every SPARQL query share one inference closure. Same
     // dictionary by construction, so Append cannot fail.
-    (void)program_.Append(translate::BuildOwl2QlCoreProgram(dict_));
+    TRIQ_IGNORE_STATUS(program_.Append(translate::BuildOwl2QlCoreProgram(dict_)));
     core_rule_prefix_ = program_.rules().size();
   }
   program_monotone_ = IsMonotone(program_);
@@ -249,7 +249,7 @@ Engine::Engine(EngineOptions options)
 
 Engine::~Engine() {
   // Best-effort flush of batched appends; nothing to report to.
-  if (journal_ != nullptr) (void)journal_->Sync();
+  if (journal_ != nullptr) TRIQ_IGNORE_STATUS(journal_->Sync());
 }
 
 Result<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
@@ -284,7 +284,7 @@ Result<std::unique_ptr<Engine>> Engine::Open(EngineOptions options) {
     TRIQ_RETURN_IF_ERROR(engine->ReplayRecord(record));
   }
 
-  std::lock_guard<std::mutex> lock(engine->writer_mu_);
+  MutexLock lock(engine->writer_mu_);
   engine->journal_recovered_records_ = recovery.records.size();
   engine->journal_truncated_bytes_ = recovery.truncated_bytes;
   engine->journal_ = std::move(journal);
@@ -455,7 +455,7 @@ Status Engine::IngestJournaled(const chase::Instance& src) {
 Status Engine::LoadTurtle(std::string_view text) {
   rdf::Graph graph(dict_);
   TRIQ_RETURN_IF_ERROR(rdf::ParseTurtle(text, &graph));
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   chase::Instance src = chase::Instance::FromGraph(graph);
   TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
   TRIQ_RETURN_IF_ERROR(
@@ -480,7 +480,7 @@ Status Engine::LoadTurtleFile(const std::string& path) {
   }
   rdf::Graph graph(dict_);
   TRIQ_RETURN_IF_ERROR(rdf::ParseTurtleStream(in, &graph));
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return Ingest(chase::Instance::FromGraph(graph));
 }
 
@@ -495,7 +495,7 @@ Status Engine::LoadFacts(const std::string& path) {
     std::string bytes = buf.str();
     TRIQ_ASSIGN_OR_RETURN(chase::Instance loaded,
                           chase::LoadFactsFromString(bytes, dict_, path));
-    std::lock_guard<std::mutex> lock(writer_mu_);
+    MutexLock lock(writer_mu_);
     return LoadDatabaseLocked(std::move(loaded), &bytes);
   }
   // LoadFacts interns straight into the engine dictionary, so the merge
@@ -506,7 +506,7 @@ Status Engine::LoadFacts(const std::string& path) {
 }
 
 Status Engine::LoadDatabase(chase::Instance database) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return LoadDatabaseLocked(std::move(database), nullptr);
 }
 
@@ -534,7 +534,7 @@ Status Engine::LoadDatabaseLocked(chase::Instance database,
 }
 
 Status Engine::LoadGraph(const rdf::Graph& graph) {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return IngestJournaled(chase::Instance::FromGraph(graph));
 }
 
@@ -542,7 +542,7 @@ Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
                          std::string_view object) {
   rdf::Graph graph(dict_);
   graph.Add(subject, predicate, object);
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   chase::Instance src = chase::Instance::FromGraph(graph);
   TRIQ_RETURN_IF_ERROR(CheckLoadable(src));
   TRIQ_RETURN_IF_ERROR(JournalOp(
@@ -556,7 +556,7 @@ Status Engine::AddTriple(std::string_view subject, std::string_view predicate,
 Status Engine::AttachOntology(const owl::Ontology& ontology) {
   rdf::Graph graph(dict_);
   owl::OntologyToGraph(ontology, &graph);
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return IngestJournaled(chase::Instance::FromGraph(graph));
 }
 
@@ -566,7 +566,7 @@ Status Engine::AttachProgram(const datalog::Program& program) {
         "attached programs must be built over the engine dictionary "
         "(Engine::dict_ptr())");
   }
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   for (const Rule& rule : program.rules()) {
     auto claimed = [&](const Atom& atom) {
       return claims_->HeadClaimed(atom.predicate);
@@ -732,7 +732,7 @@ Status Engine::MaterializeLocked(chase::ChaseStats* stats) {
 }
 
 Result<chase::ChaseStats> Engine::Materialize() {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   chase::ChaseStats stats;
   TRIQ_RETURN_IF_ERROR(MaterializeLocked(&stats));
   return stats;
@@ -744,8 +744,7 @@ Result<EngineSnapshotPtr> Engine::CurrentSnapshot() {
   if (!needs_materialize_.load(std::memory_order_acquire)) {
     return std::atomic_load(&snapshot_);
   }
-  std::unique_lock<std::mutex> lock(writer_mu_, std::try_to_lock);
-  if (!lock.owns_lock()) {
+  if (!writer_mu_.try_lock()) {
     // Another thread is writing (loading or re-materializing). Serve the
     // latest published snapshot — consistent, possibly one version
     // behind — instead of stalling every reader behind the writer. The
@@ -753,8 +752,9 @@ Result<EngineSnapshotPtr> Engine::CurrentSnapshot() {
     // acquires the lock uncontended.
     EngineSnapshotPtr published = std::atomic_load(&snapshot_);
     if (published != nullptr) return published;
-    lock.lock();  // nothing published yet: wait for the first closure
+    writer_mu_.lock();  // nothing published yet: wait for the first closure
   }
+  MutexLock lock(writer_mu_, kAdoptLock);
   TRIQ_RETURN_IF_ERROR(MaterializeLocked(nullptr));
   return std::atomic_load(&snapshot_);
 }
@@ -793,14 +793,14 @@ EngineStats Engine::stats() const {
     out.journal_recovered_records = journal_recovered_records_;
     out.journal_truncated_bytes = journal_truncated_bytes_;
   }
-  std::lock_guard<std::mutex> lock(cache_mu_);
+  MutexLock lock(cache_mu_);
   out.sparql_cache_size = sparql_lru_.size();
   return out;
 }
 
 analysis::ProgramAnalysis Engine::AnalyzeProgram(
     const std::vector<std::string>& output_predicates) const {
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   analysis::LintOptions lint;
   lint.edb_known = true;
   for (const auto& [pred, rel] : base_.relations()) {
@@ -847,7 +847,7 @@ Result<PreparedQuery> Engine::PrepareInternal(
       core::TriqQuery query,
       core::TriqQuery::Create(std::move(program), answer_predicate));
 
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   // The query's derived (head) predicates must be disjoint from the data
   // program and the loaded facts: its rules run *after* the data closure
   // is already fixed, so feeding data rules from them would silently
@@ -911,15 +911,15 @@ struct Engine::SparqlEntry {
   translate::TranslatedQuery translated;
   PreparedQuery prepared;
 
-  std::mutex mu;  // guards snapshot + mappings
-  EngineSnapshotPtr snapshot;
-  sparql::MappingSet mappings;
+  Mutex mu;
+  EngineSnapshotPtr snapshot TRIQ_GUARDED_BY(mu);
+  sparql::MappingSet mappings TRIQ_GUARDED_BY(mu);
 };
 
 Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
   std::shared_ptr<SparqlEntry> entry;
   {
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     auto it = sparql_index_.find(std::string_view(sparql_text));
     if (it != sparql_index_.end()) {
       sparql_lru_.splice(sparql_lru_.begin(), sparql_lru_, it->second);
@@ -947,7 +947,7 @@ Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
     auto built = std::make_shared<SparqlEntry>(std::move(translated),
                                                std::move(prepared));
 
-    std::lock_guard<std::mutex> lock(cache_mu_);
+    MutexLock lock(cache_mu_);
     auto it = sparql_index_.find(std::string_view(sparql_text));
     if (it != sparql_index_.end()) {
       // Two threads raced on the same miss: adopt the winner's entry and
@@ -971,7 +971,7 @@ Result<sparql::MappingSet> Engine::Query(const std::string& sparql_text) {
 
   TRIQ_ASSIGN_OR_RETURN(PreparedQuery::Pinned pinned,
                         entry->prepared.EvaluatePinned(nullptr));
-  std::lock_guard<std::mutex> lock(entry->mu);
+  MutexLock lock(entry->mu);
   if (entry->snapshot != pinned.snapshot) {
     // First decode against this snapshot; later hits on an unchanged
     // session return the cached mappings without touching the overlay.
@@ -1006,7 +1006,7 @@ translate::TranslationOptions Engine::QueryTranslationOptions() const {
 Result<std::string> Engine::ExplainProgram() {
   TRIQ_ASSIGN_OR_RETURN(EngineSnapshotPtr snap, CurrentSnapshot());
   // program_ is writer-side state; the snapshot's instance is immutable.
-  std::lock_guard<std::mutex> lock(writer_mu_);
+  MutexLock lock(writer_mu_);
   return chase::ExplainProgramPlans(program_, snap->instance,
                                     chase_options());
 }

@@ -7,7 +7,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -19,6 +18,7 @@
 #include "chase/instance.h"
 #include "common/dictionary.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "core/triq.h"
 #include "datalog/program.h"
 #include "engine/journal.h"
@@ -240,9 +240,9 @@ class QueryClaims {
     uint32_t refs;
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<datalog::PredicateId, Claim> heads_;
-  std::unordered_map<datalog::PredicateId, Claim> reads_;
+  mutable Mutex mu_;
+  std::unordered_map<datalog::PredicateId, Claim> heads_ TRIQ_GUARDED_BY(mu_);
+  std::unordered_map<datalog::PredicateId, Claim> reads_ TRIQ_GUARDED_BY(mu_);
 };
 
 class Engine;
@@ -308,9 +308,9 @@ class PreparedQuery {
   /// The per-handle evaluation cache. Boxed so the handle stays movable
   /// (the mutex is not).
   struct EvalState {
-    std::mutex mu;
-    EngineSnapshotPtr snapshot;
-    std::shared_ptr<chase::Instance> overlay;
+    Mutex mu;
+    EngineSnapshotPtr snapshot TRIQ_GUARDED_BY(mu);
+    std::shared_ptr<chase::Instance> overlay TRIQ_GUARDED_BY(mu);
   };
 
   PreparedQuery(Engine* engine, core::TriqQuery query,
@@ -458,8 +458,11 @@ class Engine {
   Status AttachRules(std::string_view rule_text);
 
   /// The data program (attached rules, plus τ_owl2ql_core under a
-  /// reasoning regime). Not synchronized against a concurrent AttachX.
-  const datalog::Program& program() const { return program_; }
+  /// reasoning regime). Not synchronized against a concurrent AttachX —
+  /// a documented escape hatch, hence exempt from the analysis.
+  const datalog::Program& program() const TRIQ_NO_THREAD_SAFETY_ANALYSIS {
+    return program_;
+  }
 
   // ---- Materialization -----------------------------------------------
 
@@ -488,8 +491,11 @@ class Engine {
   Result<const chase::Instance*> MaterializedInstance();
 
   /// The pristine loaded facts (never chased). Writer-side state: not
-  /// synchronized against concurrent loads.
-  const chase::Instance& base() const { return base_; }
+  /// synchronized against concurrent loads — a documented escape hatch,
+  /// hence exempt from the analysis.
+  const chase::Instance& base() const TRIQ_NO_THREAD_SAFETY_ANALYSIS {
+    return base_;
+  }
 
   /// All-constant tuples of `predicate` in the materialized instance —
   /// the answer-reading idiom for sessions whose data program already
@@ -581,9 +587,9 @@ class Engine {
   /// (the regime switch Query() and ExplainQuery() share).
   translate::TranslationOptions QueryTranslationOptions() const;
 
-  /// Builds and publishes the next snapshot. Requires writer_mu_; a
-  /// no-op when the session is clean. `stats` may be null.
-  Status MaterializeLocked(chase::ChaseStats* stats);
+  /// Builds and publishes the next snapshot; a no-op when the session
+  /// is clean. `stats` may be null.
+  Status MaterializeLocked(chase::ChaseStats* stats) TRIQ_REQUIRES(writer_mu_);
 
   /// Appends every fact of `src` (over any dictionary) to `dst`,
   /// re-interning foreign symbols and re-allocating nulls.
@@ -591,42 +597,48 @@ class Engine {
 
   /// Appends the base facts beyond base_consumed_ into `next`, remapping
   /// base nulls through `null_map` (extending it for nulls first seen
-  /// here). Requires writer_mu_.
+  /// here).
   Status AppendBaseDelta(chase::Instance* next,
-                         std::vector<chase::Term>* null_map);
+                         std::vector<chase::Term>* null_map)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Rejects sources carrying facts for query-derived predicates or
   /// arity-conflicting relations, before anything is mutated — loads
-  /// are all-or-nothing. Requires writer_mu_.
-  Status CheckLoadable(const chase::Instance& src) const;
+  /// are all-or-nothing.
+  Status CheckLoadable(const chase::Instance& src) const
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Collision-free identity of a (program, answer) pair for the claim
-  /// registry. Requires writer_mu_.
+  /// registry.
   uint64_t FingerprintId(const datalog::Program& program,
-                         datalog::PredicateId answer);
+                         datalog::PredicateId answer)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Appends freshly loaded facts to the base instance and marks the
-  /// session for re-materialization. Requires writer_mu_.
-  Status Ingest(const chase::Instance& src);
+  /// session for re-materialization.
+  Status Ingest(const chase::Instance& src) TRIQ_REQUIRES(writer_mu_);
 
   /// Ingest minus the CheckLoadable gate (already run by the caller,
-  /// who journaled in between). Requires writer_mu_.
-  Status IngestValidated(const chase::Instance& src);
+  /// who journaled in between).
+  Status IngestValidated(const chase::Instance& src)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Validates, journals (a kLoadFactsBlob record), and ingests one
-  /// already-built source instance. Requires writer_mu_.
-  Status IngestJournaled(const chase::Instance& src);
+  /// already-built source instance.
+  Status IngestJournaled(const chase::Instance& src)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// LoadDatabase's body. `raw_dump` — the serialized image of
   /// `database`, when the caller already has one (Engine::LoadFacts) —
-  /// is journaled as-is instead of re-serializing. Requires writer_mu_.
+  /// is journaled as-is instead of re-serializing.
   Status LoadDatabaseLocked(chase::Instance database,
-                            const std::string* raw_dump);
+                            const std::string* raw_dump)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Appends one record to the journal; a no-op without one. A failed
-  /// append means the mutation it guards must not apply. Requires
-  /// writer_mu_.
-  Status JournalOp(Journal::Op op, std::vector<std::string> fields);
+  /// append means the mutation it guards must not apply.
+  Status JournalOp(Journal::Op op, std::vector<std::string> fields)
+      TRIQ_REQUIRES(writer_mu_);
 
   /// Applies one recovered journal record through the public mutators.
   Status ReplayRecord(const Journal::Record& record);
@@ -638,32 +650,37 @@ class Engine {
   std::shared_ptr<Dictionary> dict_;
 
   // ---- Writer state (guarded by writer_mu_) --------------------------
-  mutable std::mutex writer_mu_;
-  chase::Instance base_;
-  datalog::Program program_;
-  bool program_monotone_ = true;
+  mutable Mutex writer_mu_;
+  chase::Instance base_ TRIQ_GUARDED_BY(writer_mu_);
+  datalog::Program program_ TRIQ_GUARDED_BY(writer_mu_);
+  bool program_monotone_ TRIQ_GUARDED_BY(writer_mu_) = true;
   // Rules 0..core_rule_prefix_ of program_ are the τ_owl2ql_core rules
   // attached at construction (0 under EntailmentRegime::kNone); the lint
   // pass exempts them from per-rule diagnostics.
-  size_t core_rule_prefix_ = 0;
-  bool rules_dirty_ = false;  // rules attached since the last snapshot
+  size_t core_rule_prefix_ TRIQ_GUARDED_BY(writer_mu_) = 0;
+  // Rules attached since the last snapshot.
+  bool rules_dirty_ TRIQ_GUARDED_BY(writer_mu_) = false;
   // How much of base_ the snapshot lineage has consumed: per-predicate
   // fact counts, and the base-null -> snapshot-null remapping (base and
   // snapshot number their nulls independently once derived nulls
   // interleave). Committed only when a publication succeeds.
-  chase::SaturatedSizes base_consumed_;
-  std::vector<chase::Term> base_null_map_;
+  chase::SaturatedSizes base_consumed_ TRIQ_GUARDED_BY(writer_mu_);
+  std::vector<chase::Term> base_null_map_ TRIQ_GUARDED_BY(writer_mu_);
   // (program text, answer) -> dense fingerprint id. Interned full texts,
   // so fingerprint equality is exactly program identity (no hash
   // collisions deciding soundness).
-  std::unordered_map<std::string, uint64_t> fingerprint_ids_;
-  // The write-ahead journal (null = no durability). Set once by Open
-  // before the engine is shared; appends happen under writer_mu_.
+  std::unordered_map<std::string, uint64_t> fingerprint_ids_
+      TRIQ_GUARDED_BY(writer_mu_);
+  // The write-ahead journal (null = no durability). Deliberately not
+  // GUARDED_BY(writer_mu_): the pointer is set once by Open before the
+  // engine is shared and never reassigned, and stats() reads it
+  // lock-free; the journal's own mutex guards its file state.
   std::unique_ptr<Journal> journal_;
   // Accumulated user-attached rule text (datalog syntax) — the rules
   // half of the next checkpoint image. Maintained only when journaling.
-  std::string journal_rules_text_;
-  // What recovery found at Open (surfaced through stats()).
+  std::string journal_rules_text_ TRIQ_GUARDED_BY(writer_mu_);
+  // What recovery found at Open (surfaced through stats()). Set once by
+  // Open before the engine is shared, hence not guarded.
   uint64_t journal_recovered_records_ = 0;
   uint64_t journal_truncated_bytes_ = 0;
 
@@ -686,11 +703,12 @@ class Engine {
   // insertion beyond sparql_cache_capacity evicts from the back.
   // Entries are shared_ptrs so an in-flight evaluation survives its
   // entry's eviction (claims release when the last reference drops).
-  mutable std::mutex cache_mu_;
-  std::list<std::pair<std::string, std::shared_ptr<SparqlEntry>>> sparql_lru_;
+  mutable Mutex cache_mu_;
+  std::list<std::pair<std::string, std::shared_ptr<SparqlEntry>>> sparql_lru_
+      TRIQ_GUARDED_BY(cache_mu_);
   // Keys view into the list nodes' strings (stable addresses).
-  std::unordered_map<std::string_view,
-                     decltype(sparql_lru_)::iterator> sparql_index_;
+  std::unordered_map<std::string_view, decltype(sparql_lru_)::iterator>
+      sparql_index_ TRIQ_GUARDED_BY(cache_mu_);
   std::atomic<uint64_t> sparql_cache_hits_{0};
   std::atomic<uint64_t> sparql_cache_misses_{0};
   std::atomic<uint64_t> sparql_cache_evictions_{0};

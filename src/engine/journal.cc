@@ -200,6 +200,9 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& path,
   if (fd < 0) return IoError("cannot open", path);
   auto journal = std::unique_ptr<Journal>(
       new Journal(path, fd, ckpt_epoch, kHeaderSize, fsync, batch_interval));
+  // Uncontended: the journal is not shared until Open returns, but the
+  // analysis (rightly) wants the file state touched under its lock.
+  MutexLock lock(journal->mu_);
 
   // Decide what the on-disk tail means. A torn header only happens when
   // a crash interrupted file creation or a checkpoint reset — both
@@ -277,6 +280,7 @@ Status Journal::Append(Op op, const std::vector<std::string>& fields) {
   PutU32(&frame, Crc32(payload.data(), payload.size()));
   frame += payload;
 
+  MutexLock lock(mu_);
   if (broken_) {
     return Status::DataLoss("journal " + path_ +
                             ": broken by an earlier failed append");
@@ -286,12 +290,12 @@ Status Journal::Append(Op op, const std::vector<std::string>& fields) {
   // error (and the tail is rewound like any failed append); the crash
   // variant *is* the crash (recovery tests fork first).
   if (FailpointHit("journal.write.short")) {
-    (void)WriteAll(frame.data(), frame.size() / 2);
+    TRIQ_IGNORE_STATUS(WriteAll(frame.data(), frame.size() / 2));
     return AbandonAppend(Status::DataLoss(
         "failpoint journal.write.short: torn append to " + path_));
   }
   if (FailpointHit("journal.write.crash")) {
-    (void)WriteAll(frame.data(), frame.size() / 2);
+    TRIQ_IGNORE_STATUS(WriteAll(frame.data(), frame.size() / 2));
     (void)::fsync(fd_);
     std::_Exit(42);
   }
@@ -304,10 +308,10 @@ Status Journal::Append(Op op, const std::vector<std::string>& fields) {
     (void)::fsync(fd_);
     std::_Exit(42);
   }
-  if (fsync_ == JournalFsync::kAlways) return Sync();
+  if (fsync_ == JournalFsync::kAlways) return SyncLocked();
   if (fsync_ == JournalFsync::kBatch &&
       ++appends_since_sync_ >= batch_interval_) {
-    return Sync();
+    return SyncLocked();
   }
   return Status::OK();
 }
@@ -323,6 +327,11 @@ Status Journal::AbandonAppend(Status status) {
 }
 
 Status Journal::Sync() {
+  MutexLock lock(mu_);
+  return SyncLocked();
+}
+
+Status Journal::SyncLocked() {
   TRIQ_FAILPOINT_RETURN(
       "journal.fsync.fail",
       Status::DataLoss("failpoint journal.fsync.fail: fsync of " + path_ +
@@ -335,6 +344,7 @@ Status Journal::Sync() {
 
 Status Journal::Checkpoint(const std::string& rules, const std::string& blob,
                            bool materialized) {
+  MutexLock lock(mu_);
   // The caller journals the triggering record before calling this, so a
   // crash anywhere in here recovers to a correct state: before the
   // rename, the old checkpoint + full journal replay; after it, the new

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_annotations.h"
 
 namespace triq {
 
@@ -59,8 +60,10 @@ struct JournalStats {
 /// (_Exit with a torn checkpoint tmp), "journal.reset.crash" (_Exit
 /// after the checkpoint rename, before the journal reset).
 ///
-/// Thread safety: none — the engine serializes appends under its writer
-/// mutex. stats() is safe to read concurrently.
+/// Thread safety: the file state is guarded by an internal mutex, so
+/// Append/Sync/Checkpoint are safe to call from any thread (the engine
+/// additionally serializes them under its writer mutex, so the lock is
+/// uncontended in practice). stats() is lock-free.
 class Journal {
  public:
   enum class Op : uint8_t {
@@ -131,19 +134,23 @@ class Journal {
   Journal(std::string path, int fd, uint64_t epoch, uint64_t end_offset,
           JournalFsync fsync, size_t batch_interval);
 
-  Status WriteAll(const char* data, size_t size);
+  Status WriteAll(const char* data, size_t size) TRIQ_REQUIRES(mu_);
   /// Rewinds a failed append's torn tail; marks the journal broken when
   /// even that fails. Returns `status` for tail-call convenience.
-  Status AbandonAppend(Status status);
+  Status AbandonAppend(Status status) TRIQ_REQUIRES(mu_);
+  /// Sync() body for callers already holding mu_ (the Append policies).
+  Status SyncLocked() TRIQ_REQUIRES(mu_);
 
   std::string path_;
-  int fd_;
-  uint64_t epoch_;
-  uint64_t end_offset_;  // file offset just past the last good record
-  bool broken_ = false;
+  mutable Mutex mu_;
+  int fd_ TRIQ_GUARDED_BY(mu_);
+  uint64_t epoch_ TRIQ_GUARDED_BY(mu_);
+  // File offset just past the last good record.
+  uint64_t end_offset_ TRIQ_GUARDED_BY(mu_);
+  bool broken_ TRIQ_GUARDED_BY(mu_) = false;
   JournalFsync fsync_;
   size_t batch_interval_;
-  size_t appends_since_sync_ = 0;
+  size_t appends_since_sync_ TRIQ_GUARDED_BY(mu_) = 0;
 
   std::atomic<uint64_t> records_appended_{0};
   std::atomic<uint64_t> bytes_appended_{0};

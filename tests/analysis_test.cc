@@ -312,6 +312,57 @@ TEST(LintTest, ShadowedRuleDetectedAcrossDictionaries) {
   EXPECT_FALSE(HasLint(lints, LintCheck::kShadowedRule, 1));
 }
 
+TEST(LintTest, DuplicateRuleUpToRenamingIsAWarning) {
+  auto dict = Dict();
+  auto program = Parse(R"(
+    edge(?X, ?Y) -> tc(?X, ?Y) .
+    tc(?X, ?Y), edge(?Y, ?Z) -> tc(?X, ?Z) .
+    edge(?A, ?B) -> tc(?A, ?B) .
+  )",
+                       dict);
+  LintOptions options;
+  options.output_predicates.insert(dict->Intern("tc"));
+  std::vector<Lint> lints = LintProgram(program, options);
+  ASSERT_TRUE(HasLint(lints, LintCheck::kDuplicateRule, 2));
+  EXPECT_FALSE(HasLint(lints, LintCheck::kDuplicateRule, 0));
+  EXPECT_FALSE(HasLint(lints, LintCheck::kDuplicateRule, 1));
+  EXPECT_EQ(lints[0].severity, LintSeverity::kWarning);
+  // The finding names the first occurrence it duplicates.
+  EXPECT_NE(lints[0].message.find("rule 0"), std::string::npos);
+}
+
+TEST(LintTest, StructurallyDistinctRulesAreNotDuplicates) {
+  // Swapping the variable roles is a different rule even though a
+  // set-of-atoms comparison would conflate them: identity is canonical
+  // first-occurrence renaming, exactly like shadow detection.
+  auto dict = Dict();
+  auto program = Parse(R"(
+    edge(?X, ?Y) -> reach(?X, ?Y) .
+    edge(?Y, ?X) -> reach(?X, ?Y) .
+  )",
+                       dict);
+  LintOptions options;
+  options.output_predicates.insert(dict->Intern("reach"));
+  std::vector<Lint> lints = LintProgram(program, options);
+  EXPECT_FALSE(HasLint(lints, LintCheck::kDuplicateRule, 1));
+}
+
+TEST(LintTest, DuplicateDetectionSkipsTheExemptPrefix) {
+  auto dict = Dict();
+  auto program = Parse(R"(
+    edge(?X, ?Y) -> reach(?X, ?Y) .
+    edge(?A, ?B) -> reach(?A, ?B) .
+  )",
+                       dict);
+  LintOptions options;
+  options.exempt_prefix = 1;  // rule 0 is engine-attached
+  options.output_predicates.insert(dict->Intern("reach"));
+  std::vector<Lint> lints = LintProgram(program, options);
+  // Rule 1 is the FIRST non-exempt occurrence, not a duplicate; overlap
+  // with the core is the shadow check's job, not this one's.
+  EXPECT_FALSE(HasLint(lints, LintCheck::kDuplicateRule, 1));
+}
+
 TEST(LintTest, RecursionThroughNegationIsAProgramError) {
   auto dict = Dict();
   auto program = Parse(R"(

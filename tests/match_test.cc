@@ -56,10 +56,10 @@ TEST(MatchTest, EarlyTerminationViaCallback) {
   }
   datalog::Rule rule = ParseR("p(?X) -> q(?X)", dict.get());
   size_t seen = 0;
-  MatchBody(rule, db, {}, [&](const Match&) {
+  ASSERT_TRUE(MatchBody(rule, db, {}, [&](const Match&) {
     ++seen;
     return seen < 3;
-  });
+  }).ok());
   EXPECT_EQ(seen, 3u);
 }
 
@@ -197,12 +197,12 @@ TEST(MatchTest, PositiveFactRefsAlignWithBodyOrder) {
   db.AddFact("a_rel", {"x"});
   db.AddFact("b_rel", {"x"});
   datalog::Rule rule = ParseR("a_rel(?X), b_rel(?X) -> q(?X)", dict.get());
-  MatchBody(rule, db, {}, [&](const Match& match) {
+  ASSERT_TRUE(MatchBody(rule, db, {}, [&](const Match& match) {
     EXPECT_EQ(match.positive_facts->size(), 2u);
     EXPECT_EQ((*match.positive_facts)[0].predicate, dict->Intern("a_rel"));
     EXPECT_EQ((*match.positive_facts)[1].predicate, dict->Intern("b_rel"));
     return true;
-  });
+  }).ok());
 }
 
 TEST(MatchTest, HasMatchFindsWitness) {

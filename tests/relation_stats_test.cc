@@ -164,5 +164,79 @@ TEST(RelationStatsTest, LexPermOrdersByKeyThenIndexAndExtends) {
   ExpectLexOrder(*rel, key1, rel->LexPerm(key1));
 }
 
+// ---- frozen-index contract --------------------------------------------
+
+TEST(FrozenContractTest, ScopeMarksThreadAndNests) {
+  EXPECT_FALSE(chase::InParallelPass());
+  {
+    chase::ParallelPassScope outer(true);
+    EXPECT_TRUE(chase::InParallelPass());
+    {
+      // Inactive scopes (serial MatchBody calls) leave the mark alone.
+      chase::ParallelPassScope inactive(false);
+      EXPECT_TRUE(chase::InParallelPass());
+      chase::ParallelPassScope inner(true);
+      EXPECT_TRUE(chase::InParallelPass());
+    }
+    EXPECT_TRUE(chase::InParallelPass());
+  }
+  EXPECT_FALSE(chase::InParallelPass());
+}
+
+TEST(FrozenContractTest, FrozenIndexesAreReadableInsideParallelPass) {
+  chase::Relation rel(2);
+  for (uint32_t i = 0; i < 50; ++i) {
+    rel.Insert(chase::Tuple{chase::Term::Constant(i % 7),
+                            chase::Term::Constant(i)});
+  }
+  std::vector<uint32_t> key = {0, 1};
+  rel.FreezeIndexes();
+  rel.FreezeLex(key);
+  (void)rel.DistinctValues(0);  // warm the cache pre-freeze-style
+  chase::ParallelPassScope scope(true);
+  // Every frozen read path stays on the immutable early returns: no
+  // TRIQ_DCHECK_FROZEN fires (a violation aborts a debug build here).
+  EXPECT_EQ(rel.Sorted(0).size(), 50u);
+  EXPECT_EQ(rel.Postings(0, chase::Term::Constant(3)).empty(), false);
+  EXPECT_EQ(rel.LexPerm(key).size(), 50u);
+  EXPECT_EQ(rel.DistinctValues(0), 7u);
+  std::vector<uint32_t> window;
+  rel.SortWindow(0, 0, 50, &window);  // full window: synced permutation
+  EXPECT_EQ(window.size(), 50u);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+
+using FrozenContractDeathTest = ::testing::Test;
+
+TEST(FrozenContractDeathTest, UnfrozenSortTripsInsideParallelPass) {
+  chase::Relation rel(1);
+  rel.Insert(chase::Tuple{chase::Term::Constant(1)});
+  chase::ParallelPassScope scope(true);
+  EXPECT_DEATH((void)rel.Sorted(0), "frozen-index contract");
+}
+
+TEST(FrozenContractDeathTest, UnfrozenLexPermTripsInsideParallelPass) {
+  chase::Relation rel(2);
+  rel.Insert(chase::Tuple{chase::Term::Constant(1), chase::Term::Constant(2)});
+  std::vector<uint32_t> key = {0, 1};
+  chase::ParallelPassScope scope(true);
+  EXPECT_DEATH((void)rel.LexPerm(key), "frozen-index contract");
+}
+
+TEST(FrozenContractDeathTest, PartialWindowMemoTripsInsideParallelPass) {
+  chase::Relation rel(1);
+  for (uint32_t i = 0; i < 8; ++i) {
+    rel.Insert(chase::Tuple{chase::Term::Constant(i)});
+  }
+  rel.FreezeIndexes();
+  chase::ParallelPassScope scope(true);
+  std::vector<uint32_t> window;
+  // A PARTIAL window misses the memo and would write it: contract trip.
+  EXPECT_DEATH(rel.SortWindow(0, 2, 5, &window), "frozen-index contract");
+}
+
+#endif  // !NDEBUG && GTEST_HAS_DEATH_TEST
+
 }  // namespace
 }  // namespace triq

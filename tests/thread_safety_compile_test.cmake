@@ -1,0 +1,146 @@
+# Negative-compile checks for the compile-time analysis layer: prove the
+# enforcement actually FIRES, not just that annotated code still builds.
+#
+#   - [[nodiscard]] on Status: dropping a Status must fail under
+#     -Werror=unused-result (any compiler), and the blessed consumption
+#     forms (assign, TRIQ_IGNORE_STATUS) must pass.
+#   - Thread Safety Analysis: touching a TRIQ_GUARDED_BY member without
+#     its mutex must fail under -Werror=thread-safety (clang only; the
+#     TSA pair is skipped with a notice on other compilers), and the
+#     properly locked version must pass.
+#
+# Script mode (cmake -P) cannot use try_compile, so each snippet is
+# written to WORK_DIR and driven through `${CXX} -fsyntax-only`.
+#
+# Usage:
+#   cmake -DCXX=<compiler> -DINCLUDE_DIR=<repo>/src -DWORK_DIR=<scratch>
+#         -P thread_safety_compile_test.cmake
+
+foreach(var CXX INCLUDE_DIR WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(FAILURES 0)
+
+# Compiles ${SOURCE} with ${FLAGS} (a space-separated string) and checks
+# the outcome against ${EXPECT} ("pass" or "fail").
+function(check_snippet NAME EXPECT FLAGS SOURCE)
+  file(WRITE ${WORK_DIR}/${NAME}.cc "${SOURCE}")
+  separate_arguments(flag_list UNIX_COMMAND "${FLAGS}")
+  execute_process(
+    COMMAND ${CXX} -std=c++17 -fsyntax-only -I${INCLUDE_DIR} ${flag_list}
+            ${WORK_DIR}/${NAME}.cc
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(EXPECT STREQUAL "pass" AND NOT rc EQUAL 0)
+    message(SEND_ERROR
+            "${NAME}: expected to compile but failed (rc=${rc}):\n${err}")
+    math(EXPR FAILURES "${FAILURES} + 1")
+  elseif(EXPECT STREQUAL "fail" AND rc EQUAL 0)
+    message(SEND_ERROR
+            "${NAME}: expected a compile error but the snippet compiled "
+            "— the enforcement does not fire")
+    math(EXPR FAILURES "${FAILURES} + 1")
+  else()
+    message(STATUS "${NAME}: ok (${EXPECT})")
+  endif()
+  set(FAILURES ${FAILURES} PARENT_SCOPE)
+endfunction()
+
+# ---- [[nodiscard]] Status (any compiler) ------------------------------
+
+check_snippet(nodiscard_ok pass "-Werror=unused-result" [==[
+#include "common/result.h"
+#include "common/status.h"
+triq::Status Make();
+triq::Result<int> MakeResult();
+void Use() {
+  triq::Status kept = Make();
+  (void)kept;
+  TRIQ_IGNORE_STATUS(Make());
+  if (!Make().ok()) return;        // testing the value consumes it
+  triq::Result<int> r = MakeResult();
+  (void)r;
+}
+]==])
+
+check_snippet(nodiscard_status_violation fail "-Werror=unused-result" [==[
+#include "common/status.h"
+triq::Status Make();
+void Use() {
+  Make();  // dropped Status: must not compile
+}
+]==])
+
+check_snippet(nodiscard_result_violation fail "-Werror=unused-result" [==[
+#include "common/result.h"
+triq::Result<int> MakeResult();
+void Use() {
+  MakeResult();  // dropped Result: must not compile
+}
+]==])
+
+# ---- clang Thread Safety Analysis (clang only) ------------------------
+
+execute_process(COMMAND ${CXX} --version OUTPUT_VARIABLE cxx_version
+                ERROR_QUIET)
+if(cxx_version MATCHES "clang")
+  set(TSA_FLAGS "-Wthread-safety -Werror=thread-safety")
+
+  check_snippet(tsa_ok pass "${TSA_FLAGS}" [==[
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  void Bump() {
+    triq::MutexLock lock(mu_);
+    ++value_;
+  }
+  int Snapshot() {
+    triq::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  void BumpLocked() TRIQ_REQUIRES(mu_) { ++value_; }
+  triq::Mutex mu_;
+  int value_ TRIQ_GUARDED_BY(mu_) = 0;
+};
+]==])
+
+  check_snippet(tsa_guarded_violation fail "${TSA_FLAGS}" [==[
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  void Bump() { ++value_; }  // guarded member without the lock
+
+ private:
+  triq::Mutex mu_;
+  int value_ TRIQ_GUARDED_BY(mu_) = 0;
+};
+]==])
+
+  check_snippet(tsa_requires_violation fail "${TSA_FLAGS}" [==[
+#include "common/thread_annotations.h"
+class Counter {
+ public:
+  void Bump() { BumpLocked(); }  // calls a REQUIRES method lock-free
+
+ private:
+  void BumpLocked() TRIQ_REQUIRES(mu_) { ++value_; }
+  triq::Mutex mu_;
+  int value_ TRIQ_GUARDED_BY(mu_) = 0;
+};
+]==])
+else()
+  message(STATUS "TSA snippets skipped: ${CXX} is not clang "
+                 "(annotations compile to no-ops)")
+endif()
+
+if(FAILURES GREATER 0)
+  message(FATAL_ERROR "${FAILURES} negative-compile check(s) failed")
+endif()

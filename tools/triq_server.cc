@@ -71,6 +71,7 @@
 #include <vector>
 
 #include "common/failpoint.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "engine/engine.h"
 
@@ -79,9 +80,21 @@ namespace {
 using triq::Engine;
 using triq::EngineOptions;
 using triq::EngineStats;
+using triq::MutexLock;
 
 std::atomic<bool> g_shutdown{false};
 std::atomic<size_t> g_active_conns{0};
+
+/// Aggregate connection/drain counters shared by every worker. A real
+/// mutex rather than per-field atomics: STATS reports the triple
+/// (served, commands, shed) as one consistent reading.
+struct ConnStats {
+  triq::Mutex mu;
+  uint64_t connections_served TRIQ_GUARDED_BY(mu) = 0;
+  uint64_t commands_handled TRIQ_GUARDED_BY(mu) = 0;
+  uint64_t shed_connections TRIQ_GUARDED_BY(mu) = 0;
+};
+ConnStats g_conn_stats;
 
 void HandleSigterm(int) { g_shutdown.store(true, std::memory_order_release); }
 
@@ -240,6 +253,15 @@ std::string HandleCommand(Engine& engine, const std::string& line,
     reply += "STAT active_conns " +
              std::to_string(g_active_conns.load(std::memory_order_relaxed)) +
              "\n";
+    {
+      MutexLock lock(g_conn_stats.mu);
+      reply += "STAT connections_served " +
+               std::to_string(g_conn_stats.connections_served) + "\n";
+      reply += "STAT commands_handled " +
+               std::to_string(g_conn_stats.commands_handled) + "\n";
+      reply += "STAT shed_connections " +
+               std::to_string(g_conn_stats.shed_connections) + "\n";
+    }
     reply += "STAT journal_enabled " +
              std::string(stats.journal_enabled ? "true" : "false") + "\n";
     if (stats.journal_enabled) {
@@ -359,6 +381,10 @@ void ServeConnection(Engine& engine, int fd, const ServerConfig& cfg) {
       std::string line = buffer.substr(0, pos);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       buffer.erase(0, pos + 1);
+      {
+        MutexLock lock(g_conn_stats.mu);
+        ++g_conn_stats.commands_handled;
+      }
       std::string reply = HandleCommand(engine, line, &quit);
       if (!reply.empty() && !SendAll(fd, reply, cfg.write_timeout_ms)) {
         quit = true;
@@ -399,10 +425,14 @@ void WorkerLoop(Engine& engine, int listen_fd, const ServerConfig& cfg) {
               cfg.write_timeout_ms);
       ::close(fd);
       g_active_conns.fetch_sub(1, std::memory_order_relaxed);
+      MutexLock lock(g_conn_stats.mu);
+      ++g_conn_stats.shed_connections;
       continue;
     }
     ServeConnection(engine, fd, cfg);
     g_active_conns.fetch_sub(1, std::memory_order_relaxed);
+    MutexLock lock(g_conn_stats.mu);
+    ++g_conn_stats.connections_served;
   }
 }
 
